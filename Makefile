@@ -1,0 +1,43 @@
+# Convenience targets for the ibvsim reproduction.
+
+GO ?= go
+
+.PHONY: all build test test-short race cover bench experiments experiments-full fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# The benchmark harness: one benchmark per paper table/figure + ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the paper's evaluation artifacts (cheap subset).
+experiments:
+	$(GO) run ./cmd/experiments -exp all -measure 648
+
+# Include dfsssp/lash on the 3-level fabrics (takes on the order of an hour).
+experiments-full:
+	$(GO) run ./cmd/experiments -exp fig7 -full
+
+fmt:
+	gofmt -l -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,391 @@
+// Package bench holds the benchmark harness that regenerates the paper's
+// evaluation artifacts under `go test -bench`:
+//
+//	BenchmarkFig7PathComputation  — Fig. 7: PCt per routing engine and size
+//	                                (dfsssp/lash on the 3-level fabrics are
+//	                                heavyweight and run under -timeout care)
+//	BenchmarkTable1SMPCount       — Table I closed-form SMP arithmetic
+//	BenchmarkTable1FullRCWire     — Table I full-RC SMPs counted on the wire
+//	BenchmarkReconfigSwap/Copy    — one live migration, plan + apply
+//	BenchmarkVMBootDynamic        — section V-B VM boot fast path
+//	BenchmarkFullReconfiguration  — the traditional method per migration
+//	BenchmarkAblation*            — scope, SMP mode and mitigation ablations
+//	BenchmarkFabricStep           — flow-simulator round throughput
+package bench
+
+import (
+	"fmt"
+	"testing"
+
+	"ibvsim/internal/cdg"
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/core"
+	"ibvsim/internal/experiments"
+	"ibvsim/internal/fabric"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/smp"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// fig7Combos lists the Fig. 7 combinations benchmarked by default. The
+// dfsssp/lash runs on 5832/11664 nodes are the ones the paper measured at
+// 123-39145 s; they are skipped here and reproduced by
+// `cmd/experiments -exp fig7 -full` instead.
+var fig7Combos = []struct {
+	engine string
+	nodes  int
+}{
+	{"ftree", 324}, {"minhop", 324}, {"dfsssp", 324}, {"lash", 324},
+	{"ftree", 648}, {"minhop", 648}, {"dfsssp", 648}, {"lash", 648},
+	{"ftree", 5832}, {"minhop", 5832},
+	{"ftree", 11664}, {"minhop", 11664},
+}
+
+func BenchmarkFig7PathComputation(b *testing.B) {
+	for _, combo := range fig7Combos {
+		combo := combo
+		b.Run(fmt.Sprintf("%s/%d", combo.engine, combo.nodes), func(b *testing.B) {
+			if testing.Short() && combo.nodes > 648 {
+				b.Skip("large fabric")
+			}
+			topo, err := topology.BuildPaperFatTree(combo.nodes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			eng, err := routing.New(combo.engine)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mgr, err := sm.New(topo, topo.CAs()[0], eng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := mgr.Sweep(); err != nil {
+				b.Fatal(err)
+			}
+			if err := mgr.AssignLIDs(); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := mgr.ComputeRoutes(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable1SMPCount(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table1(experiments.Table1Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows[3].MinSMPsFullRC != 336960 {
+			b.Fatal("Table I arithmetic diverged from the paper")
+		}
+	}
+}
+
+func BenchmarkTable1FullRCWire(b *testing.B) {
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, _, err := mgr.Bootstrap(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ds, err := mgr.DistributeFull()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if ds.SMPs != 216 {
+			b.Fatalf("full RC sent %d SMPs, want 216", ds.SMPs)
+		}
+	}
+}
+
+// benchCloud builds a 324-node cloud with one VM and two far-apart
+// hypervisors to ping-pong it between.
+func benchCloud(b *testing.B, model sriov.Model) (*cloud.Cloud, string, topology.NodeID, topology.NodeID) {
+	b.Helper()
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            model,
+		VFsPerHypervisor: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := c.Hypervisors()[0]
+	dst := c.Hypervisors()[len(c.Hypervisors())-1]
+	if _, err := c.CreateVMOn("bench", src); err != nil {
+		b.Fatal(err)
+	}
+	return c, "bench", src, dst
+}
+
+// pingPong migrates the benchmark VM back and forth b.N times.
+func pingPong(b *testing.B, c *cloud.Cloud, name string, src, dst topology.NodeID) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		to := dst
+		if i%2 == 1 {
+			to = src
+		}
+		if _, err := c.MigrateVM(name, to); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconfigSwapMigration(b *testing.B) {
+	c, name, src, dst := benchCloud(b, sriov.VSwitchPrepopulated)
+	pingPong(b, c, name, src, dst)
+}
+
+func BenchmarkReconfigCopyMigration(b *testing.B) {
+	c, name, src, dst := benchCloud(b, sriov.VSwitchDynamic)
+	pingPong(b, c, name, src, dst)
+}
+
+func BenchmarkVMBootDynamic(b *testing.B) {
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, _, err := mgr.Bootstrap(); err != nil {
+		b.Fatal(err)
+	}
+	rc := core.NewReconfigurator(mgr)
+	hyp := topo.CAs()[7]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		boot, err := rc.BootVMLID(hyp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if _, err := rc.DestroyVMLID(boot.LID); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkFullReconfiguration(b *testing.B) {
+	// The traditional alternative (section VI-A): recompute all paths and
+	// push every LFT block, per network change.
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, _, err := mgr.Bootstrap(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mgr.FullReconfigure(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationScope(b *testing.B) {
+	for _, scope := range []core.Scope{core.ScopeAllSwitches, core.ScopeMinimal} {
+		scope := scope
+		b.Run(scope.String(), func(b *testing.B) {
+			c, name, src, dst := benchCloud(b, sriov.VSwitchDynamic)
+			c.RC.Scope = scope
+			pingPong(b, c, name, src, dst)
+		})
+	}
+}
+
+func BenchmarkAblationSMPMode(b *testing.B) {
+	// Equation 4 vs 5: directed-route SMPs pay the r term per packet.
+	for _, mode := range []smp.Mode{smp.DirectedRoute, smp.DestinationRouted} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			c, name, src, dst := benchCloud(b, sriov.VSwitchPrepopulated)
+			c.RC.Mode = mode
+			pingPong(b, c, name, src, dst)
+		})
+	}
+}
+
+func BenchmarkAblationMitigation(b *testing.B) {
+	for _, mit := range []core.Mitigation{core.MitigationNone, core.MitigationInvalidate} {
+		mit := mit
+		b.Run(mit.String(), func(b *testing.B) {
+			c, name, src, dst := benchCloud(b, sriov.VSwitchPrepopulated)
+			c.RC.Mitigation = mit
+			pingPong(b, c, name, src, dst)
+		})
+	}
+}
+
+func BenchmarkFabricStep(b *testing.B) {
+	topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{8, 8}, W: []int{1, 8}}, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, _, err := mgr.Bootstrap(); err != nil {
+		b.Fatal(err)
+	}
+	sim, err := fabric.New(topo, mgr, fabric.Config{BufferCredits: 4, NumVLs: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cas := topo.CAs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sim.InFlight() < 256 {
+			b.StopTimer()
+			for j, src := range cas {
+				dst := mgr.LIDOf(cas[(j+17)%len(cas)])
+				if err := sim.Inject(src, dst, 2); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StartTimer()
+		}
+		sim.Step()
+	}
+}
+
+// BenchmarkAblationIncrementalCDG quantifies the LASH substitution noted
+// in DESIGN.md: per-path acyclicity trials with the Pearce-Kelly
+// incremental order (cdg.Ordered) versus a full-graph cycle check per
+// insertion (cdg.Graph). The gap is why our LASH finishes in minutes where
+// the paper's took 39145 s, with the same O(pairs) structure.
+func BenchmarkAblationIncrementalCDG(b *testing.B) {
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, _, err := mgr.Bootstrap(); err != nil {
+		b.Fatal(err)
+	}
+	// Collect the switch-pair paths LASH would trial-insert.
+	type path []cdg.Channel
+	var paths []path
+	sw := topo.Switches()
+	for _, src := range sw {
+		for _, dst := range sw {
+			if src == dst {
+				continue
+			}
+			var p path
+			cur := src
+			for hops := 0; cur != dst && hops < 8; hops++ {
+				out := mgr.ProgrammedLFT(cur).Get(mgr.LIDOf(dst))
+				if out == 0 || out == ib.DropPort {
+					break
+				}
+				p = append(p, cdg.Channel{Node: cur, Port: out})
+				cur = topo.Node(cur).Ports[out].Peer
+			}
+			if cur == dst && len(p) >= 2 {
+				paths = append(paths, p)
+			}
+		}
+	}
+	b.Run("pearce-kelly", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			o := cdg.NewOrdered()
+			for _, p := range paths {
+				for j := 0; j+1 < len(p); j++ {
+					o.AddDepChecked(p[j], p[j+1])
+				}
+			}
+		}
+	})
+	b.Run("full-dfs-per-path", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			g := cdg.NewGraph()
+			for _, p := range paths {
+				for j := 0; j+1 < len(p); j++ {
+					g.AddDep(p[j], p[j+1])
+				}
+				if g.HasCycle() {
+					b.Fatal("unexpected cycle on a fat-tree")
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkCloudChurn measures whole-orchestrator operation throughput.
+func BenchmarkCloudChurn(b *testing.B) {
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            sriov.VSwitchDynamic,
+		VFsPerHypervisor: 4,
+		Scheduler:        cloud.Spread{},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("vm%d", i)
+		if _, err := c.CreateVM(name); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.MigrateVM(name, c.Hypervisors()[(i*37)%len(c.Hypervisors())]); err == nil {
+			// moved; fine either way — some destinations equal the source
+			_ = name
+		}
+		if err := c.DestroyVM(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLFTBlockOps(b *testing.B) {
+	lft := ib.NewLFT(49151)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := ib.LID(i%49150 + 1)
+		lft.Set(l, ib.PortNum(i%36+1))
+		lft.Swap(l, ib.LID((i*7)%49150+1))
+	}
+}

@@ -1,0 +1,145 @@
+// Command experiments regenerates the paper's evaluation artifacts.
+//
+// Usage:
+//
+//	experiments -exp all                 # everything cheap
+//	experiments -exp fig7 -full          # include dfsssp/lash on 5832/11664 (slow!)
+//	experiments -exp table1 -measure 648 # wire-verify full-RC SMPs up to 648 nodes
+//	experiments -exp fig7 -sizes 324,648
+//
+// Experiments: fig7, table1, leaflocal, deadlock, capacity, costmodel, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"ibvsim/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig7|table1|leaflocal|deadlock|capacity|costmodel|all")
+	full := flag.Bool("full", false, "run the expensive Fig.7 combinations (dfsssp/lash on 3-level fabrics; can take many minutes to hours)")
+	sizes := flag.String("sizes", "", "comma-separated node counts (default: 324,648,5832,11664)")
+	measure := flag.Int("measure", 648, "table1: wire-verify full-RC SMP counts for fabrics up to this node count (0 = closed form only)")
+	csvOut := flag.String("csv", "", "also write fig7/table1 results as CSV to this file")
+	flag.Parse()
+
+	var sz []int
+	if *sizes != "" {
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				fatal(fmt.Errorf("bad -sizes value %q: %w", s, err))
+			}
+			sz = append(sz, v)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig7":
+			progress := func(r experiments.Fig7Row) {
+				fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: PCt = %v\n", r.Engine, r.Nodes, r.PCt)
+			}
+			rows, err := experiments.Fig7(experiments.Fig7Options{Sizes: sz, Full: *full, Progress: progress})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderFig7(rows))
+			if *csvOut != "" {
+				writeCSV(*csvOut, func(w io.Writer) error { return experiments.Fig7CSV(rows, w) })
+			}
+		case "table1":
+			rows, err := experiments.Table1(experiments.Table1Options{Sizes: sz, MeasureUpTo: *measure})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderTable1(rows))
+			if *csvOut != "" {
+				writeCSV(*csvOut, func(w io.Writer) error { return experiments.Table1CSV(rows, w) })
+			}
+		case "leaflocal":
+			rows, err := experiments.LeafLocal()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderLeafLocal(rows))
+		case "deadlock":
+			rows, err := experiments.Deadlock()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderDeadlock(rows))
+		case "capacity":
+			fmt.Println(experiments.RenderCapacity(experiments.Capacity()))
+		case "costmodel":
+			fmt.Println(experiments.RenderCostModel(experiments.CostModel()))
+		case "migrations":
+			size := 324
+			if len(sz) > 0 {
+				size = sz[0]
+			}
+			rows, err := experiments.MigrationSweep(size, 50, 1)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderMigrationSweep(rows))
+		case "transition":
+			rows, err := experiments.TransitionUnderLoad()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderTransition(rows))
+		case "balance":
+			rows, err := experiments.BalanceDrift(50, 1)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderBalance(rows))
+		case "churn":
+			size := 324
+			if len(sz) > 0 {
+				size = sz[0]
+			}
+			rows, err := experiments.Churn(size, 200, 3, 1)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderChurn(rows))
+		default:
+			fatal(fmt.Errorf("unknown experiment %q", name))
+		}
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"table1", "capacity", "costmodel", "leaflocal", "migrations", "balance", "transition", "churn", "deadlock", "fig7"} {
+			run(name)
+		}
+		return
+	}
+	for _, name := range strings.Split(*exp, ",") {
+		run(strings.TrimSpace(name))
+	}
+}
+
+func writeCSV(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

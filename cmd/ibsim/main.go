@@ -1,0 +1,154 @@
+// Command ibsim builds a fabric, brings it up with the subnet manager and
+// reports the bring-up statistics — the ibsim+OpenSM analogue of the
+// paper's section VII-C simulations.
+//
+// Usage:
+//
+//	ibsim -topo fattree -nodes 648 -engine ftree
+//	ibsim -topo torus -rows 4 -cols 4 -cas 2 -engine dfsssp
+//	ibsim -topo random -switches 20 -engine lash -dot fabric.dot
+//	ibsim -topo ring -switches 8 -engine updn -json fabric.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/topology"
+)
+
+func main() {
+	topoKind := flag.String("topo", "fattree", "topology: fattree|ring|mesh|torus|random|dragonfly|testbed")
+	nodes := flag.Int("nodes", 324, "fattree: node count (324|648|5832|11664)")
+	switches := flag.Int("switches", 8, "ring/random: switch count")
+	rows := flag.Int("rows", 4, "mesh/torus: rows")
+	cols := flag.Int("cols", 4, "mesh/torus: columns")
+	cas := flag.Int("cas", 1, "CAs per switch (ring/mesh/torus/random)")
+	radix := flag.Int("radix", 12, "random: switch radix")
+	extra := flag.Int("extra", 8, "random: extra links beyond the spanning tree")
+	seed := flag.Int64("seed", 1, "random: seed")
+	engine := flag.String("engine", "minhop", "routing engine: "+fmt.Sprint(routing.Names()))
+	load := flag.String("load", "", "load the fabric from a file instead of generating (.json or ibnetdiscover-style text)")
+	dotOut := flag.String("dot", "", "write the topology as Graphviz DOT to this file")
+	jsonOut := flag.String("json", "", "write the topology as JSON to this file")
+	netOut := flag.String("net", "", "write the topology in ibnetdiscover-style text to this file")
+	verify := flag.Bool("verify", false, "walk every (switch, LID) pair through the LFTs")
+	flag.Parse()
+
+	var topo *topology.Topology
+	var err error
+	if *load != "" {
+		topo, err = loadTopo(*load)
+	} else {
+		topo, err = buildTopo(*topoKind, *nodes, *switches, *rows, *cols, *cas, *radix, *extra, *seed)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fabric: %s (%s)\n", topo, topo.DegreeSummary())
+
+	eng, err := routing.New(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], eng)
+	if err != nil {
+		fatal(err)
+	}
+	sw, rs, ds, err := mgr.Bootstrap()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("sweep:        %d nodes (%d switches, %d CAs), %d SMPs, %v\n",
+		sw.Nodes, sw.Switches, sw.CAs, sw.SMPs, sw.Duration)
+	fmt.Printf("lids:         %d assigned, top %d, %d LFT blocks/switch\n",
+		mgr.LIDCount(), mgr.TopLID(), mgr.ProgrammedLFT(topo.Switches()[0]).TopPopulatedBlock()+1)
+	fmt.Printf("routing:      engine=%s paths=%d VLs=%d PCt=%v\n",
+		eng.Name(), rs.PathsComputed, rs.VLsUsed, rs.Duration)
+	fmt.Printf("distribution: %d SMPs to %d switches, modelled %v\n",
+		ds.SMPs, ds.SwitchesUpdated, ds.ModelledTime)
+
+	if *verify {
+		tables := map[topology.NodeID]*ib.LFT{}
+		for _, s := range topo.Switches() {
+			tables[s] = mgr.ProgrammedLFT(s)
+		}
+		req := &routing.Request{Topo: topo, Targets: mgr.Targets()}
+		res := &routing.Result{LFTs: tables}
+		if err := routing.Verify(req, res); err != nil {
+			fatal(fmt.Errorf("verification failed: %w", err))
+		}
+		fmt.Println("verify:       every (switch, LID) pair delivers")
+	}
+	if *dotOut != "" {
+		if err := writeFile(*dotOut, topo.WriteDOT); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *dotOut)
+	}
+	if *jsonOut != "" {
+		if err := writeFile(*jsonOut, topo.WriteJSON); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	if *netOut != "" {
+		if err := writeFile(*netOut, topo.WriteNetDiscover); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *netOut)
+	}
+}
+
+func loadTopo(path string) (*topology.Topology, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".json") {
+		return topology.ReadJSON(f)
+	}
+	return topology.ReadNetDiscover(f)
+}
+
+func buildTopo(kind string, nodes, switches, rows, cols, cas, radix, extra int, seed int64) (*topology.Topology, error) {
+	switch kind {
+	case "fattree":
+		return topology.BuildPaperFatTree(nodes)
+	case "ring":
+		return topology.BuildRing(switches, cas)
+	case "mesh":
+		return topology.BuildMesh2D(rows, cols, cas)
+	case "torus":
+		return topology.BuildTorus2D(rows, cols, cas)
+	case "random":
+		return topology.BuildRandom(switches, radix, extra, cas, seed)
+	case "dragonfly":
+		return topology.BuildDragonfly(rows, switches, cas) // rows=groups, switches=per group
+	case "testbed":
+		return topology.BuildTestbed()
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return write(f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command migrate drives live migrations on a simulated vSwitch cloud and
+// prints the SMP trace — the section VII-B workflow end to end.
+//
+// Usage:
+//
+//	migrate -model prepopulated -nodes 324 -vms 8 -migrations 4
+//	migrate -model dynamic -nodes 648 -vms 16 -migrations 8 -minimal
+//	migrate -model shared -vms 4 -migrations 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/core"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+func main() {
+	model := flag.String("model", "prepopulated", "SR-IOV model: shared|prepopulated|dynamic")
+	nodes := flag.Int("nodes", 324, "fat-tree node count (324|648|5832|11664)")
+	vfs := flag.Int("vfs", 4, "VFs per hypervisor")
+	vms := flag.Int("vms", 8, "VMs to create")
+	migrations := flag.Int("migrations", 4, "migrations to perform")
+	minimal := flag.Bool("minimal", false, "use the section VI-D minimal switch updates")
+	trace := flag.Bool("trace", true, "print the SM event log")
+	flag.Parse()
+
+	var m sriov.Model
+	switch *model {
+	case "shared":
+		m = sriov.SharedPort
+	case "prepopulated":
+		m = sriov.VSwitchPrepopulated
+	case "dynamic":
+		m = sriov.VSwitchDynamic
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+
+	topo, err := topology.BuildPaperFatTree(*nodes)
+	if err != nil {
+		fatal(err)
+	}
+	cas := topo.CAs()
+	c, boot, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            m,
+		VFsPerHypervisor: *vfs,
+		Scheduler:        cloud.Spread{},
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if *minimal {
+		c.RC.Scope = core.ScopeMinimal
+	}
+	fmt.Printf("cloud up: %s, model=%s, %d hypervisors, %d VF LIDs prepopulated\n",
+		topo, m, len(c.Hypervisors()), boot.PrepopulatedLIDs)
+	fmt.Printf("bootstrap: PCt=%v, %d distribution SMPs\n", boot.Routing.Duration, boot.Distribution.SMPs)
+
+	for i := 0; i < *vms; i++ {
+		name := fmt.Sprintf("vm%02d", i)
+		if _, err := c.CreateVM(name); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("created %d VMs\n", *vms)
+
+	hyps := c.Hypervisors()
+	done := 0
+	for i := 0; done < *migrations && i < *vms; i++ {
+		name := fmt.Sprintf("vm%02d", i)
+		vm := c.VM(name)
+		if vm == nil {
+			continue
+		}
+		// Pick the farthest hypervisor (highest node id away from current).
+		var dst topology.NodeID = topology.NoNode
+		for j := len(hyps) - 1; j >= 0; j-- {
+			if hyps[j] != vm.Hyp && c.Hypervisor(hyps[j]).HCA.FreeVF() >= 0 {
+				dst = hyps[j]
+				break
+			}
+		}
+		if dst == topology.NoNode {
+			break
+		}
+		rep, err := c.MigrateVM(name, dst)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("migrated %s: node %d -> %d | %d switches, %d LFT SMPs, %d host SMPs, downtime %v, addresses changed: %v\n",
+			name, rep.From, rep.To, rep.Plan.SwitchesUpdated, rep.Plan.SMPs,
+			rep.HostSMPs, rep.Downtime, rep.AddressesChanged)
+		done++
+	}
+
+	fmt.Printf("\ntotal SMP traffic: %s\n", c.SM.Transport.Counters)
+	if *trace {
+		fmt.Println("\nevent log:")
+		for _, e := range c.SM.Log().Events() {
+			fmt.Printf("  [%-10s] %s\n", e.Kind, e.Msg)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "migrate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+// Deadlock demonstrates section VI-C end to end: the Rold/Rnew transition
+// of a migration can close a channel-dependency cycle even when both
+// routings are individually safe; a lossless fabric then stalls, IB
+// timeouts recover by dropping, and the port-255 invalidation mitigation
+// avoids the hazard entirely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ibvsim/internal/experiments"
+)
+
+func main() {
+	rows, err := experiments.Deadlock()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(experiments.RenderDeadlock(rows))
+
+	fmt.Println(`Reading the table:
+  - minhop's CDG on a ring is cyclic; with lossless buffers the all-to-all
+    traffic wedges permanently (Deadlocked=true, nothing drains).
+  - The same fabric with IB timeouts shed packets (Dropped>0) and drains —
+    the recovery the paper's prototype relies on (section VI-C).
+  - dfsssp splits destinations over virtual lanes until every lane's CDG is
+    acyclic: full delivery with zero drops.
+  - up*/down* restricts paths instead: acyclic CDG on one lane.`)
+}

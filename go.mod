@@ -1,0 +1,3 @@
+module ibvsim
+
+go 1.22

@@ -1,0 +1,161 @@
+package cdg
+
+// Ordered is an incrementally maintained acyclic channel dependency graph
+// using the Pearce-Kelly dynamic topological-order algorithm. AddDepChecked
+// rejects (and does not apply) any edge that would close a cycle, in
+// amortised sub-linear time for sparse updates.
+//
+// LASH uses this to test, per source-destination switch pair, whether a
+// path's dependencies fit into an existing virtual-lane layer: millions of
+// trial insertions that would be hopeless with full-graph DFS per check.
+type Ordered struct {
+	ids   map[Channel]int
+	chans []Channel
+	out   []map[int]int // adjacency with edge multiplicity
+	in    []map[int]int
+	ord   []int // topological index per node
+	pos   []int // node at each topological index
+}
+
+// NewOrdered returns an empty incremental CDG.
+func NewOrdered() *Ordered {
+	return &Ordered{ids: map[Channel]int{}}
+}
+
+// NumChannels returns the number of channels seen so far.
+func (o *Ordered) NumChannels() int { return len(o.chans) }
+
+func (o *Ordered) id(c Channel) int {
+	if i, ok := o.ids[c]; ok {
+		return i
+	}
+	i := len(o.chans)
+	o.ids[c] = i
+	o.chans = append(o.chans, c)
+	o.out = append(o.out, map[int]int{})
+	o.in = append(o.in, map[int]int{})
+	o.ord = append(o.ord, i) // new nodes go last in the order
+	o.pos = append(o.pos, i)
+	return i
+}
+
+// AddDepChecked inserts the dependency a -> b unless it would create a
+// cycle. It returns (inserted, acyclic): (true, true) on success,
+// (false, true) if the edge already existed (multiplicity bumped),
+// (false, false) if insertion was refused because it closes a cycle.
+func (o *Ordered) AddDepChecked(a, b Channel) (inserted, acyclic bool) {
+	ai, bi := o.id(a), o.id(b)
+	if ai == bi {
+		return false, false // self-dependency is an immediate cycle
+	}
+	if o.out[ai][bi] > 0 {
+		o.out[ai][bi]++
+		o.in[bi][ai]++
+		return false, true
+	}
+	if o.ord[ai] > o.ord[bi] {
+		// Edge goes against the current order: discover the affected
+		// region and try to reorder.
+		if !o.reorder(ai, bi) {
+			return false, false
+		}
+	}
+	o.out[ai][bi] = 1
+	o.in[bi][ai] = 1
+	return true, true
+}
+
+// RemoveDepChecked undoes one multiplicity of a -> b (used for rollback when
+// a path does not fit a layer). The topological order stays valid: removing
+// edges never invalidates it.
+func (o *Ordered) RemoveDepChecked(a, b Channel) {
+	ai, ok := o.ids[a]
+	if !ok {
+		return
+	}
+	bi, ok := o.ids[b]
+	if !ok {
+		return
+	}
+	if o.out[ai][bi] == 0 {
+		return
+	}
+	o.out[ai][bi]--
+	o.in[bi][ai]--
+	if o.out[ai][bi] == 0 {
+		delete(o.out[ai], bi)
+		delete(o.in[bi], ai)
+	}
+}
+
+// reorder implements the Pearce-Kelly affected-region discovery for a new
+// edge x -> y with ord[x] > ord[y]. It returns false when x is reachable
+// from y (the new edge would close a cycle), true after reindexing.
+func (o *Ordered) reorder(x, y int) bool {
+	lb, ub := o.ord[y], o.ord[x]
+	// Forward DFS from y within (lb, ub]; if we hit x there is a cycle.
+	deltaF := []int{}
+	visited := map[int]bool{y: true}
+	stack := []int{y}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		deltaF = append(deltaF, n)
+		for m := range o.out[n] {
+			if m == x {
+				return false
+			}
+			if !visited[m] && o.ord[m] <= ub {
+				visited[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	// Backward DFS from x within [lb, ub).
+	deltaB := []int{}
+	bvis := map[int]bool{x: true}
+	stack = append(stack[:0], x)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		deltaB = append(deltaB, n)
+		for m := range o.in[n] {
+			if !bvis[m] && !visited[m] && o.ord[m] >= lb {
+				bvis[m] = true
+				stack = append(stack, m)
+			}
+		}
+	}
+	// Reassign the indices used by deltaB ++ deltaF, sorted, to the nodes
+	// in that combined sequence (deltaB first preserves relative order).
+	sortByOrd(o.ord, deltaB)
+	sortByOrd(o.ord, deltaF)
+	nodes := append(deltaB, deltaF...)
+	idxs := make([]int, 0, len(nodes))
+	for _, n := range nodes {
+		idxs = append(idxs, o.ord[n])
+	}
+	sortInts(idxs)
+	for i, n := range nodes {
+		o.ord[n] = idxs[i]
+		o.pos[idxs[i]] = n
+	}
+	return true
+}
+
+func sortByOrd(ord []int, nodes []int) {
+	// insertion sort: affected regions are small in practice
+	for i := 1; i < len(nodes); i++ {
+		for j := i; j > 0 && ord[nodes[j-1]] > ord[nodes[j]]; j-- {
+			nodes[j-1], nodes[j] = nodes[j], nodes[j-1]
+		}
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j-1] > a[j]; j-- {
+			a[j-1], a[j] = a[j], a[j-1]
+		}
+	}
+}

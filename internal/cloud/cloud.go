@@ -1,0 +1,380 @@
+// Package cloud is the orchestration layer of the reproduction: the
+// OpenStack-analogue of the paper's testbed (section VII). It owns
+// hypervisors with SR-IOV HCAs, schedules VMs onto VFs, and drives the
+// four-step live-migration workflow of section VII-B:
+//
+//  1. the SR-IOV VF is detached from the VM and the live migration starts,
+//  2. the orchestrator signals the SM with the VM and destination,
+//  3. the SM reconfigures the fabric (LID swap or copy, vGUID transfer),
+//  4. the VF holding the VM's addresses is attached at the destination.
+//
+// All three SR-IOV models are supported so the experiments can contrast
+// them: Shared Port migrations change the VM's LID (staling peer caches),
+// vSwitch migrations carry the full address set.
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ibvsim/internal/core"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sa"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// Hypervisor is one compute node.
+type Hypervisor struct {
+	Node topology.NodeID
+	HCA  *sriov.HCA
+}
+
+// VM is a scheduled virtual machine.
+type VM struct {
+	Name string
+	Hyp  topology.NodeID
+	VF   int
+	Addr sriov.Addresses
+}
+
+// Config parameterises a cloud.
+type Config struct {
+	Model            sriov.Model
+	VFsPerHypervisor int
+	Engine           routing.Engine
+	Scheduler        Scheduler
+}
+
+// Cloud is the orchestrator.
+type Cloud struct {
+	SM    *sm.SubnetManager
+	RC    *core.Reconfigurator
+	SA    *sa.Service
+	Model sriov.Model
+
+	hyps     map[topology.NodeID]*Hypervisor
+	hypOrder []topology.NodeID
+	vms      map[string]*VM
+	sched    Scheduler
+	nextGUID ib.GUID
+}
+
+// allocGUID returns a fresh subnet-unique vGUID for a VM. Unlike per-VF
+// default GUIDs, per-VM GUIDs stay unique when VMs migrate away and new
+// VMs reuse the freed VF.
+func (c *Cloud) allocGUID() ib.GUID {
+	c.nextGUID++
+	return c.nextGUID
+}
+
+// BootstrapReport carries the subnet bring-up statistics.
+type BootstrapReport struct {
+	Sweep        sm.SweepStats
+	Routing      routing.Stats
+	Distribution sm.DistributionStats
+	// PrepopulatedLIDs is how many VF LIDs were reserved up front (only
+	// for the prepopulated model).
+	PrepopulatedLIDs int
+}
+
+// New builds a cloud on the topology: the SM runs on smNode, every node in
+// hypNodes becomes a hypervisor with cfg.VFsPerHypervisor VFs, and the
+// subnet is bootstrapped (for the prepopulated model the VF LIDs are
+// reserved before path computation, so the initial routing covers them —
+// the section V-A cost).
+func New(topo *topology.Topology, smNode topology.NodeID, hypNodes []topology.NodeID, cfg Config) (*Cloud, BootstrapReport, error) {
+	var rep BootstrapReport
+	if cfg.VFsPerHypervisor < 1 {
+		return nil, rep, fmt.Errorf("cloud: need >= 1 VF per hypervisor")
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = routing.NewMinHop()
+	}
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = FirstFit{}
+	}
+	mgr, err := sm.New(topo, smNode, cfg.Engine)
+	if err != nil {
+		return nil, rep, err
+	}
+	c := &Cloud{
+		SM:       mgr,
+		RC:       core.NewReconfigurator(mgr),
+		SA:       sa.NewService(),
+		Model:    cfg.Model,
+		hyps:     map[topology.NodeID]*Hypervisor{},
+		vms:      map[string]*VM{},
+		sched:    cfg.Scheduler,
+		nextGUID: 0x9000_0000_0000_0000,
+	}
+
+	if rep.Sweep, err = mgr.Sweep(); err != nil {
+		return nil, rep, err
+	}
+	if err := mgr.AssignLIDs(); err != nil {
+		return nil, rep, err
+	}
+
+	for _, hn := range hypNodes {
+		n := topo.Node(hn)
+		if n == nil || n.IsSwitch() {
+			return nil, rep, fmt.Errorf("cloud: hypervisor %d must be a CA", hn)
+		}
+		hca, err := sriov.NewHCA(cfg.Model, hn, n.GUID, mgr.LIDOf(hn), cfg.VFsPerHypervisor)
+		if err != nil {
+			return nil, rep, err
+		}
+		c.hyps[hn] = &Hypervisor{Node: hn, HCA: hca}
+		c.hypOrder = append(c.hypOrder, hn)
+	}
+	sort.Slice(c.hypOrder, func(i, j int) bool { return c.hypOrder[i] < c.hypOrder[j] })
+
+	if cfg.Model == sriov.VSwitchPrepopulated {
+		// Reserve one LID per VF before computing paths.
+		for _, hn := range c.hypOrder {
+			h := c.hyps[hn]
+			for vf := 0; vf < h.HCA.NumVFs(); vf++ {
+				lid, err := mgr.AllocExtraLID(hn)
+				if err != nil {
+					return nil, rep, fmt.Errorf("cloud: prepopulating VF LIDs: %w", err)
+				}
+				if err := h.HCA.SetVFLID(vf, lid); err != nil {
+					return nil, rep, err
+				}
+				rep.PrepopulatedLIDs++
+			}
+		}
+	}
+
+	rs, err := mgr.ComputeRoutes()
+	if err != nil {
+		return nil, rep, err
+	}
+	rep.Routing = rs
+	if rep.Distribution, err = mgr.DistributeDiff(); err != nil {
+		return nil, rep, err
+	}
+	return c, rep, nil
+}
+
+// Hypervisors returns the hypervisor nodes in ascending order.
+func (c *Cloud) Hypervisors() []topology.NodeID { return c.hypOrder }
+
+// Hypervisor returns one hypervisor (nil if unknown).
+func (c *Cloud) Hypervisor(n topology.NodeID) *Hypervisor { return c.hyps[n] }
+
+// VMs returns the VM names in lexical order.
+func (c *Cloud) VMs() []string {
+	names := make([]string, 0, len(c.vms))
+	for n := range c.vms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// VM returns a VM by name (nil if unknown).
+func (c *Cloud) VM(name string) *VM { return c.vms[name] }
+
+// VMCountOn returns the number of VMs on a hypervisor.
+func (c *Cloud) VMCountOn(n topology.NodeID) int {
+	h := c.hyps[n]
+	if h == nil {
+		return 0
+	}
+	return len(h.HCA.AttachedVFs())
+}
+
+// CreateVM schedules a VM through the configured scheduler.
+func (c *Cloud) CreateVM(name string) (*VM, error) {
+	hyp, err := c.sched.Place(c)
+	if err != nil {
+		return nil, err
+	}
+	return c.CreateVMOn(name, hyp)
+}
+
+// CreateVMOn places a VM on a specific hypervisor.
+func (c *Cloud) CreateVMOn(name string, hyp topology.NodeID) (*VM, error) {
+	if _, ok := c.vms[name]; ok {
+		return nil, fmt.Errorf("cloud: VM %q already exists", name)
+	}
+	h := c.hyps[hyp]
+	if h == nil {
+		return nil, fmt.Errorf("cloud: node %d is not a hypervisor", hyp)
+	}
+	vf := h.HCA.FreeVF()
+	if vf < 0 {
+		return nil, fmt.Errorf("cloud: hypervisor %d has no free VF", hyp)
+	}
+	if c.Model == sriov.VSwitchDynamic {
+		boot, err := c.RC.BootVMLID(hyp)
+		if err != nil {
+			return nil, err
+		}
+		if err := h.HCA.SetVFLID(vf, boot.LID); err != nil {
+			return nil, err
+		}
+	}
+	if err := h.HCA.SetVFGUID(vf, c.allocGUID()); err != nil {
+		return nil, err
+	}
+	if err := h.HCA.Attach(vf); err != nil {
+		return nil, err
+	}
+	addr, err := h.HCA.VFAddresses(vf)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{Name: name, Hyp: hyp, VF: vf, Addr: addr}
+	c.vms[name] = vm
+	c.SA.Register(addr.GID, sa.PathRecord{DLID: addr.LID})
+	c.SM.Log().Addf(sm.EvVM, "created VM %q on node %d VF %d (LID %d)", name, hyp, vf, addr.LID)
+	return vm, nil
+}
+
+// DestroyVM removes a VM, releasing its VF (and, under dynamic assignment,
+// its LID).
+func (c *Cloud) DestroyVM(name string) error {
+	vm, ok := c.vms[name]
+	if !ok {
+		return fmt.Errorf("cloud: no VM %q", name)
+	}
+	h := c.hyps[vm.Hyp]
+	if err := h.HCA.Detach(vm.VF); err != nil {
+		return err
+	}
+	if c.Model == sriov.VSwitchDynamic {
+		if _, err := c.RC.DestroyVMLID(vm.Addr.LID); err != nil {
+			return err
+		}
+		if err := h.HCA.SetVFLID(vm.VF, ib.LIDUnassigned); err != nil {
+			return err
+		}
+	}
+	c.SA.Unregister(vm.Addr.GID)
+	delete(c.vms, name)
+	c.SM.Log().Addf(sm.EvVM, "destroyed VM %q", name)
+	return nil
+}
+
+// MigrationReport describes one live migration.
+type MigrationReport struct {
+	VM       string
+	From, To topology.NodeID
+	Plan     core.PlanStats
+	HostSMPs int
+	// AddressesChanged is true when the VM's LID differs after migration
+	// (always the case under Shared Port, never under vSwitch).
+	AddressesChanged bool
+	// Downtime is the modelled network downtime: the reconfiguration time
+	// (the VM memory copy overlaps it and is not modelled here).
+	Downtime time.Duration
+}
+
+// MigrateVM performs the four-step workflow of section VII-B.
+func (c *Cloud) MigrateVM(name string, dst topology.NodeID) (MigrationReport, error) {
+	var rep MigrationReport
+	vm, ok := c.vms[name]
+	if !ok {
+		return rep, fmt.Errorf("cloud: no VM %q", name)
+	}
+	dstH := c.hyps[dst]
+	if dstH == nil {
+		return rep, fmt.Errorf("cloud: destination %d is not a hypervisor", dst)
+	}
+	if dst == vm.Hyp {
+		return rep, fmt.Errorf("cloud: VM %q is already on node %d", name, dst)
+	}
+	srcH := c.hyps[vm.Hyp]
+	dstVF := dstH.HCA.FreeVF()
+	if dstVF < 0 {
+		return rep, fmt.Errorf("cloud: destination %d has no free VF", dst)
+	}
+	rep.VM, rep.From, rep.To = name, vm.Hyp, dst
+
+	// Step 1: detach the VF; the (modelled) memory copy begins.
+	if err := srcH.HCA.Detach(vm.VF); err != nil {
+		return rep, err
+	}
+	// Step 2: signal the SM (the OpenStack -> OpenSM side channel).
+	c.SM.Log().Addf(sm.EvMigration, "signal: migrate %q from %d to %d", name, vm.Hyp, dst)
+
+	// Step 3: reconfigure the fabric.
+	switch c.Model {
+	case sriov.VSwitchPrepopulated:
+		destLID := dstH.HCA.VFs[dstVF].LID
+		plan, err := c.RC.PlanSwap(vm.Addr.LID, destLID)
+		if err != nil {
+			return rep, err
+		}
+		if rep.Plan, err = c.RC.Apply(plan); err != nil {
+			return rep, err
+		}
+		// The LIDs physically swap between the two VFs.
+		if err := srcH.HCA.SetVFLID(vm.VF, destLID); err != nil {
+			return rep, err
+		}
+		if err := dstH.HCA.SetVFLID(dstVF, vm.Addr.LID); err != nil {
+			return rep, err
+		}
+	case sriov.VSwitchDynamic:
+		plan, err := c.RC.PlanCopy(vm.Addr.LID, c.SM.LIDOf(dst))
+		if err != nil {
+			return rep, err
+		}
+		if rep.Plan, err = c.RC.Apply(plan); err != nil {
+			return rep, err
+		}
+		if err := srcH.HCA.SetVFLID(vm.VF, ib.LIDUnassigned); err != nil {
+			return rep, err
+		}
+		if err := dstH.HCA.SetVFLID(dstVF, vm.Addr.LID); err != nil {
+			return rep, err
+		}
+	case sriov.SharedPort:
+		// No LFT change: the VM adopts the destination PF's LID, breaking
+		// its address stability (the architecture's core limitation).
+		rep.AddressesChanged = true
+	default:
+		return rep, fmt.Errorf("cloud: unknown SR-IOV model %v", c.Model)
+	}
+
+	// The vGUID travels with the VM in every model.
+	hostSMPs, err := c.RC.MigrateAddresses(vm.Hyp, dst, vm.Addr.GUID)
+	if err != nil {
+		return rep, err
+	}
+	rep.HostSMPs = hostSMPs
+	if err := srcH.HCA.SetVFGUID(vm.VF, srcH.HCA.PFGUID+ib.GUID(vm.VF+1)); err != nil {
+		return rep, err
+	}
+	if err := dstH.HCA.SetVFGUID(dstVF, vm.Addr.GUID); err != nil {
+		return rep, err
+	}
+
+	// Step 4: attach the VF at the destination.
+	if err := dstH.HCA.Attach(dstVF); err != nil {
+		return rep, err
+	}
+	vm.Hyp, vm.VF = dst, dstVF
+	newAddr, err := dstH.HCA.VFAddresses(dstVF)
+	if err != nil {
+		return rep, err
+	}
+	if newAddr.LID != vm.Addr.LID {
+		rep.AddressesChanged = true
+		if err := c.SA.Rebind(vm.Addr.GID, newAddr.LID); err != nil {
+			return rep, err
+		}
+	}
+	vm.Addr = newAddr
+	rep.Downtime = rep.Plan.ModelledTime
+	c.SM.Log().Addf(sm.EvMigration, "migrated %q to node %d (LID %d, addresses changed: %v)",
+		name, dst, vm.Addr.LID, rep.AddressesChanged)
+	return rep, nil
+}

@@ -1,0 +1,45 @@
+package cloud_test
+
+import (
+	"fmt"
+	"log"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// Example shows the complete life of a VM on a vSwitch-enabled subnet:
+// boot the cloud, create a VM (dynamic LID assignment), live-migrate it
+// with the paper's reconfiguration, and observe that the addresses
+// travelled with it.
+func Example() {
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            sriov.VSwitchDynamic,
+		VFsPerHypervisor: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vm, err := c.CreateVM("demo")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lidBefore := vm.Addr.LID
+	rep, err := c.MigrateVM("demo", c.Hypervisors()[100])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("addresses changed: %v\n", rep.AddressesChanged)
+	fmt.Printf("LID preserved: %v\n", vm.Addr.LID == lidBefore)
+	fmt.Printf("SMPs within Table I worst case (72): %v\n", rep.Plan.SMPs <= 72)
+	// Output:
+	// addresses changed: false
+	// LID preserved: true
+	// SMPs within Table I worst case (72): true
+}

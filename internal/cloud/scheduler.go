@@ -1,0 +1,231 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ibvsim/internal/core"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// Scheduler picks a hypervisor for a new VM.
+type Scheduler interface {
+	// Place returns the hypervisor to host the next VM.
+	Place(c *Cloud) (topology.NodeID, error)
+}
+
+// FirstFit picks the lowest-numbered hypervisor with a free VF.
+type FirstFit struct{}
+
+// Place implements Scheduler.
+func (FirstFit) Place(c *Cloud) (topology.NodeID, error) {
+	for _, hn := range c.hypOrder {
+		if c.hyps[hn].HCA.FreeVF() >= 0 {
+			return hn, nil
+		}
+	}
+	return topology.NoNode, fmt.Errorf("cloud: no hypervisor has a free VF")
+}
+
+// Spread picks the hypervisor with the fewest VMs (ties to the lowest node
+// ID) — the availability-oriented policy.
+type Spread struct{}
+
+// Place implements Scheduler.
+func (Spread) Place(c *Cloud) (topology.NodeID, error) {
+	best := topology.NoNode
+	bestCount := int(^uint(0) >> 1)
+	for _, hn := range c.hypOrder {
+		h := c.hyps[hn]
+		if h.HCA.FreeVF() < 0 {
+			continue
+		}
+		if n := len(h.HCA.AttachedVFs()); n < bestCount {
+			best, bestCount = hn, n
+		}
+	}
+	if best == topology.NoNode {
+		return best, fmt.Errorf("cloud: no hypervisor has a free VF")
+	}
+	return best, nil
+}
+
+// Pack picks the most loaded hypervisor that still has a free VF — the
+// consolidation-oriented policy.
+type Pack struct{}
+
+// Place implements Scheduler.
+func (Pack) Place(c *Cloud) (topology.NodeID, error) {
+	best := topology.NoNode
+	bestCount := -1
+	for _, hn := range c.hypOrder {
+		h := c.hyps[hn]
+		if h.HCA.FreeVF() < 0 {
+			continue
+		}
+		if n := len(h.HCA.AttachedVFs()); n > bestCount {
+			best, bestCount = hn, n
+		}
+	}
+	if best == topology.NoNode {
+		return best, fmt.Errorf("cloud: no hypervisor has a free VF")
+	}
+	return best, nil
+}
+
+// Move is one step of a defragmentation plan.
+type Move struct {
+	VM string
+	To topology.NodeID
+}
+
+// DefragPlan computes the migrations that consolidate VMs onto as few
+// hypervisors as possible: hosts are sorted by load, and VMs from the
+// emptiest hosts move into free VFs of the fullest. This is the paper's
+// motivating scenario for cheap migrations — "optimization of fragmented
+// networks" (section V-B).
+func (c *Cloud) DefragPlan() []Move {
+	type load struct {
+		node topology.NodeID
+		vms  int
+		free int
+	}
+	loads := make([]load, 0, len(c.hypOrder))
+	for _, hn := range c.hypOrder {
+		h := c.hyps[hn]
+		loads = append(loads, load{hn, len(h.HCA.AttachedVFs()), 0})
+	}
+	for i := range loads {
+		h := c.hyps[loads[i].node]
+		loads[i].free = h.HCA.NumVFs() - loads[i].vms
+	}
+	sort.Slice(loads, func(i, j int) bool {
+		if loads[i].vms != loads[j].vms {
+			return loads[i].vms > loads[j].vms // fullest first
+		}
+		return loads[i].node < loads[j].node
+	})
+
+	// VMs per host, emptiest hosts donate first.
+	vmsOn := map[topology.NodeID][]string{}
+	for _, name := range c.VMs() {
+		vm := c.vms[name]
+		vmsOn[vm.Hyp] = append(vmsOn[vm.Hyp], name)
+	}
+
+	var moves []Move
+	freeLeft := map[topology.NodeID]int{}
+	for _, l := range loads {
+		freeLeft[l.node] = l.free
+	}
+	donated := map[topology.NodeID]int{}
+	for di := len(loads) - 1; di > 0; di-- {
+		donor := loads[di]
+		if donor.vms == 0 {
+			continue
+		}
+		for _, name := range vmsOn[donor.node] {
+			// Find the fullest receiver with space that is not the donor
+			// and would end up strictly fuller than the donor.
+			for ri := 0; ri < di; ri++ {
+				recv := loads[ri]
+				if recv.node == donor.node || freeLeft[recv.node] <= 0 {
+					continue
+				}
+				moves = append(moves, Move{VM: name, To: recv.node})
+				freeLeft[recv.node]--
+				donated[donor.node]++
+				break
+			}
+		}
+		if donated[donor.node] < len(vmsOn[donor.node]) {
+			break // receivers exhausted
+		}
+	}
+	return moves
+}
+
+// BatchReport summarises ExecuteMoves.
+type BatchReport struct {
+	Reports []MigrationReport
+	// Batches is the number of sequential rounds after grouping
+	// non-interfering migrations to run concurrently (section VI-D).
+	Batches int
+	// ModelledTime sums the per-batch maxima: concurrent migrations cost
+	// the slowest member, sequential batches add up.
+	ModelledTime time.Duration
+}
+
+// ExecuteMoves runs a set of migrations, grouping plans that touch disjoint
+// switch sets into concurrent batches. Plans are (re)computed per batch
+// because each applied migration changes the LFT state.
+func (c *Cloud) ExecuteMoves(moves []Move) (BatchReport, error) {
+	var rep BatchReport
+	pendingMoves := append([]Move(nil), moves...)
+	for len(pendingMoves) > 0 {
+		// Plan each pending move against current state; greedily take a
+		// set of pairwise non-interfering plans.
+		type cand struct {
+			move Move
+			plan *core.MigrationPlan
+		}
+		var batch []cand
+		var rest []Move
+		for _, mv := range pendingMoves {
+			vm := c.vms[mv.VM]
+			if vm == nil {
+				return rep, fmt.Errorf("cloud: no VM %q", mv.VM)
+			}
+			var plan *core.MigrationPlan
+			var err error
+			switch c.Model {
+			case sriov.VSwitchPrepopulated:
+				dstH := c.hyps[mv.To]
+				if dstH == nil {
+					return rep, fmt.Errorf("cloud: bad destination %d", mv.To)
+				}
+				vf := dstH.HCA.FreeVF()
+				if vf < 0 {
+					return rep, fmt.Errorf("cloud: destination %d full", mv.To)
+				}
+				plan, err = c.RC.PlanSwap(vm.Addr.LID, dstH.HCA.VFs[vf].LID)
+			case sriov.VSwitchDynamic:
+				plan, err = c.RC.PlanCopy(vm.Addr.LID, c.SM.LIDOf(mv.To))
+			default:
+				plan = &core.MigrationPlan{} // Shared Port: no LFT updates
+			}
+			if err != nil {
+				return rep, err
+			}
+			conflict := false
+			for _, b := range batch {
+				if core.Interferes(plan, b.plan) {
+					conflict = true
+					break
+				}
+			}
+			if conflict {
+				rest = append(rest, mv)
+			} else {
+				batch = append(batch, cand{mv, plan})
+			}
+		}
+		var batchMax time.Duration
+		for _, b := range batch {
+			mr, err := c.MigrateVM(b.move.VM, b.move.To)
+			if err != nil {
+				return rep, err
+			}
+			rep.Reports = append(rep.Reports, mr)
+			if mr.Downtime > batchMax {
+				batchMax = mr.Downtime
+			}
+		}
+		rep.Batches++
+		rep.ModelledTime += batchMax
+		pendingMoves = rest
+	}
+	return rep, nil
+}

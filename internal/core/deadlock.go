@@ -1,0 +1,105 @@
+package core
+
+import (
+	"ibvsim/internal/cdg"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// TransitionReport is the outcome of a section VI-C analysis: whether the
+// union of old and new routing functions is deadlock free while a plan is
+// being applied switch by switch.
+type TransitionReport struct {
+	OldAcyclic   bool
+	NewAcyclic   bool
+	UnionAcyclic bool
+	// Cycle holds one dependency cycle of the union when UnionAcyclic is
+	// false (first channel repeated at the end).
+	Cycle []cdg.Channel
+}
+
+// Deadlocks reports whether the transition itself is hazardous: both
+// endpoint routings are safe but their coexistence is not.
+func (t TransitionReport) Deadlocks() bool {
+	return t.OldAcyclic && t.NewAcyclic && !t.UnionAcyclic
+}
+
+// RoutesView is the narrow subnet-manager surface the transition analysis
+// needs; *sm.SubnetManager satisfies it.
+type RoutesView interface {
+	SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum
+	NodeOfLID(l ib.LID) topology.NodeID
+}
+
+// overlayRoutes exposes programmed LFTs with a plan's updates overlaid.
+type overlayRoutes struct {
+	mgr     RoutesView
+	updates map[topology.NodeID]map[ib.LID]ib.PortNum
+	moved   map[ib.LID]topology.NodeID // post-plan LID locations
+}
+
+func (o *overlayRoutes) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum {
+	if o.updates != nil {
+		if m, ok := o.updates[sw]; ok {
+			if p, ok := m[dlid]; ok {
+				return p
+			}
+		}
+	}
+	return o.mgr.SwitchRoute(sw, dlid)
+}
+
+func (o *overlayRoutes) NodeOf(l ib.LID) topology.NodeID {
+	if o.moved != nil {
+		if n, ok := o.moved[l]; ok {
+			return n
+		}
+	}
+	return o.mgr.NodeOfLID(l)
+}
+
+// AnalyzeTransition builds three CDGs — the current routing, the routing
+// after the plan, and their union (the state mid-reconfiguration, when some
+// switches hold Rold and others Rnew) — over the given destination LIDs and
+// reports acyclicity of each. The union captures exactly the hazard of
+// section VI-C: a moved node ID can close a dependency cycle even when both
+// endpoint routings are individually deadlock free.
+func (r *Reconfigurator) AnalyzeTransition(plan *MigrationPlan, dlids []ib.LID) TransitionReport {
+	return AnalyzeTransition(r.SM.Topo, r.SM, plan, dlids)
+}
+
+// AnalyzeTransition is the standalone form of the section VI-C analysis,
+// usable against any routing state.
+func AnalyzeTransition(topo *topology.Topology, view RoutesView, plan *MigrationPlan, dlids []ib.LID) TransitionReport {
+	// Post-plan LID locations: the VM LID moves to the peer's node, and
+	// for a swap the peer LID moves back to the VM's node.
+	moved := map[ib.LID]topology.NodeID{
+		plan.VMLID: view.NodeOfLID(plan.PeerLID),
+	}
+	if plan.Kind == PlanSwap {
+		moved[plan.PeerLID] = view.NodeOfLID(plan.VMLID)
+	}
+
+	oldR := &overlayRoutes{mgr: view}
+	newR := &overlayRoutes{mgr: view, updates: plan.Updates, moved: moved}
+
+	gOld := cdg.BuildFromLFTs(topo, oldR, dlids)
+	gNew := cdg.BuildFromLFTs(topo, newR, dlids)
+
+	// A packet in flight may hold channels granted under Rold while
+	// requesting channels under Rnew, so the union of the two CDGs
+	// over-approximates the reachable transition states — the standard
+	// Duato safety condition the paper invokes.
+	union := cdg.Union(gOld, gNew)
+
+	rep := TransitionReport{
+		OldAcyclic:   !gOld.HasCycle(),
+		NewAcyclic:   !gNew.HasCycle(),
+		UnionAcyclic: true,
+	}
+	if cyc := union.FindCycle(); cyc != nil {
+		rep.UnionAcyclic = false
+		rep.Cycle = cyc
+	}
+	return rep
+}

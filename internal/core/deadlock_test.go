@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// stubRoutes implements RoutesView from explicit maps.
+type stubRoutes struct {
+	routes map[topology.NodeID]map[ib.LID]ib.PortNum
+	owner  map[ib.LID]topology.NodeID
+}
+
+func (s *stubRoutes) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum {
+	if m, ok := s.routes[sw]; ok {
+		if p, ok := m[dlid]; ok {
+			return p
+		}
+	}
+	return ib.DropPort
+}
+
+func (s *stubRoutes) NodeOfLID(l ib.LID) topology.NodeID {
+	if n, ok := s.owner[l]; ok {
+		return n
+	}
+	return topology.NoNode
+}
+
+// TestTransitionDeadlockOnRing reproduces the section VI-C hazard: two
+// routing functions that are each deadlock free, whose coexistence during
+// a migration closes a channel-dependency cycle.
+//
+// Ring s0 -> s1 -> s2 -> s3 -> s0 (port 1 = clockwise, port 2 =
+// counter-clockwise). CAs: ca1 on s2 (LID 1, the migrating VM), ca2 on s3
+// (LID 2), ca3 on s1 (LID 3), ca4 on s0 (LID 4, the destination
+// hypervisor).
+//
+// Old routing deps: LID1 (s0->s1->s2) gives c01->c12; LID2 (s1->s2->s3)
+// gives c12->c23; LID3 (s3->s0->s1) gives c30->c01. Acyclic chain.
+// The migration moves LID1 to ca4 on s0 and reroutes it clockwise
+// s2->s3->s0, adding c23->c30. New routing alone is the acyclic chain
+// c12->c23->c30->c01; the union closes the four-cycle.
+func TestTransitionDeadlockOnRing(t *testing.T) {
+	topo, err := topology.BuildRing(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := topo.Switches() // s0..s3; port 1 -> next, port 2 -> previous
+	cas := topo.CAs()     // ringnode-i-0 attached to sw[i] port 3
+	ca := func(i int) topology.NodeID {
+		for _, c := range cas {
+			if topo.LeafSwitchOf(c) == sw[i] {
+				return c
+			}
+		}
+		t.Fatalf("no CA on switch %d", i)
+		return topology.NoNode
+	}
+	ca1, ca2, ca3, ca4 := ca(2), ca(3), ca(1), ca(0)
+
+	caPort := func(i int) ib.PortNum { return topo.PortToward(sw[i], ca(i)) }
+
+	routes := &stubRoutes{
+		routes: map[topology.NodeID]map[ib.LID]ib.PortNum{
+			sw[0]: {1: 1, 2: 2, 3: 1, 4: caPort(0)}, // LID1 clockwise to s1; LID3 clockwise to s1
+			sw[1]: {1: 1, 2: 1, 3: caPort(1), 4: 2},
+			sw[2]: {1: caPort(2), 2: 1, 3: 2, 4: 1}, // LID4 via s3 (clockwise)
+			sw[3]: {1: 2, 2: caPort(3), 3: 1, 4: 1}, // LID3 clockwise to s0
+		},
+		owner: map[ib.LID]topology.NodeID{1: ca1, 2: ca2, 3: ca3, 4: ca4},
+	}
+
+	// The copy-style plan: LID1 follows LID4's routes to ca4 on s0.
+	plan := &MigrationPlan{
+		Kind:    PlanCopy,
+		VMLID:   1,
+		PeerLID: 4,
+		Updates: map[topology.NodeID]map[ib.LID]ib.PortNum{
+			sw[2]: {1: 1},         // s2 -> s3 (clockwise)
+			sw[3]: {1: 1},         // s3 -> s0 (clockwise)
+			sw[1]: {1: 2},         // s1 -> s0 (counter-clockwise, harmless)
+			sw[0]: {1: caPort(0)}, // deliver to ca4
+		},
+	}
+
+	rep := AnalyzeTransition(topo, routes, plan, []ib.LID{1, 2, 3})
+	if !rep.OldAcyclic {
+		t.Error("old routing should be deadlock free")
+	}
+	if !rep.NewAcyclic {
+		t.Error("new routing should be deadlock free")
+	}
+	if rep.UnionAcyclic {
+		t.Error("the transition union must contain a cycle")
+	}
+	if !rep.Deadlocks() {
+		t.Error("Deadlocks() should report the VI-C hazard")
+	}
+	if len(rep.Cycle) < 4 {
+		t.Errorf("expected a cycle of >= 4 channels, got %v", rep.Cycle)
+	}
+}
+
+// TestTransitionSafeOnFatTree checks the complementary case: swap
+// reconfiguration on a fat-tree keeps the union acyclic (up-down routes
+// cannot close cycles).
+func TestTransitionSafeOnFatTree(t *testing.T) {
+	mgr, rc, _, vfs := fig5Fabric(t, 20)
+	plan, err := rc.PlanSwap(vfs[0][0], vfs[2][0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dlids []ib.LID
+	for _, tg := range mgr.Targets() {
+		dlids = append(dlids, tg.LID)
+	}
+	rep := rc.AnalyzeTransition(plan, dlids)
+	if !rep.OldAcyclic || !rep.NewAcyclic || !rep.UnionAcyclic {
+		t.Errorf("fat-tree swap transition should be fully safe: %+v", rep)
+	}
+	if rep.Deadlocks() {
+		t.Error("no deadlock expected")
+	}
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"ibvsim/internal/core"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/topology"
+)
+
+// Example demonstrates the dynamic-LID fast paths of sections V-B and
+// V-C2 against a bare subnet manager: booting a VM LID costs at most one
+// SMP per switch and zero path computation; migrating it re-points one
+// LFT entry per switch.
+func Example() {
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, _, _, err := mgr.Bootstrap(); err != nil {
+		log.Fatal(err)
+	}
+
+	rc := core.NewReconfigurator(mgr)
+	hypA, hypB := topo.CAs()[1], topo.CAs()[200]
+
+	boot, err := rc.BootVMLID(hypA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("boot: %d SMPs for %d switches\n", boot.SMPs, topo.NumSwitches())
+
+	plan, err := rc.PlanCopy(boot.LID, mgr.LIDOf(hypB))
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := rc.Apply(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("migrate: %d SMPs, VM LID now owned by hypB: %v\n",
+		st.SMPs, mgr.NodeOfLID(boot.LID) == hypB)
+	// Output:
+	// boot: 36 SMPs for 36 switches
+	// migrate: 36 SMPs, VM LID now owned by hypB: true
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// BalanceRow quantifies the trade-off of sections V-A/V-B: the swap
+// reconfiguration preserves the initial routing's trunk balance through
+// arbitrary migration churn, while the copy reconfiguration (dynamic LIDs)
+// lets VM LIDs pile onto their hypervisors' paths.
+type BalanceRow struct {
+	Model          sriov.Model
+	Migrations     int
+	SpreadInitial  float64
+	SpreadAfter    float64
+	LoadsPreserved bool // per-switch egress load multisets unchanged
+}
+
+// BalanceDrift measures trunk-load spread before and after a burst of
+// random migrations, per vSwitch model, on the 324-node fabric.
+func BalanceDrift(migrations int, seed int64) ([]BalanceRow, error) {
+	var rows []BalanceRow
+	for _, model := range []sriov.Model{sriov.VSwitchPrepopulated, sriov.VSwitchDynamic} {
+		topo, err := topology.BuildPaperFatTree(324)
+		if err != nil {
+			return nil, err
+		}
+		cas := topo.CAs()
+		c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+			Model:            model,
+			VFsPerHypervisor: 2,
+			Scheduler:        cloud.Spread{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < 32; i++ {
+			if _, err := c.CreateVM(fmt.Sprintf("vm%02d", i)); err != nil {
+				return nil, err
+			}
+		}
+		lfts := func() map[topology.NodeID]*ib.LFT {
+			m := map[topology.NodeID]*ib.LFT{}
+			for _, sw := range topo.Switches() {
+				m[sw] = c.SM.ProgrammedLFT(sw)
+			}
+			return m
+		}
+		targets := c.SM.Targets()
+		before := routing.PortLoads(topo, lfts(), targets)
+		spreadBefore := routing.InterSwitchSpread(topo, before)
+
+		rng := rand.New(rand.NewSource(seed))
+		hyps := c.Hypervisors()
+		done := 0
+		for done < migrations {
+			name := fmt.Sprintf("vm%02d", rng.Intn(32))
+			vm := c.VM(name)
+			dst := hyps[rng.Intn(len(hyps))]
+			if vm == nil || dst == vm.Hyp || c.Hypervisor(dst).HCA.FreeVF() < 0 {
+				continue
+			}
+			if _, err := c.MigrateVM(name, dst); err != nil {
+				return nil, err
+			}
+			done++
+		}
+		after := routing.PortLoads(topo, lfts(), targets)
+		row := BalanceRow{
+			Model:          model,
+			Migrations:     done,
+			SpreadInitial:  spreadBefore,
+			SpreadAfter:    routing.InterSwitchSpread(topo, after),
+			LoadsPreserved: loadsEqual(before, after),
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// loadsEqual compares per-switch, per-port load vectors.
+func loadsEqual(a, b map[topology.NodeID][]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for sw, la := range a {
+		lb, ok := b[sw]
+		if !ok || len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RenderBalance formats the comparison.
+func RenderBalance(rows []BalanceRow) string {
+	t := &table{header: []string{"Model", "Migrations", "Trunk spread before", "after", "Loads preserved"}}
+	for _, r := range rows {
+		t.add(r.Model.String(), fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%.3f", r.SpreadInitial), fmt.Sprintf("%.3f", r.SpreadAfter),
+			fmt.Sprintf("%v", r.LoadsPreserved))
+	}
+	return "Section V — trunk balance under migration churn: swap preserves it, copy drifts\n" + t.String()
+}

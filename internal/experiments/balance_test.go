@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+func TestBalanceDrift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 x 30 migrations on 324-node clouds")
+	}
+	rows, err := BalanceDrift(30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var swap, cp BalanceRow
+	for _, r := range rows {
+		if r.Model == sriov.VSwitchPrepopulated {
+			swap = r
+		} else {
+			cp = r
+		}
+	}
+	// Section V-C1: the swap keeps every switch's egress load vector
+	// bit-identical through arbitrary churn.
+	if !swap.LoadsPreserved {
+		t.Error("swap reconfiguration must preserve per-port loads exactly")
+	}
+	if swap.SpreadAfter != swap.SpreadInitial {
+		t.Errorf("swap trunk spread drifted: %.3f -> %.3f", swap.SpreadInitial, swap.SpreadAfter)
+	}
+	// Section V-B: dynamic/copy compromises balancing — VM LIDs follow
+	// their hypervisors' single path.
+	if cp.LoadsPreserved {
+		t.Error("copy reconfiguration cannot preserve loads exactly")
+	}
+	if cp.SpreadAfter <= cp.SpreadInitial {
+		t.Errorf("copy trunk spread should grow: %.3f -> %.3f", cp.SpreadInitial, cp.SpreadAfter)
+	}
+	if !strings.Contains(RenderBalance(rows), "preserved") {
+		t.Error("render missing content")
+	}
+}
+
+func TestLoadsEqual(t *testing.T) {
+	a := map[topology.NodeID][]int{1: {0, 2, 3}}
+	b := map[topology.NodeID][]int{1: {0, 2, 3}}
+	if !loadsEqual(a, b) {
+		t.Error("equal maps reported unequal")
+	}
+	b[1][2] = 4
+	if loadsEqual(a, b) {
+		t.Error("differing loads reported equal")
+	}
+	if loadsEqual(a, map[topology.NodeID][]int{}) {
+		t.Error("size mismatch reported equal")
+	}
+	if loadsEqual(a, map[topology.NodeID][]int{2: {0, 2, 3}}) {
+		t.Error("key mismatch reported equal")
+	}
+	if loadsEqual(a, map[topology.NodeID][]int{1: {0, 2}}) {
+		t.Error("length mismatch reported equal")
+	}
+}

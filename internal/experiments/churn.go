@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/sa"
+	"ibvsim/internal/smp"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// ChurnRow summarises a randomized create/destroy/migrate workload under
+// one SR-IOV model — the "dynamic virtualized cloud" of the paper's
+// introduction, with every management cost side by side:
+//
+//   - LFT SMPs: forwarding-table updates (vSwitch models pay these;
+//     Shared Port pays none but gives up address transparency),
+//   - host SMPs: per-hypervisor address programming,
+//   - SA queries: path-record lookups peers must issue after migrations
+//     that changed addresses (the reference-[10] cache absorbs lookups for
+//     address-preserving migrations).
+type ChurnRow struct {
+	Model           sriov.Model
+	Creates         int
+	Destroys        int
+	Migrations      int
+	AddrChanged     int // migrations that changed the VM's LID
+	LFTSMPs         int
+	HostSMPs        int
+	SAQueries       int
+	CacheHits       int
+	PeersPerVM      int
+	MaxConcurrentVM int
+}
+
+// Churn runs `ops` random operations on a fabric of the given size under
+// every SR-IOV model with the same seed. Each VM has peersPerVM
+// communicating peers holding path-record caches; a migration that changes
+// addresses forces each peer to invalidate and re-query.
+func Churn(nodes, ops, peersPerVM int, seed int64) ([]ChurnRow, error) {
+	var rows []ChurnRow
+	for _, model := range []sriov.Model{sriov.SharedPort, sriov.VSwitchPrepopulated, sriov.VSwitchDynamic} {
+		row, err := churnOne(model, nodes, ops, peersPerVM, seed)
+		if err != nil {
+			return nil, fmt.Errorf("churn %v: %w", model, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func churnOne(model sriov.Model, nodes, ops, peersPerVM int, seed int64) (ChurnRow, error) {
+	row := ChurnRow{Model: model, PeersPerVM: peersPerVM}
+	topo, err := topology.BuildPaperFatTree(nodes)
+	if err != nil {
+		return row, err
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            model,
+		VFsPerHypervisor: 4,
+		Scheduler:        cloud.Spread{},
+	})
+	if err != nil {
+		return row, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hyps := c.Hypervisors()
+	caches := map[string][]*sa.Cache{} // per-VM peer caches
+	next := 0
+
+	lftSets := func() int { return c.SM.Transport.Counters.ByAttr[smp.AttrLinearFwdTbl] }
+	guidSets := func() int { return c.SM.Transport.Counters.ByAttr[smp.AttrGUIDInfo] }
+	baseLFT := lftSets()
+	baseGUID := guidSets()
+
+	for op := 0; op < ops; op++ {
+		names := c.VMs()
+		roll := rng.Intn(10)
+		switch {
+		case roll < 4 || len(names) == 0: // create
+			name := fmt.Sprintf("vm%04d", next)
+			next++
+			vm, err := c.CreateVM(name)
+			if err != nil {
+				continue // cloud full: skip the op
+			}
+			row.Creates++
+			// Peers resolve the new VM once (cold misses).
+			for p := 0; p < peersPerVM; p++ {
+				cache := sa.NewCache(c.SA)
+				if _, err := cache.Resolve(vm.Addr.GID); err != nil {
+					return row, err
+				}
+				caches[name] = append(caches[name], cache)
+			}
+			if len(names)+1 > row.MaxConcurrentVM {
+				row.MaxConcurrentVM = len(names) + 1
+			}
+		case roll < 6: // destroy
+			name := names[rng.Intn(len(names))]
+			if err := c.DestroyVM(name); err != nil {
+				return row, err
+			}
+			delete(caches, name)
+			row.Destroys++
+		default: // migrate
+			name := names[rng.Intn(len(names))]
+			vm := c.VM(name)
+			dst := hyps[rng.Intn(len(hyps))]
+			if dst == vm.Hyp || c.Hypervisor(dst).HCA.FreeVF() < 0 {
+				continue
+			}
+			rep, err := c.MigrateVM(name, dst)
+			if err != nil {
+				return row, err
+			}
+			row.Migrations++
+			if rep.AddressesChanged {
+				row.AddrChanged++
+				// Peers learn the address change, invalidate, re-query.
+				for _, cache := range caches[name] {
+					cache.Invalidate(vm.Addr.GID)
+					if _, err := cache.Resolve(vm.Addr.GID); err != nil {
+						return row, err
+					}
+				}
+			} else {
+				// vSwitch: cached records remain valid; peers reconnect
+				// from cache with zero SA traffic.
+				for _, cache := range caches[name] {
+					if _, err := cache.Resolve(vm.Addr.GID); err != nil {
+						return row, err
+					}
+				}
+			}
+		}
+	}
+	row.LFTSMPs = lftSets() - baseLFT
+	row.HostSMPs = guidSets() - baseGUID
+	row.SAQueries = c.SA.Queries()
+	for _, cs := range caches {
+		for _, cache := range cs {
+			row.CacheHits += cache.Hits
+		}
+	}
+	return row, nil
+}
+
+// RenderChurn formats the comparison.
+func RenderChurn(rows []ChurnRow) string {
+	t := &table{header: []string{"Model", "Creates", "Destroys", "Migrations",
+		"AddrChanged", "LFT-SMPs", "Host-SMPs", "SA-queries", "Cache-hits"}}
+	for _, r := range rows {
+		t.add(r.Model.String(),
+			fmt.Sprintf("%d", r.Creates), fmt.Sprintf("%d", r.Destroys),
+			fmt.Sprintf("%d", r.Migrations), fmt.Sprintf("%d", r.AddrChanged),
+			fmt.Sprintf("%d", r.LFTSMPs), fmt.Sprintf("%d", r.HostSMPs),
+			fmt.Sprintf("%d", r.SAQueries), fmt.Sprintf("%d", r.CacheHits))
+	}
+	return "Cloud churn — management-plane cost of VM create/destroy/migrate per SR-IOV model\n" + t.String()
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ibvsim/internal/sriov"
+)
+
+func TestChurnComparesModels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 3 x 120 cloud operations")
+	}
+	rows, err := Churn(324, 120, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byModel := map[sriov.Model]ChurnRow{}
+	for _, r := range rows {
+		byModel[r.Model] = r
+		if r.Creates == 0 || r.Migrations == 0 {
+			t.Fatalf("%v: empty workload %+v", r.Model, r)
+		}
+	}
+	sp := byModel[sriov.SharedPort]
+	pre := byModel[sriov.VSwitchPrepopulated]
+	dyn := byModel[sriov.VSwitchDynamic]
+
+	// Same seed, same op sequence per model.
+	if sp.Creates != pre.Creates || pre.Creates != dyn.Creates {
+		t.Errorf("creates diverge: %d/%d/%d", sp.Creates, pre.Creates, dyn.Creates)
+	}
+
+	// Shared Port: every migration changes addresses, zero LFT SMPs from
+	// migrations (creates cost none either), and the SA absorbs a query
+	// per peer per migration.
+	if sp.AddrChanged != sp.Migrations {
+		t.Errorf("shared port: %d of %d migrations changed addresses", sp.AddrChanged, sp.Migrations)
+	}
+	if sp.LFTSMPs != 0 {
+		t.Errorf("shared port sent %d LFT SMPs", sp.LFTSMPs)
+	}
+	// vSwitch models: zero address changes, zero re-query traffic beyond
+	// the cold misses.
+	for _, r := range []ChurnRow{pre, dyn} {
+		if r.AddrChanged != 0 {
+			t.Errorf("%v: %d address-changing migrations", r.Model, r.AddrChanged)
+		}
+		if r.LFTSMPs == 0 {
+			t.Errorf("%v: migrations must cost LFT SMPs", r.Model)
+		}
+	}
+	// The caching argument: vSwitch reconnects hit the cache, so the SA
+	// serves only the cold misses (one per peer per create); Shared Port
+	// adds one per peer per migration on top.
+	coldOnly := pre.Creates * pre.PeersPerVM
+	if pre.SAQueries != coldOnly {
+		t.Errorf("prepopulated SA queries = %d, want cold misses only %d", pre.SAQueries, coldOnly)
+	}
+	if sp.SAQueries != sp.Creates*sp.PeersPerVM+sp.Migrations*sp.PeersPerVM {
+		t.Errorf("shared port SA queries = %d, want %d",
+			sp.SAQueries, sp.Creates*sp.PeersPerVM+sp.Migrations*sp.PeersPerVM)
+	}
+	if pre.CacheHits == 0 || dyn.CacheHits == 0 {
+		t.Error("vSwitch models should produce cache hits")
+	}
+	// Dynamic pays boot SMPs per create; prepopulated pays none at create
+	// but swaps cost up to 2x per migration. Both stay far below a full
+	// reconfiguration per event.
+	fullRCPerEvent := 216 // 324-node fabric
+	events := dyn.Creates + dyn.Destroys + dyn.Migrations
+	if dyn.LFTSMPs >= fullRCPerEvent*events {
+		t.Errorf("dynamic model SMPs (%d) should be far below full-RC-per-event (%d)",
+			dyn.LFTSMPs, fullRCPerEvent*events)
+	}
+	if !strings.Contains(RenderChurn(rows), "shared-port") {
+		t.Error("render missing content")
+	}
+}
+
+func TestChurnBadSize(t *testing.T) {
+	if _, err := Churn(99, 1, 1, 1); err == nil {
+		t.Error("unknown fabric should fail")
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/core"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/timemodel"
+)
+
+// CapacityRow is one line of the section V-A/V-B arithmetic.
+type CapacityRow struct {
+	VFs             int
+	LIDsPerHyp      int
+	MaxHypervisors  int
+	MaxVMs          int
+	DynActive10kHyp int // active-VM cap with 10000 hypervisors, dynamic model
+}
+
+// Capacity evaluates the LID-budget table for several VF counts, including
+// the paper's 16-VF example (2891 hypervisors / 46256 VMs).
+func Capacity() []CapacityRow {
+	var rows []CapacityRow
+	for _, vfs := range []int{1, 8, 16, 32, 64, 126} {
+		p := sriov.CapacityPlan{VFsPerHypervisor: vfs}
+		rows = append(rows, CapacityRow{
+			VFs:             vfs,
+			LIDsPerHyp:      p.LIDsPerHypervisor(),
+			MaxHypervisors:  p.MaxHypervisorsPrepopulated(),
+			MaxVMs:          p.MaxVMsPrepopulated(),
+			DynActive10kHyp: p.MaxActiveVMsDynamic(10000),
+		})
+	}
+	return rows
+}
+
+// RenderCapacity formats the capacity table.
+func RenderCapacity(rows []CapacityRow) string {
+	t := &table{header: []string{"VFs/hyp", "LIDs/hyp", "MaxHyp(prepop)", "MaxVMs(prepop)", "ActiveVMs(dyn,10k hyp)"}}
+	for _, r := range rows {
+		t.add(fmt.Sprintf("%d", r.VFs), fmt.Sprintf("%d", r.LIDsPerHyp),
+			fmt.Sprintf("%d", r.MaxHypervisors), fmt.Sprintf("%d", r.MaxVMs),
+			fmt.Sprintf("%d", r.DynActive10kHyp))
+	}
+	return "Section V-A/V-B — LID capacity arithmetic (49151 unicast LIDs)\n" + t.String()
+}
+
+// CostRow is one line of the equation 1-5 sweep.
+type CostRow struct {
+	Nodes          int
+	PCt            time.Duration
+	TraditionalRC  time.Duration
+	VSwitchWorstDR time.Duration // eq. 4, n'=n m'=2, directed
+	VSwitchWorst   time.Duration // eq. 5, n'=n m'=2, destination-routed
+	VSwitchBest    time.Duration // eq. 5, single SMP
+	Speedup        float64       // traditional / vSwitch worst (eq. 5)
+}
+
+// CostModel sweeps equations 1-5 over the four paper fabrics, using the
+// paper's own Fig. 7 fat-tree PCt measurements for the traditional method's
+// path-computation term.
+func CostModel() []CostRow {
+	var rows []CostRow
+	for _, nodes := range PaperSizes {
+		ref := PaperTable1[nodes]
+		p := timemodel.PaperDefaults(ref.Switches, ref.LIDs)
+		pct := time.Duration(PaperFig7Seconds["ftree"][nodes] * float64(time.Second))
+		rows = append(rows, CostRow{
+			Nodes:          nodes,
+			PCt:            pct,
+			TraditionalRC:  p.TraditionalRC(pct),
+			VSwitchWorstDR: p.VSwitchRC(ref.Switches, 2, false),
+			VSwitchWorst:   p.VSwitchRC(ref.Switches, 2, true),
+			VSwitchBest:    p.VSwitchRC(core.MinReconfigSMPs(), 1, true),
+			Speedup:        p.Speedup(pct, ref.Switches, 2, true),
+		})
+	}
+	return rows
+}
+
+// RenderCostModel formats the sweep.
+func RenderCostModel(rows []CostRow) string {
+	t := &table{header: []string{"Nodes", "PCt(ftree,paper)", "RCt(eq.3)", "vSwitch eq.4 worst", "vSwitch eq.5 worst", "vSwitch best", "Speedup(worst)"}}
+	for _, r := range rows {
+		t.add(fmt.Sprintf("%d", r.Nodes), r.PCt.String(), r.TraditionalRC.String(),
+			r.VSwitchWorstDR.String(), r.VSwitchWorst.String(), r.VSwitchBest.String(),
+			fmt.Sprintf("%.0fx", r.Speedup))
+	}
+	return "Section VI — reconfiguration cost model (k=5us, r=2.5us, no pipelining)\n" + t.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// Fig7CSV writes the Fig. 7 rows as machine-readable CSV (seconds as
+// floats; skipped combinations have an empty measured cell) for plotting.
+func Fig7CSV(rows []Fig7Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"nodes", "switches", "engine", "pct_measured_s", "pct_paper_s"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		measured := ""
+		if !r.Skipped {
+			measured = fmt.Sprintf("%.6f", r.PCt.Seconds())
+		}
+		paper := ""
+		if r.Engine == "lid-swap/copy" {
+			paper = "0"
+		} else if r.PaperSeconds > 0 {
+			paper = fmt.Sprintf("%.3f", r.PaperSeconds)
+		}
+		if err := cw.Write([]string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Switches),
+			r.Engine,
+			measured,
+			paper,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table1CSV writes the Table I rows as CSV.
+func Table1CSV(rows []Table1Row, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"nodes", "switches", "lids", "min_blocks_per_switch",
+		"min_smps_full_rc", "min_smps_swap_copy", "max_smps_swap_copy", "measured_full_rc",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		measured := ""
+		if r.MeasuredVerified {
+			measured = fmt.Sprintf("%d", r.MeasuredFullRC)
+		}
+		if err := cw.Write([]string{
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.LIDs),
+			fmt.Sprintf("%d", r.MinBlocksSwitch),
+			fmt.Sprintf("%d", r.MinSMPsFullRC),
+			fmt.Sprintf("%d", r.MinSMPsSwapCopy),
+			fmt.Sprintf("%d", r.MaxSMPsSwapCopy),
+			measured,
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

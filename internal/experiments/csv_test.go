@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFig7CSV(t *testing.T) {
+	rows := []Fig7Row{
+		{Nodes: 324, Switches: 36, Engine: "ftree", PCt: 12 * time.Millisecond, PaperSeconds: 0.012},
+		{Nodes: 5832, Switches: 972, Engine: "lash", PaperSeconds: 3859, Skipped: true},
+		{Nodes: 324, Switches: 36, Engine: "lid-swap/copy"},
+	}
+	var sb strings.Builder
+	if err := Fig7CSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "nodes,switches,engine") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "324,36,ftree,0.012000,0.012" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Skipped rows leave the measured cell empty.
+	if lines[2] != "5832,972,lash,,3859.000" {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+	// The zero series carries explicit paper zero.
+	if lines[3] != "324,36,lid-swap/copy,0.000000,0" {
+		t.Errorf("row 3 = %q", lines[3])
+	}
+}
+
+func TestTable1CSV(t *testing.T) {
+	rows, err := Table1(Table1Options{Sizes: []int{324}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := Table1CSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "324,36,360,6,216,1,72,") {
+		t.Errorf("CSV = %q", sb.String())
+	}
+}

@@ -1,0 +1,84 @@
+// Package experiments regenerates every quantitative artifact of the
+// paper's evaluation (section VII): Fig. 7 (path-computation time by
+// routing engine and subnet size), Table I (SMP counts for full vs vSwitch
+// reconfiguration), the section VI-D limited-switch-update behaviour, the
+// section VI-C deadlock demonstration, the section V-A capacity arithmetic
+// and the section VI cost-model sweep.
+//
+// Each experiment returns structured rows plus a Render method producing
+// the aligned text table the cmd/experiments binary prints. Paper-reported
+// values are embedded for side-by-side comparison; absolute times are not
+// expected to match 2015 hardware, shapes and exact SMP counts are.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperSizes are the four fabrics of Fig. 7 / Table I.
+var PaperSizes = []int{324, 648, 5832, 11664}
+
+// PaperFig7Seconds holds the paper's measured path-computation times in
+// seconds, per engine and node count (Fig. 7).
+var PaperFig7Seconds = map[string]map[int]float64{
+	"ftree":  {324: 0.012, 648: 0.04, 5832: 16.5, 11664: 67},
+	"minhop": {324: 0.017, 648: 0.06, 5832: 18.81, 11664: 71},
+	"dfsssp": {324: 0.142, 648: 0.63, 5832: 123, 11664: 625},
+	"lash":   {324: 0.012, 648: 0.045, 5832: 3859, 11664: 39145},
+}
+
+// table renders aligned columns.
+type table struct {
+	header []string
+	rows   [][]string
+}
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+func secs(s float64) string {
+	switch {
+	case s == 0:
+		return "0"
+	case s < 0.001:
+		return fmt.Sprintf("%.6f", s)
+	case s < 1:
+		return fmt.Sprintf("%.4f", s)
+	default:
+		return fmt.Sprintf("%.2f", s)
+	}
+}

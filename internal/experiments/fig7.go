@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/topology"
+)
+
+// Fig7Row is one bar of Fig. 7: the time one routing engine needs to
+// compute all paths for one fabric.
+type Fig7Row struct {
+	Nodes    int
+	Switches int
+	LIDs     int
+	Engine   string
+	PCt      time.Duration
+	// PaperSeconds is the authors' measurement on their 8-core testbed
+	// (zero when the paper did not report the combination).
+	PaperSeconds float64
+	Skipped      bool // true when the combination was gated off (-full)
+}
+
+// Fig7Options scopes the experiment.
+type Fig7Options struct {
+	Sizes   []int    // node counts; defaults to PaperSizes
+	Engines []string // defaults to the paper's four engines
+	// Full enables the expensive combinations (dfsssp and lash on the
+	// 3-level fabrics) that take many minutes, mirroring the paper where
+	// LASH alone needed 39145 s.
+	Full bool
+	// Progress, when set, receives each row as soon as it is measured —
+	// essential feedback during the -full runs, which take on the order
+	// of an hour.
+	Progress func(Fig7Row)
+}
+
+// gated reports whether a combination is too expensive without Full.
+func gated(engine string, nodes int) bool {
+	if nodes < 5832 {
+		return false
+	}
+	return engine == "dfsssp" || engine == "lash"
+}
+
+// Fig7 measures PCt for every engine/size combination. The "LID
+// Copying/Swapping" series of the figure is identically zero — the vSwitch
+// reconfiguration performs no path computation — and is appended as the
+// engine name "lid-swap/copy".
+func Fig7(opt Fig7Options) ([]Fig7Row, error) {
+	sizes := opt.Sizes
+	if len(sizes) == 0 {
+		sizes = PaperSizes
+	}
+	engines := opt.Engines
+	if len(engines) == 0 {
+		engines = []string{"ftree", "minhop", "dfsssp", "lash"}
+	}
+	var rows []Fig7Row
+	for _, nodes := range sizes {
+		topo, err := topology.BuildPaperFatTree(nodes)
+		if err != nil {
+			return nil, err
+		}
+		for _, eng := range engines {
+			row := Fig7Row{
+				Nodes:        nodes,
+				Switches:     topo.NumSwitches(),
+				Engine:       eng,
+				PaperSeconds: PaperFig7Seconds[eng][nodes],
+			}
+			if gated(eng, nodes) && !opt.Full {
+				row.Skipped = true
+				rows = append(rows, row)
+				continue
+			}
+			engine, err := routing.New(eng)
+			if err != nil {
+				return nil, err
+			}
+			mgr, err := sm.New(topo, topo.CAs()[0], engine)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := mgr.Sweep(); err != nil {
+				return nil, err
+			}
+			if err := mgr.AssignLIDs(); err != nil {
+				return nil, err
+			}
+			stats, err := mgr.ComputeRoutes()
+			if err != nil {
+				return nil, fmt.Errorf("fig7 %s@%d: %w", eng, nodes, err)
+			}
+			row.LIDs = mgr.LIDCount()
+			row.PCt = stats.Duration
+			rows = append(rows, row)
+			if opt.Progress != nil {
+				opt.Progress(row)
+			}
+		}
+		// The headline series: zero recomputation for LID swap/copy.
+		rows = append(rows, Fig7Row{
+			Nodes: nodes, Switches: topo.NumSwitches(), Engine: "lid-swap/copy",
+		})
+	}
+	return rows, nil
+}
+
+// RenderFig7 formats the rows as the figure's data table.
+func RenderFig7(rows []Fig7Row) string {
+	t := &table{header: []string{"Nodes", "Engine", "PCt(measured)", "PCt(paper)", "Note"}}
+	for _, r := range rows {
+		measured := secs(r.PCt.Seconds())
+		note := ""
+		if r.Skipped {
+			measured = "-"
+			note = "skipped (run with -full)"
+		}
+		paper := "-"
+		if r.Engine == "lid-swap/copy" {
+			paper = "0"
+			note = "no path computation (section V-C)"
+		} else if r.PaperSeconds > 0 {
+			paper = secs(r.PaperSeconds)
+		}
+		t.add(fmt.Sprintf("%d", r.Nodes), r.Engine, measured, paper, note)
+	}
+	return "Fig. 7 — path computation time by routing engine and subnet size\n" + t.String()
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/core"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// LeafLocalRow records the reconfiguration footprint of one migration
+// distance (Fig. 6 / section VI-D): how many switches and SMPs a swap or
+// copy needs as the VM moves farther away, under deterministic and minimal
+// scope.
+type LeafLocalRow struct {
+	Distance        string // "same-leaf", "same-pod", "cross-pod"
+	Kind            core.PlanKind
+	Scope           core.Scope
+	SwitchesUpdated int
+	SMPs            int
+	TotalSwitches   int
+	AddressesOK     bool // addresses preserved end to end
+}
+
+// migrationLadder returns (src, sameLeaf, samePod, crossPod) hypervisor
+// nodes on a 3-level fat-tree, derived structurally: sameLeaf shares the
+// source's leaf switch, samePod hangs off a different leaf that shares a
+// level-2 switch with the source's leaf, crossPod shares neither.
+func migrationLadder(topo *topology.Topology, hyps []topology.NodeID) (src, sameLeaf, samePod, crossPod topology.NodeID, err error) {
+	src = hyps[0]
+	srcLeaf := topo.LeafSwitchOf(src)
+	l2Neighbors := func(leaf topology.NodeID) map[topology.NodeID]bool {
+		out := map[topology.NodeID]bool{}
+		n := topo.Node(leaf)
+		for i := 1; i < len(n.Ports); i++ {
+			p := n.Ports[i]
+			if p.Peer != topology.NoNode && topo.Node(p.Peer).IsSwitch() &&
+				topo.Node(p.Peer).Level == n.Level+1 {
+				out[p.Peer] = true
+			}
+		}
+		return out
+	}
+	srcL2 := l2Neighbors(srcLeaf)
+	sameLeaf, samePod, crossPod = topology.NoNode, topology.NoNode, topology.NoNode
+	for _, h := range hyps[1:] {
+		leaf := topo.LeafSwitchOf(h)
+		switch {
+		case leaf == srcLeaf:
+			if sameLeaf == topology.NoNode {
+				sameLeaf = h
+			}
+		default:
+			shared := false
+			for l2 := range l2Neighbors(leaf) {
+				if srcL2[l2] {
+					shared = true
+					break
+				}
+			}
+			if shared && samePod == topology.NoNode {
+				samePod = h
+			}
+			if !shared && crossPod == topology.NoNode {
+				crossPod = h
+			}
+		}
+	}
+	if sameLeaf == topology.NoNode || samePod == topology.NoNode || crossPod == topology.NoNode {
+		return 0, 0, 0, 0, fmt.Errorf("experiments: could not derive the migration ladder")
+	}
+	return src, sameLeaf, samePod, crossPod, nil
+}
+
+// LeafLocal runs the distance ladder on a 3-level fat-tree
+// XGFT(3; 4,4,4; 1,4,4): 64 nodes, 48 switches.
+func LeafLocal() ([]LeafLocalRow, error) {
+	var rows []LeafLocalRow
+	for _, kind := range []core.PlanKind{core.PlanSwap, core.PlanCopy} {
+		for _, scope := range []core.Scope{core.ScopeAllSwitches, core.ScopeMinimal} {
+			model := sriov.VSwitchPrepopulated
+			if kind == core.PlanCopy {
+				model = sriov.VSwitchDynamic
+			}
+			r, err := leafLocalOne(kind, scope, model)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, r...)
+		}
+	}
+	return rows, nil
+}
+
+// leafLocalOne measures all three distances for one (kind, scope)
+// combination, rebuilding the cloud per distance so every migration starts
+// from the pristine initial routing (earlier migrations would otherwise
+// perturb the LFT state and make the scopes incomparable).
+func leafLocalOne(kind core.PlanKind, scope core.Scope, model sriov.Model) ([]LeafLocalRow, error) {
+	var rows []LeafLocalRow
+	for _, distance := range []string{"same-leaf", "same-pod", "cross-pod"} {
+		topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4, 4}, W: []int{1, 4, 4}}, 8)
+		if err != nil {
+			return nil, err
+		}
+		cas := topo.CAs()
+		c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+			Model:            model,
+			VFsPerHypervisor: 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.RC.Scope = scope
+
+		src, sameLeaf, samePod, crossPod, err := migrationLadder(topo, c.Hypervisors())
+		if err != nil {
+			return nil, err
+		}
+		dest := sameLeaf
+		switch distance {
+		case "same-pod":
+			dest = samePod
+		case "cross-pod":
+			dest = crossPod
+		}
+
+		vmName := fmt.Sprintf("vm-%s-%s-%s", kind, scope, distance)
+		if _, err := c.CreateVMOn(vmName, src); err != nil {
+			return nil, err
+		}
+		rep, err := c.MigrateVM(vmName, dest)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, LeafLocalRow{
+			Distance:        distance,
+			Kind:            kind,
+			Scope:           scope,
+			SwitchesUpdated: rep.Plan.SwitchesUpdated,
+			SMPs:            rep.Plan.SMPs,
+			TotalSwitches:   topo.NumSwitches(),
+			AddressesOK:     !rep.AddressesChanged,
+		})
+	}
+	return rows, nil
+}
+
+// RenderLeafLocal formats the ladder.
+func RenderLeafLocal(rows []LeafLocalRow) string {
+	t := &table{header: []string{"Plan", "Scope", "Distance", "Switches", "SMPs", "of", "AddrPreserved"}}
+	for _, r := range rows {
+		t.add(r.Kind.String(), r.Scope.String(), r.Distance,
+			fmt.Sprintf("%d", r.SwitchesUpdated), fmt.Sprintf("%d", r.SMPs),
+			fmt.Sprintf("%d", r.TotalSwitches), fmt.Sprintf("%v", r.AddressesOK))
+	}
+	return "Fig. 6 / section VI-D — switches updated vs migration distance (XGFT(3;4,4,4;1,4,4), 64 nodes, 48 switches)\n" + t.String()
+}

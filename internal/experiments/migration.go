@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// MigrationSweepRow aggregates the reconfiguration footprint over many
+// random migrations on one fabric: the paper's n' and m' are data-dependent
+// ("there are certain cases that 0 < n' < n switches will need to be
+// updated", section VI-B), so their distribution is the interesting part.
+type MigrationSweepRow struct {
+	Nodes      int
+	Model      sriov.Model
+	Migrations int
+
+	MinSMPs, MaxSMPs int
+	TotalSMPs        int
+	MinSwitches      int
+	MaxSwitches      int
+	TotalSwitches    int
+	// FullRCSMPs is what every one of those migrations would have cost
+	// with the traditional method (n*m each).
+	FullRCSMPs int
+}
+
+// AvgSMPs returns the mean SMPs per migration.
+func (r MigrationSweepRow) AvgSMPs() float64 {
+	if r.Migrations == 0 {
+		return 0
+	}
+	return float64(r.TotalSMPs) / float64(r.Migrations)
+}
+
+// AvgSwitches returns the mean switches updated per migration.
+func (r MigrationSweepRow) AvgSwitches() float64 {
+	if r.Migrations == 0 {
+		return 0
+	}
+	return float64(r.TotalSwitches) / float64(r.Migrations)
+}
+
+// MigrationSweep performs `migrations` random VM migrations on the
+// given paper fabric under both vSwitch models and reports the SMP
+// footprint distribution. Deterministic for a seed.
+func MigrationSweep(nodes, migrations int, seed int64) ([]MigrationSweepRow, error) {
+	var rows []MigrationSweepRow
+	for _, model := range []sriov.Model{sriov.VSwitchPrepopulated, sriov.VSwitchDynamic} {
+		topo, err := topology.BuildPaperFatTree(nodes)
+		if err != nil {
+			return nil, err
+		}
+		cas := topo.CAs()
+		c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+			Model:            model,
+			VFsPerHypervisor: 2,
+			Scheduler:        cloud.Spread{},
+		})
+		if err != nil {
+			return nil, err
+		}
+		const vmCount = 16
+		for i := 0; i < vmCount; i++ {
+			if _, err := c.CreateVM(fmt.Sprintf("vm%d", i)); err != nil {
+				return nil, err
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		hyps := c.Hypervisors()
+		row := MigrationSweepRow{Nodes: nodes, Model: model, MinSMPs: int(^uint(0) >> 1), MinSwitches: int(^uint(0) >> 1)}
+		blocks := c.SM.ProgrammedLFT(topo.Switches()[0]).TopPopulatedBlock() + 1
+		fullPer := topo.NumSwitches() * blocks
+		for m := 0; m < migrations; m++ {
+			name := fmt.Sprintf("vm%d", rng.Intn(vmCount))
+			vm := c.VM(name)
+			dst := hyps[rng.Intn(len(hyps))]
+			if dst == vm.Hyp || c.Hypervisor(dst).HCA.FreeVF() < 0 {
+				m--
+				continue
+			}
+			rep, err := c.MigrateVM(name, dst)
+			if err != nil {
+				return nil, err
+			}
+			row.Migrations++
+			row.TotalSMPs += rep.Plan.SMPs
+			row.TotalSwitches += rep.Plan.SwitchesUpdated
+			row.FullRCSMPs += fullPer
+			if rep.Plan.SMPs < row.MinSMPs {
+				row.MinSMPs = rep.Plan.SMPs
+			}
+			if rep.Plan.SMPs > row.MaxSMPs {
+				row.MaxSMPs = rep.Plan.SMPs
+			}
+			if rep.Plan.SwitchesUpdated < row.MinSwitches {
+				row.MinSwitches = rep.Plan.SwitchesUpdated
+			}
+			if rep.Plan.SwitchesUpdated > row.MaxSwitches {
+				row.MaxSwitches = rep.Plan.SwitchesUpdated
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderMigrationSweep formats the sweep.
+func RenderMigrationSweep(rows []MigrationSweepRow) string {
+	t := &table{header: []string{"Nodes", "Model", "Migrations", "SMPs min/avg/max",
+		"Switches min/avg/max", "vs FullRC SMPs", "Saving"}}
+	for _, r := range rows {
+		saving := 0.0
+		if r.FullRCSMPs > 0 {
+			saving = 100 * (1 - float64(r.TotalSMPs)/float64(r.FullRCSMPs))
+		}
+		t.add(fmt.Sprintf("%d", r.Nodes), r.Model.String(),
+			fmt.Sprintf("%d", r.Migrations),
+			fmt.Sprintf("%d/%.1f/%d", r.MinSMPs, r.AvgSMPs(), r.MaxSMPs),
+			fmt.Sprintf("%d/%.1f/%d", r.MinSwitches, r.AvgSwitches(), r.MaxSwitches),
+			fmt.Sprintf("%d", r.FullRCSMPs),
+			fmt.Sprintf("%.2f%%", saving))
+	}
+	return "Migration sweep — reconfiguration SMP footprint over random migrations\n" + t.String()
+}

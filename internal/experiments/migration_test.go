@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ibvsim/internal/core"
+	"ibvsim/internal/sriov"
+)
+
+func TestMigrationSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 40 migrations on two 324-node clouds")
+	}
+	rows, err := MigrationSweep(324, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Migrations != 20 {
+			t.Errorf("%v: %d migrations", r.Model, r.Migrations)
+		}
+		// Bounds from Table I: swap <= 2n, copy <= n.
+		bound := core.MaxCopySMPs(36)
+		if r.Model == sriov.VSwitchPrepopulated {
+			bound = core.MaxSwapSMPs(36)
+		}
+		if r.MaxSMPs > bound {
+			t.Errorf("%v: max %d SMPs exceeds bound %d", r.Model, r.MaxSMPs, bound)
+		}
+		if r.MinSMPs < 1 {
+			t.Errorf("%v: min %d SMPs", r.Model, r.MinSMPs)
+		}
+		if r.AvgSMPs() <= 0 || r.AvgSwitches() <= 0 {
+			t.Errorf("%v: empty averages", r.Model)
+		}
+		// The headline saving: orders of magnitude fewer SMPs than full RC.
+		if r.TotalSMPs*2 >= r.FullRCSMPs {
+			t.Errorf("%v: saving too small (%d vs %d)", r.Model, r.TotalSMPs, r.FullRCSMPs)
+		}
+	}
+	// Copy never exceeds swap in SMPs on the same workload.
+	if rows[1].TotalSMPs > rows[0].TotalSMPs {
+		t.Errorf("copy (%d) should not exceed swap (%d)", rows[1].TotalSMPs, rows[0].TotalSMPs)
+	}
+	out := RenderMigrationSweep(rows)
+	if !strings.Contains(out, "vswitch-prepopulated") {
+		t.Error("render missing content")
+	}
+	if (MigrationSweepRow{}).AvgSMPs() != 0 || (MigrationSweepRow{}).AvgSwitches() != 0 {
+		t.Error("zero-row averages")
+	}
+}
+
+func TestMigrationSweepBadSize(t *testing.T) {
+	if _, err := MigrationSweep(100, 1, 1); err == nil {
+		t.Error("unknown fabric size should fail")
+	}
+}
+
+func TestTransitionUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three fabric co-simulations")
+	}
+	rows, err := TransitionUnderLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byMit := map[core.Mitigation]TransitionRow{}
+	for _, r := range rows {
+		byMit[r.Mitigation] = r
+		if r.Deadlocked {
+			t.Errorf("%v: fat-tree transition must not deadlock", r.Mitigation)
+		}
+		if r.Delivered+r.Dropped != r.Injected {
+			t.Errorf("%v: %d delivered + %d dropped != %d injected",
+				r.Mitigation, r.Delivered, r.Dropped, r.Injected)
+		}
+	}
+	inv := byMit[core.MitigationInvalidate]
+	if inv.ExtraSMPs == 0 {
+		t.Error("invalidation must send extra SMPs")
+	}
+	if inv.Dropped == 0 {
+		t.Error("invalidation's drop window should cost packets toward the VM")
+	}
+	none := byMit[core.MitigationNone]
+	if none.ExtraSMPs != 0 {
+		t.Error("no-mitigation must not send extra SMPs")
+	}
+	if none.Dropped > inv.Dropped {
+		t.Errorf("no-mitigation dropped more (%d) than invalidation (%d)", none.Dropped, inv.Dropped)
+	}
+	if !strings.Contains(RenderTransition(rows), "invalidate-port255") {
+		t.Error("render missing content")
+	}
+}

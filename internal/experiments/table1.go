@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ibvsim/internal/core"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/topology"
+)
+
+// Table1Row reproduces one row of the paper's Table I.
+type Table1Row struct {
+	Nodes            int
+	Switches         int
+	LIDs             int
+	MinBlocksSwitch  int
+	MinSMPsFullRC    int
+	MinSMPsSwapCopy  int
+	MaxSMPsSwapCopy  int
+	MeasuredFullRC   int  // SMPs counted on the simulated wire (0 = not run)
+	MeasuredVerified bool // true when the measured value was produced
+}
+
+// PaperTable1 holds the published Table I for comparison.
+var PaperTable1 = map[int]Table1Row{
+	324:   {Nodes: 324, Switches: 36, LIDs: 360, MinBlocksSwitch: 6, MinSMPsFullRC: 216, MinSMPsSwapCopy: 1, MaxSMPsSwapCopy: 72},
+	648:   {Nodes: 648, Switches: 54, LIDs: 702, MinBlocksSwitch: 11, MinSMPsFullRC: 594, MinSMPsSwapCopy: 1, MaxSMPsSwapCopy: 108},
+	5832:  {Nodes: 5832, Switches: 972, LIDs: 6804, MinBlocksSwitch: 107, MinSMPsFullRC: 104004, MinSMPsSwapCopy: 1, MaxSMPsSwapCopy: 1944},
+	11664: {Nodes: 11664, Switches: 1620, LIDs: 13284, MinBlocksSwitch: 208, MinSMPsFullRC: 336960, MinSMPsSwapCopy: 1, MaxSMPsSwapCopy: 3240},
+}
+
+// Table1Options scopes the experiment.
+type Table1Options struct {
+	Sizes []int
+	// MeasureUpTo runs an actual SM bootstrap + full redistribution and
+	// counts SMPs on the wire for fabrics up to this node count (larger
+	// ones use the closed form only). 0 means closed-form everywhere.
+	MeasureUpTo int
+}
+
+// Table1 computes the table from the fabric structure (exact, closed form)
+// and optionally verifies the full-RC SMP count against a simulated wire.
+func Table1(opt Table1Options) ([]Table1Row, error) {
+	sizes := opt.Sizes
+	if len(sizes) == 0 {
+		sizes = PaperSizes
+	}
+	var rows []Table1Row
+	for _, nodes := range sizes {
+		spec, ok := topology.PaperFatTrees[nodes]
+		if !ok {
+			return nil, fmt.Errorf("table1: no paper fabric with %d nodes", nodes)
+		}
+		switches := spec.NumSwitches()
+		lids := nodes + switches
+		row := Table1Row{
+			Nodes:           nodes,
+			Switches:        switches,
+			LIDs:            lids,
+			MinBlocksSwitch: ib.MinBlocksForDenseLIDs(lids),
+			MinSMPsSwapCopy: core.MinReconfigSMPs(),
+			MaxSMPsSwapCopy: core.MaxSwapSMPs(switches),
+		}
+		row.MinSMPsFullRC = switches * row.MinBlocksSwitch
+
+		if nodes <= opt.MeasureUpTo {
+			topo, err := topology.BuildPaperFatTree(nodes)
+			if err != nil {
+				return nil, err
+			}
+			mgr, err := sm.New(topo, topo.CAs()[0], routing.NewMinHop())
+			if err != nil {
+				return nil, err
+			}
+			if _, _, _, err := mgr.Bootstrap(); err != nil {
+				return nil, err
+			}
+			ds, err := mgr.DistributeFull()
+			if err != nil {
+				return nil, err
+			}
+			row.MeasuredFullRC = ds.SMPs
+			row.MeasuredVerified = true
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderTable1 formats the rows next to the published values.
+func RenderTable1(rows []Table1Row) string {
+	t := &table{header: []string{
+		"Nodes", "Switches", "LIDs", "MinBlocks/Sw",
+		"FullRC-SMPs", "FullRC(paper)", "Swap/Copy min", "Swap/Copy max", "Wire-verified",
+	}}
+	for _, r := range rows {
+		paper := PaperTable1[r.Nodes]
+		verified := "-"
+		if r.MeasuredVerified {
+			verified = fmt.Sprintf("%d", r.MeasuredFullRC)
+		}
+		t.add(
+			fmt.Sprintf("%d", r.Nodes),
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.LIDs),
+			fmt.Sprintf("%d", r.MinBlocksSwitch),
+			fmt.Sprintf("%d", r.MinSMPsFullRC),
+			fmt.Sprintf("%d", paper.MinSMPsFullRC),
+			fmt.Sprintf("%d", r.MinSMPsSwapCopy),
+			fmt.Sprintf("%d", r.MaxSMPsSwapCopy),
+			verified,
+		)
+	}
+	return "Table I — SMPs to update the LFTs of all switches\n" + t.String()
+}

@@ -1,0 +1,187 @@
+package ib
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LFT is a linear forwarding table: a dense map from destination LID to
+// egress port number, held by every switch. Entries are organised in blocks
+// of LFTBlockSize LIDs because the subnet manager reads and writes them with
+// one SMP per block.
+//
+// The zero value is not usable; construct with NewLFT. A port value of 255
+// (DropPort) or an entry outside the populated range means "drop".
+type LFT struct {
+	ports []PortNum // indexed by LID; length is a multiple of LFTBlockSize
+	dirty []uint64  // bitmap over block indices, set by Set since last ClearDirty
+}
+
+// NewLFT returns an LFT able to hold entries for LIDs 0..topLID (rounded up
+// to a whole number of blocks). All entries start as DropPort.
+func NewLFT(topLID LID) *LFT {
+	nblocks := BlocksForLIDCount(topLID)
+	t := &LFT{
+		ports: make([]PortNum, nblocks*LFTBlockSize),
+		dirty: make([]uint64, (nblocks+63)/64),
+	}
+	for i := range t.ports {
+		t.ports[i] = DropPort
+	}
+	return t
+}
+
+// Clone returns a deep copy of the table, including dirty state.
+func (t *LFT) Clone() *LFT {
+	c := &LFT{
+		ports: make([]PortNum, len(t.ports)),
+		dirty: make([]uint64, len(t.dirty)),
+	}
+	copy(c.ports, t.ports)
+	copy(c.dirty, t.dirty)
+	return c
+}
+
+// NumBlocks returns the number of 64-entry blocks backing the table.
+func (t *LFT) NumBlocks() int { return len(t.ports) / LFTBlockSize }
+
+// Get returns the egress port for the given LID, or DropPort if the LID is
+// outside the populated range.
+func (t *LFT) Get(l LID) PortNum {
+	if int(l) >= len(t.ports) {
+		return DropPort
+	}
+	return t.ports[l]
+}
+
+// Set programs the egress port for a LID, growing the table if needed, and
+// marks the containing block dirty if the value changed.
+func (t *LFT) Set(l LID, p PortNum) {
+	t.ensure(l)
+	if t.ports[l] == p {
+		return
+	}
+	t.ports[l] = p
+	b := BlockOf(l)
+	t.dirty[b/64] |= 1 << (uint(b) % 64)
+}
+
+// Swap exchanges the entries of two LIDs, marking affected blocks dirty only
+// when values actually change. This is the primitive of the paper's
+// prepopulated-LID reconfiguration (section V-C1).
+func (t *LFT) Swap(a, b LID) {
+	pa, pb := t.Get(a), t.Get(b)
+	t.Set(a, pb)
+	t.Set(b, pa)
+}
+
+func (t *LFT) ensure(l LID) {
+	if int(l) < len(t.ports) {
+		return
+	}
+	nblocks := BlockOf(l) + 1
+	np := make([]PortNum, nblocks*LFTBlockSize)
+	copy(np, t.ports)
+	for i := len(t.ports); i < len(np); i++ {
+		np[i] = DropPort
+	}
+	t.ports = np
+	nd := make([]uint64, (nblocks+63)/64)
+	copy(nd, t.dirty)
+	t.dirty = nd
+}
+
+// DirtyBlocks returns the indices of blocks modified since the last
+// ClearDirty, in ascending order. The subnet manager sends one SMP per dirty
+// block during LFT distribution.
+func (t *LFT) DirtyBlocks() []int {
+	var out []int
+	for wi, w := range t.dirty {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			out = append(out, wi*64+bit)
+			w &^= 1 << uint(bit)
+		}
+	}
+	return out
+}
+
+// DirtyBlockCount returns the number of dirty blocks without allocating.
+func (t *LFT) DirtyBlockCount() int {
+	n := 0
+	for _, w := range t.dirty {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ClearDirty resets the dirty bitmap, typically after the SM has pushed the
+// dirty blocks to the physical switch.
+func (t *LFT) ClearDirty() {
+	for i := range t.dirty {
+		t.dirty[i] = 0
+	}
+}
+
+// PopulatedBlocks returns the indices of blocks that contain at least one
+// non-drop entry. A full reconfiguration must push every populated block,
+// which is what Table I's "Min SMPs Full RC" counts per switch.
+func (t *LFT) PopulatedBlocks() []int {
+	var out []int
+	for b := 0; b < t.NumBlocks(); b++ {
+		base := b * LFTBlockSize
+		for i := 0; i < LFTBlockSize; i++ {
+			if t.ports[base+i] != DropPort {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// TopPopulatedBlock returns the highest block index containing a non-drop
+// entry, or -1 if the table is empty. Because LFT distribution writes blocks
+// 0..top contiguously (a switch cannot hold a sparse table), the number of
+// SMPs per switch for a full distribution is TopPopulatedBlock()+1. This is
+// the effect described in section VII-C: a single node using LID 49151
+// forces 768 blocks onto every switch.
+func (t *LFT) TopPopulatedBlock() int {
+	for b := t.NumBlocks() - 1; b >= 0; b-- {
+		base := b * LFTBlockSize
+		for i := 0; i < LFTBlockSize; i++ {
+			if t.ports[base+i] != DropPort {
+				return b
+			}
+		}
+	}
+	return -1
+}
+
+// Diff returns the block indices on which t and other differ. Growing or
+// shrinking counts: blocks present in one table and populated are compared
+// against implicit drop-filled blocks in the other.
+func (t *LFT) Diff(other *LFT) []int {
+	nb := t.NumBlocks()
+	if ob := other.NumBlocks(); ob > nb {
+		nb = ob
+	}
+	var out []int
+	for b := 0; b < nb; b++ {
+		base := b * LFTBlockSize
+		for i := 0; i < LFTBlockSize; i++ {
+			l := LID(base + i)
+			if t.Get(l) != other.Get(l) {
+				out = append(out, b)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// String summarises the table (for debugging and event traces).
+func (t *LFT) String() string {
+	return fmt.Sprintf("LFT{blocks=%d, populated=%d, dirty=%d}",
+		t.NumBlocks(), len(t.PopulatedBlocks()), t.DirtyBlockCount())
+}

@@ -1,0 +1,76 @@
+package routing
+
+import (
+	"math"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// PortLoads counts, for every switch, how many destination LIDs each
+// egress port carries — the balancing view OpenSM's engines optimise and
+// the quantity the paper's swap reconfiguration preserves ("to migrate the
+// LID and keep the balancing of the initial routing", section V-C1).
+// Index 0 of a switch's slice is the self-consumed count (port 0).
+func PortLoads(topo *topology.Topology, lfts map[topology.NodeID]*ib.LFT, targets []Target) map[topology.NodeID][]int {
+	out := make(map[topology.NodeID][]int, len(lfts))
+	for sw, lft := range lfts {
+		n := topo.Node(sw)
+		loads := make([]int, len(n.Ports))
+		for _, t := range targets {
+			p := lft.Get(t.LID)
+			if p == ib.DropPort {
+				continue
+			}
+			if int(p) < len(loads) {
+				loads[p]++
+			}
+		}
+		out[sw] = loads
+	}
+	return out
+}
+
+// InterSwitchSpread summarises balance quality: for each switch it takes
+// the population standard deviation of the loads on its switch-to-switch
+// (trunk) ports, and returns the mean over switches. Zero means perfectly
+// even trunk utilisation.
+func InterSwitchSpread(topo *topology.Topology, loads map[topology.NodeID][]int) float64 {
+	total, count := 0.0, 0
+	for _, sw := range topo.Switches() { // deterministic order: float sums must reproduce
+		l, ok := loads[sw]
+		if !ok {
+			continue
+		}
+		n := topo.Node(sw)
+		var trunk []int
+		for p := 1; p < len(n.Ports); p++ {
+			pt := n.Ports[p]
+			if pt.Peer == topology.NoNode || !pt.Up {
+				continue
+			}
+			if topo.Node(pt.Peer).IsSwitch() {
+				trunk = append(trunk, l[p])
+			}
+		}
+		if len(trunk) < 2 {
+			continue
+		}
+		mean := 0.0
+		for _, v := range trunk {
+			mean += float64(v)
+		}
+		mean /= float64(len(trunk))
+		varsum := 0.0
+		for _, v := range trunk {
+			d := float64(v) - mean
+			varsum += d * d
+		}
+		total += math.Sqrt(varsum / float64(len(trunk)))
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return total / float64(count)
+}

@@ -1,0 +1,73 @@
+package routing
+
+import (
+	"testing"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+func TestPortLoadsAndSpread(t *testing.T) {
+	topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4}, W: []int{1, 4}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := reqFor(t, topo)
+	res, err := NewMinHop().Compute(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := PortLoads(topo, res.LFTs, req.Targets)
+	if len(loads) != topo.NumSwitches() {
+		t.Fatalf("loads for %d switches, want %d", len(loads), topo.NumSwitches())
+	}
+	// Every leaf carries all targets somewhere (sum over ports = targets).
+	leaf := topo.LeafSwitchOf(topo.CAs()[0])
+	sum := 0
+	for _, v := range loads[leaf] {
+		sum += v
+	}
+	if sum != len(req.Targets) {
+		t.Errorf("leaf routes %d of %d targets", sum, len(req.Targets))
+	}
+	// Balanced min-hop on a symmetric fat-tree: near-zero trunk spread.
+	spread := InterSwitchSpread(topo, loads)
+	if spread > 1.0 {
+		t.Errorf("minhop trunk spread %.3f too large for a symmetric fat-tree", spread)
+	}
+
+	// A deliberately skewed routing has a larger spread: force every
+	// cross-leaf LID through the first up port.
+	for _, sw := range topo.Switches() {
+		n := topo.Node(sw)
+		if n.Level != 1 {
+			continue
+		}
+		var firstUp int
+		for p := 1; p < len(n.Ports); p++ {
+			if n.Ports[p].Peer != topology.NoNode && topo.Node(n.Ports[p].Peer).IsSwitch() {
+				firstUp = p
+				break
+			}
+		}
+		lft := res.LFTs[sw]
+		for _, tg := range req.Targets {
+			cur := lft.Get(tg.LID)
+			if int(cur) != firstUp && topo.Node(n.Ports[cur].Peer) != nil &&
+				topo.Node(n.Ports[cur].Peer).IsSwitch() {
+				lft.Set(tg.LID, ib.PortNum(firstUp))
+			}
+		}
+	}
+	skewed := PortLoads(topo, res.LFTs, req.Targets)
+	if got := InterSwitchSpread(topo, skewed); got <= spread {
+		t.Errorf("skewed spread %.3f should exceed balanced %.3f", got, spread)
+	}
+}
+
+func TestInterSwitchSpreadEmpty(t *testing.T) {
+	topo, _ := topology.BuildRing(3, 1)
+	if got := InterSwitchSpread(topo, map[topology.NodeID][]int{}); got != 0 {
+		t.Errorf("empty spread = %f", got)
+	}
+}

@@ -1,0 +1,257 @@
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+
+	"ibvsim/internal/cdg"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// DFSSSP implements the deadlock-free single-source-shortest-path engine of
+// Domke, Hoefler and Nagel (IPDPS'11), the topology-agnostic routing the
+// paper benchmarks in Fig. 7. Per destination LID it runs a Dijkstra over
+// edge weights that accumulate the number of routes already placed on each
+// link (global balancing), then it breaks channel-dependency cycles by
+// assigning destinations to virtual-lane layers until every layer's CDG is
+// acyclic.
+//
+// Divergence from the reference implementation, documented in DESIGN.md:
+// layering granularity is per destination LID rather than per
+// source-destination pair. This is coarser (it may use more VLs on
+// irregular fabrics) but preserves both the computational shape — one SSSP
+// per LID dominates — and deadlock freedom.
+type DFSSSP struct {
+	// MaxVLs bounds the layering (IB hardware commonly has 8 data VLs).
+	MaxVLs int
+}
+
+// NewDFSSSP returns a DFSSSP engine with the standard 8-VL budget.
+func NewDFSSSP() *DFSSSP { return &DFSSSP{MaxVLs: 8} }
+
+// Name implements Engine.
+func (*DFSSSP) Name() string { return "dfsssp" }
+
+// dijkstraHeap is a minimal binary heap over (dist, switch index).
+type dijkstraItem struct {
+	dist uint64
+	node int
+}
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int            { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// Compute implements Engine.
+func (e *DFSSSP) Compute(req *Request) (*Result, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	maxVLs := e.MaxVLs
+	if maxVLs <= 0 {
+		maxVLs = 8
+	}
+
+	nsw := len(fv.switches)
+	// weight[i][k] is the load on the k-th adjacency edge out of switch i
+	// (the directed link i -> adj[i][k].peer). Every link starts at 1 so
+	// the first Dijkstra is plain min-hop.
+	weight := make([][]uint64, nsw)
+	for i := range weight {
+		weight[i] = make([]uint64, len(fv.adj[i]))
+		for k := range weight[i] {
+			weight[i][k] = 1
+		}
+	}
+
+	lfts := fv.newLFTs(req.Targets)
+	dist := make([]uint64, nsw)
+	done := make([]bool, nsw)
+	// egress[i]: chosen adjacency slot at switch i toward the current
+	// destination (-1 = none).
+	egress := make([]int, nsw)
+	const inf = ^uint64(0)
+	h := make(dijkstraHeap, 0, nsw)
+	paths := 0
+
+	for ti, t := range req.Targets {
+		ap := fv.attach[ti]
+		destSw := ap.sw
+		paths++
+
+		for i := 0; i < nsw; i++ {
+			dist[i] = inf
+			done[i] = false
+			egress[i] = -1
+		}
+		dist[destSw] = 0
+		h = h[:0]
+		heap.Push(&h, dijkstraItem{0, destSw})
+		for h.Len() > 0 {
+			it := heap.Pop(&h).(dijkstraItem)
+			u := it.node
+			if done[u] {
+				continue
+			}
+			done[u] = true
+			// Relax predecessors s: the forward edge is s -> u, so the
+			// weight lives on s's adjacency slot pointing at u, reached in
+			// O(1) through the precomputed reverse-slot index.
+			for _, eu := range fv.adj[u] {
+				s := eu.peer
+				if done[s] {
+					continue
+				}
+				k := eu.rev
+				cand := dist[u] + weight[s][k]
+				if cand < dist[s] {
+					dist[s] = cand
+					egress[s] = k
+					heap.Push(&h, dijkstraItem{cand, s})
+				}
+			}
+		}
+
+		lfts[fv.switches[destSw]].Set(t.LID, ap.port)
+		for i := 0; i < nsw; i++ {
+			if i == destSw || egress[i] < 0 {
+				continue
+			}
+			k := egress[i]
+			lfts[fv.switches[i]].Set(t.LID, fv.adj[i][k].port)
+			weight[i][k]++ // accumulate load for subsequent destinations
+		}
+	}
+
+	destVL, vls, err := e.assignVLs(req, fv, lfts, maxVLs)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		LFTs:   lfts,
+		DestVL: destVL,
+		Stats:  Stats{Duration: time.Since(start), PathsComputed: paths, VLsUsed: vls},
+	}, nil
+}
+
+// assignVLs moves whole destination trees between virtual-lane layers until
+// every layer's switch-to-switch channel dependency graph is acyclic,
+// mirroring the iterative cycle-ejection of the reference DFSSSP.
+func (e *DFSSSP) assignVLs(req *Request, fv *fabricView, lfts map[topology.NodeID]*ib.LFT, maxVLs int) (map[ib.LID]uint8, int, error) {
+	destVL := make(map[ib.LID]uint8, len(req.Targets))
+	layerOf := make([]uint8, len(req.Targets))
+	vls := 1
+
+	for layer := 0; layer < maxVLs; layer++ {
+		// Iteratively eject cycle participants from this layer.
+		for iter := 0; ; iter++ {
+			if iter > len(req.Targets) {
+				return nil, 0, fmt.Errorf("routing: dfsssp VL assignment did not converge on layer %d", layer)
+			}
+			g := cdg.NewGraph()
+			any := false
+			for ti := range req.Targets {
+				if layerOf[ti] != uint8(layer) {
+					continue
+				}
+				any = true
+				e.addDestTreeDeps(g, fv, lfts, req.Targets[ti].LID)
+			}
+			if !any {
+				break
+			}
+			cyc := g.FindCycle()
+			if cyc == nil {
+				break
+			}
+			// Move every destination in this layer whose tree traverses the
+			// first dependency of the cycle to the next layer.
+			if layer+1 >= maxVLs {
+				return nil, 0, fmt.Errorf("routing: dfsssp needs more than %d VLs", maxVLs)
+			}
+			a, b := cyc[0], cyc[1]
+			moved := 0
+			for ti, t := range req.Targets {
+				if layerOf[ti] != uint8(layer) {
+					continue
+				}
+				if e.treeUsesDep(fv, lfts, t.LID, a, b) {
+					layerOf[ti] = uint8(layer + 1)
+					moved++
+				}
+			}
+			if moved == 0 {
+				return nil, 0, fmt.Errorf("routing: dfsssp found an unattributable cycle on layer %d", layer)
+			}
+			if layer+2 > vls {
+				vls = layer + 2
+			}
+		}
+	}
+	for ti, t := range req.Targets {
+		destVL[t.LID] = layerOf[ti]
+	}
+	return destVL, vls, nil
+}
+
+// addDestTreeDeps adds the switch-to-switch dependencies of one
+// destination's forwarding tree. Injection (CA) channels cannot take part
+// in cycles and are skipped.
+func (e *DFSSSP) addDestTreeDeps(g *cdg.Graph, fv *fabricView, lfts map[topology.NodeID]*ib.LFT, dlid ib.LID) {
+	for i, id := range fv.switches {
+		out := lfts[id].Get(dlid)
+		if out == ib.DropPort || out == 0 {
+			continue
+		}
+		// Next hop must be a switch for a switch-switch dependency.
+		for _, eu := range fv.adj[i] {
+			if eu.port != out {
+				continue
+			}
+			nextID := fv.switches[eu.peer]
+			nout := lfts[nextID].Get(dlid)
+			if nout == ib.DropPort || nout == 0 {
+				break
+			}
+			g.AddDep(
+				cdg.Channel{Node: id, Port: out},
+				cdg.Channel{Node: nextID, Port: nout},
+			)
+			break
+		}
+	}
+}
+
+// treeUsesDep reports whether the destination's tree contains the
+// dependency a -> b.
+func (e *DFSSSP) treeUsesDep(fv *fabricView, lfts map[topology.NodeID]*ib.LFT, dlid ib.LID, a, b cdg.Channel) bool {
+	if lfts[a.Node] == nil || lfts[b.Node] == nil {
+		return false
+	}
+	if lfts[a.Node].Get(dlid) != a.Port || lfts[b.Node].Get(dlid) != b.Port {
+		return false
+	}
+	// The a channel must actually lead to b's switch.
+	n := fv.topo.Node(a.Node)
+	if int(a.Port) >= len(n.Ports) {
+		return false
+	}
+	return n.Ports[a.Port].Peer == b.Node
+}

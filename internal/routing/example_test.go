@@ -1,0 +1,43 @@
+package routing_test
+
+import (
+	"fmt"
+	"log"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/topology"
+)
+
+// Example routes a small fat-tree with two engines and verifies delivery.
+func Example() {
+	topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4}, W: []int{1, 4}}, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	req := &routing.Request{Topo: topo}
+	lid := ib.LID(1)
+	for _, ca := range topo.CAs() {
+		req.Targets = append(req.Targets, routing.Target{LID: lid, Node: ca})
+		lid++
+	}
+	for _, sw := range topo.Switches() {
+		req.Targets = append(req.Targets, routing.Target{LID: lid, Node: sw})
+		lid++
+	}
+	for _, name := range []string{"ftree", "dfsssp"} {
+		eng, err := routing.New(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := eng.Compute(req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d tables, delivery verified: %v\n",
+			name, len(res.LFTs), routing.Verify(req, res) == nil)
+	}
+	// Output:
+	// ftree: 8 tables, delivery verified: true
+	// dfsssp: 8 tables, delivery verified: true
+}

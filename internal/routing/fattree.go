@@ -1,0 +1,148 @@
+package routing
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+)
+
+// FatTree is the fat-tree-aware engine, the analogue of OpenSM's ftree. It
+// requires level annotations on the switches (BuildXGFT provides them):
+// level 1 switches are leaves, higher levels are spines. Downward routes to
+// a CA are unique in an XGFT and assigned by walking the destination's
+// ancestor cone; every other switch forwards upward, selecting among its up
+// ports by destination LID modulo the port count (the classical d-mod-k
+// dispersion, which is what gives distinct VF LIDs of one hypervisor
+// distinct spine paths in the prepopulated vSwitch model).
+type FatTree struct{}
+
+// NewFatTree returns the ftree engine.
+func NewFatTree() *FatTree { return &FatTree{} }
+
+// Name implements Engine.
+func (*FatTree) Name() string { return "ftree" }
+
+// Compute implements Engine.
+func (*FatTree) Compute(req *Request) (*Result, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	// Level sanity and per-switch up/down port split.
+	type upEdge struct {
+		port ib.PortNum
+		peer int
+	}
+	ups := make([][]upEdge, len(fv.switches))
+	downs := make([][]upEdge, len(fv.switches))
+	for i, id := range fv.switches {
+		n := fv.topo.Node(id)
+		if n.Level < 1 {
+			return nil, fmt.Errorf("routing: ftree requires levelled switches; %q has level %d (use minhop for irregular fabrics)", n.Desc, n.Level)
+		}
+		for _, e := range fv.adj[i] {
+			peerLevel := fv.topo.Node(fv.switches[e.peer]).Level
+			switch {
+			case peerLevel > n.Level:
+				ups[i] = append(ups[i], upEdge{port: e.port, peer: e.peer})
+			case peerLevel < n.Level:
+				downs[i] = append(downs[i], upEdge{port: e.port, peer: e.peer})
+			default:
+				return nil, fmt.Errorf("routing: ftree found same-level link %q <-> %q",
+					n.Desc, fv.topo.Node(fv.switches[e.peer]).Desc)
+			}
+		}
+	}
+
+	lfts := fv.newLFTs(req.Targets)
+	paths := 0
+
+	// downPort[i] is reused per destination: the egress of switch i on the
+	// unique downward path, or 0 when i is not an ancestor.
+	downPort := make([]ib.PortNum, len(fv.switches))
+	marked := make([]int32, len(fv.switches)) // generation tags
+	gen := int32(0)
+
+	// For switch-target LIDs we fall back to BFS min-hop (management
+	// traffic to switch LIDs does not need d-mod-k dispersion).
+	dist := make([]int, len(fv.switches))
+	queue := make([]int, 0, len(fv.switches))
+
+	for ti, t := range req.Targets {
+		ap := fv.attach[ti]
+		if ap.port == 0 {
+			// The target is a switch itself.
+			paths++
+			fv.bfsFromSwitch(ap.sw, dist, queue)
+			lfts[fv.switches[ap.sw]].Set(t.LID, 0)
+			for i := range fv.switches {
+				if i == ap.sw || dist[i] < 0 {
+					continue
+				}
+				for _, e := range fv.adj[i] {
+					if dist[e.peer] == dist[i]-1 {
+						lfts[fv.switches[i]].Set(t.LID, e.port)
+						break
+					}
+				}
+			}
+			continue
+		}
+
+		// CA target: mark the ancestor cone with unique down ports.
+		paths++
+		gen++
+		frontier := queue[:0]
+		downPort[ap.sw] = ap.port
+		marked[ap.sw] = gen
+		frontier = append(frontier, ap.sw)
+		for fi := 0; fi < len(frontier); fi++ {
+			u := frontier[fi]
+			for _, e := range ups[u] {
+				p := e.peer
+				if marked[p] == gen {
+					continue
+				}
+				marked[p] = gen
+				// The parent's egress toward u is the reverse of the up
+				// edge: find the down edge of p that reaches u.
+				var dp ib.PortNum
+				for _, de := range downs[p] {
+					if de.peer == u {
+						dp = de.port
+						break
+					}
+				}
+				if dp == 0 {
+					return nil, fmt.Errorf("routing: ftree asymmetry: parent of %q lacks a down port", fv.topo.Node(fv.switches[u]).Desc)
+				}
+				downPort[p] = dp
+				frontier = append(frontier, p)
+			}
+		}
+		queue = frontier[:0]
+
+		for i := range fv.switches {
+			tbl := lfts[fv.switches[i]]
+			if marked[i] == gen {
+				tbl.Set(t.LID, downPort[i])
+				continue
+			}
+			if len(ups[i]) == 0 {
+				continue // disconnected from the ancestor cone; drop
+			}
+			sel := ups[i][int(t.LID)%len(ups[i])]
+			tbl.Set(t.LID, sel.port)
+		}
+	}
+
+	return &Result{
+		LFTs:  lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths},
+	}, nil
+}

@@ -1,0 +1,181 @@
+package routing
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/cdg"
+	"ibvsim/internal/topology"
+)
+
+// LASH implements LAyered SHortest path routing: minimal paths for every
+// pair of end switches, made deadlock free by partitioning the pairs into
+// virtual-lane layers whose channel dependency graphs are each kept
+// acyclic. The per-pair acyclicity trial is what makes LASH by far the most
+// expensive engine in the paper's Fig. 7 (39145 s on the 11664-node
+// fabric); this implementation keeps the same O(pairs) trial structure but
+// uses a Pearce-Kelly incremental topological order (cdg.Ordered) so the
+// trials are tractable on a laptop.
+type LASH struct {
+	// MaxVLs bounds the number of layers (8 data VLs in common hardware).
+	MaxVLs int
+}
+
+// NewLASH returns a LASH engine with the standard 8-VL budget.
+func NewLASH() *LASH { return &LASH{MaxVLs: 8} }
+
+// Name implements Engine.
+func (*LASH) Name() string { return "lash" }
+
+// Compute implements Engine.
+func (e *LASH) Compute(req *Request) (*Result, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	maxVLs := e.MaxVLs
+	if maxVLs <= 0 {
+		maxVLs = 8
+	}
+
+	lfts := fv.newLFTs(req.Targets)
+	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+
+	// Destination trees: plain BFS shortest paths, lowest-port tie-break
+	// (classic LASH does not load balance; the layering is its concern).
+	dist := make([]int, len(fv.switches))
+	queue := make([]int, 0, len(fv.switches))
+	// egressTo[d][s] = egress adjacency slot of switch s toward dest switch
+	// d, used later to reconstruct pair paths without LFT lookups.
+	egressTo := make(map[int][]int, len(groups))
+
+	for gi, group := range groups {
+		destSw := keys[gi]
+		fv.bfsFromSwitch(destSw, dist, queue)
+		eg := make([]int, len(fv.switches))
+		for i := range eg {
+			eg[i] = -1
+		}
+		for i := range fv.switches {
+			if i == destSw || dist[i] < 0 {
+				continue
+			}
+			for k, ed := range fv.adj[i] {
+				if dist[ed.peer] == dist[i]-1 {
+					eg[i] = k
+					break
+				}
+			}
+		}
+		egressTo[destSw] = eg
+		for _, ti := range group {
+			t := req.Targets[ti]
+			lfts[fv.switches[destSw]].Set(t.LID, fv.attach[ti].port)
+			for i := range fv.switches {
+				if eg[i] >= 0 {
+					lfts[fv.switches[i]].Set(t.LID, fv.adj[i][eg[i]].port)
+				}
+			}
+		}
+	}
+
+	// Layer assignment per (source switch, destination switch) pair.
+	// Sources are switches with attached CAs; destinations are switches
+	// owning at least one target.
+	srcSet := map[int]bool{}
+	for ti := range req.Targets {
+		if fv.attach[ti].port != 0 {
+			srcSet[fv.attach[ti].sw] = true
+		}
+	}
+	var sources []int
+	for i := range fv.switches {
+		if srcSet[i] {
+			sources = append(sources, i)
+		}
+	}
+
+	layers := make([]*cdg.Ordered, 1, maxVLs)
+	layers[0] = cdg.NewOrdered()
+	pairVL := map[[2]topology.NodeID]uint8{}
+	pairs := 0
+
+	pathBuf := make([]cdg.Channel, 0, 16)
+	for _, destSw := range keys {
+		eg := egressTo[destSw]
+		for _, src := range sources {
+			if src == destSw {
+				continue
+			}
+			pairs++
+			// Reconstruct the channel sequence src -> destSw.
+			pathBuf = pathBuf[:0]
+			cur := src
+			for cur != destSw {
+				k := eg[cur]
+				if k < 0 {
+					return nil, fmt.Errorf("routing: lash: no path from switch %d to %d", src, destSw)
+				}
+				pathBuf = append(pathBuf, cdg.Channel{
+					Node: fv.switches[cur],
+					Port: fv.adj[cur][k].port,
+				})
+				cur = fv.adj[cur][k].peer
+			}
+			vl, err := placePath(layers, pathBuf, maxVLs)
+			if err != nil {
+				return nil, err
+			}
+			if vl == len(layers) {
+				layers = append(layers, cdg.NewOrdered())
+				if vl2, err := placePath(layers, pathBuf, maxVLs); err != nil || vl2 != vl {
+					return nil, fmt.Errorf("routing: lash: fresh layer rejected a path (%v)", err)
+				}
+			}
+			pairVL[[2]topology.NodeID{fv.switches[src], fv.switches[destSw]}] = uint8(vl)
+		}
+	}
+
+	return &Result{
+		LFTs:   lfts,
+		PairVL: pairVL,
+		Stats:  Stats{Duration: time.Since(start), PathsComputed: pairs, VLsUsed: len(layers)},
+	}, nil
+}
+
+// placePath tries to insert the path's channel dependencies into the first
+// layer that stays acyclic. It returns the layer index used, or len(layers)
+// if a new layer is needed (the caller allocates it and retries), or an
+// error when even a fresh layer would exceed maxVLs.
+func placePath(layers []*cdg.Ordered, path []cdg.Channel, maxVLs int) (int, error) {
+	if len(path) < 2 {
+		// Single-hop paths create no switch-switch dependencies; keep them
+		// on VL 0.
+		return 0, nil
+	}
+	for vl, layer := range layers {
+		ok := true
+		inserted := make([][2]cdg.Channel, 0, len(path)-1)
+		for i := 0; i+1 < len(path); i++ {
+			if _, acyclic := layer.AddDepChecked(path[i], path[i+1]); !acyclic {
+				ok = false
+				break
+			}
+			inserted = append(inserted, [2]cdg.Channel{path[i], path[i+1]})
+		}
+		if ok {
+			return vl, nil
+		}
+		for _, d := range inserted {
+			layer.RemoveDepChecked(d[0], d[1])
+		}
+	}
+	if len(layers) >= maxVLs {
+		return 0, fmt.Errorf("routing: lash needs more than %d VLs", maxVLs)
+	}
+	return len(layers), nil
+}

@@ -1,0 +1,90 @@
+package routing
+
+import (
+	"time"
+
+	"ibvsim/internal/ib"
+)
+
+// MinHop is the OpenSM default: every LID is routed along a minimal-hop
+// path, and among equal-length candidates the engine picks the egress port
+// with the lowest accumulated load (number of LIDs already routed through
+// it), breaking remaining ties by port number. Min-Hop makes no
+// deadlock-freedom guarantee — on rings and tori its channel dependency
+// graph is cyclic, which the cdg package demonstrates.
+type MinHop struct{}
+
+// NewMinHop returns the minhop engine.
+func NewMinHop() *MinHop { return &MinHop{} }
+
+// Name implements Engine.
+func (*MinHop) Name() string { return "minhop" }
+
+// Compute implements Engine.
+func (*MinHop) Compute(req *Request) (*Result, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	lfts := fv.newLFTs(req.Targets)
+
+	// load[i][p] counts LIDs already routed out of port p of switch i.
+	load := make([][]uint32, len(fv.switches))
+	for i, id := range fv.switches {
+		load[i] = make([]uint32, len(fv.topo.Node(id).Ports))
+	}
+
+	dist := make([]int, len(fv.switches))
+	queue := make([]int, 0, len(fv.switches))
+	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	paths := 0
+
+	for gi, group := range groups {
+		destSw := keys[gi]
+		fv.bfsFromSwitch(destSw, dist, queue)
+		paths++
+
+		// candidates[i]: ports of switch i leading one hop closer to destSw.
+		candidates := make([][]ib.PortNum, len(fv.switches))
+		for i := range fv.switches {
+			if i == destSw || dist[i] < 0 {
+				continue
+			}
+			for _, e := range fv.adj[i] {
+				if dist[e.peer] == dist[i]-1 {
+					candidates[i] = append(candidates[i], e.port)
+				}
+			}
+		}
+
+		for _, ti := range group {
+			t := req.Targets[ti]
+			ap := fv.attach[ti]
+			// Destination switch entry: port 0 for the switch's own LID,
+			// or the access port toward the CA.
+			lfts[fv.switches[destSw]].Set(t.LID, ap.port)
+			for i := range fv.switches {
+				if i == destSw || len(candidates[i]) == 0 {
+					continue
+				}
+				best := candidates[i][0]
+				for _, p := range candidates[i][1:] {
+					if load[i][p] < load[i][best] {
+						best = p
+					}
+				}
+				load[i][best]++
+				lfts[fv.switches[i]].Set(t.LID, best)
+			}
+		}
+	}
+
+	return &Result{
+		LFTs:  lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths},
+	}, nil
+}

@@ -1,0 +1,330 @@
+// Package routing implements the subnet routing engines the paper's Fig. 7
+// compares: Fat-Tree, Min-Hop, DFSSSP and LASH, plus Up*/Down* as an extra
+// baseline. Every engine consumes a Request (topology + the set of LIDs to
+// route, each bound to a physical node) and produces one linear forwarding
+// table per switch.
+//
+// A LID-to-node binding may repeat the node: in the paper's prepopulated
+// vSwitch model every VF of a hypervisor carries its own LID, and the
+// engines deliberately route each LID independently so different VFs of the
+// same HCA can use different paths (the LMC-like property of section V-A).
+package routing
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// Target binds one LID to the physical node that terminates it. For a
+// vSwitch VF the node is the hypervisor's HCA.
+type Target struct {
+	LID  ib.LID
+	Node topology.NodeID
+}
+
+// Request is the input to a routing engine.
+type Request struct {
+	Topo    *topology.Topology
+	Targets []Target
+}
+
+// Validate checks the request is routable at all.
+func (r *Request) Validate() error {
+	if r.Topo == nil {
+		return fmt.Errorf("routing: nil topology")
+	}
+	if len(r.Targets) == 0 {
+		return fmt.Errorf("routing: no targets")
+	}
+	seen := map[ib.LID]bool{}
+	for _, t := range r.Targets {
+		if !t.LID.IsUnicast() {
+			return fmt.Errorf("routing: target LID %d not unicast", t.LID)
+		}
+		if seen[t.LID] {
+			return fmt.Errorf("routing: duplicate target LID %d", t.LID)
+		}
+		seen[t.LID] = true
+		if r.Topo.Node(t.Node) == nil {
+			return fmt.Errorf("routing: target LID %d bound to missing node %d", t.LID, t.Node)
+		}
+	}
+	return nil
+}
+
+// Stats reports the cost of a routing computation; the Fig. 7 experiment is
+// built from Stats.Duration.
+type Stats struct {
+	Duration      time.Duration
+	PathsComputed int // destination trees or pairs, engine-dependent
+	VLsUsed       int
+}
+
+// Result is the output of a routing engine.
+type Result struct {
+	// LFTs maps each switch to its forwarding table.
+	LFTs map[topology.NodeID]*ib.LFT
+	// DestVL optionally assigns a virtual lane per destination LID
+	// (DFSSSP-style layering at destination granularity).
+	DestVL map[ib.LID]uint8
+	// PairVL optionally assigns a virtual lane per (source switch,
+	// destination switch) pair (LASH-style layering).
+	PairVL map[[2]topology.NodeID]uint8
+	Stats  Stats
+}
+
+// Engine computes forwarding tables for a subnet.
+type Engine interface {
+	// Name returns the engine's OpenSM-style identifier.
+	Name() string
+	// Compute routes all target LIDs.
+	Compute(req *Request) (*Result, error)
+}
+
+// New returns the engine with the given OpenSM-style name: "minhop",
+// "updn", "ftree", "dfsssp" or "lash".
+func New(name string) (Engine, error) {
+	switch name {
+	case "minhop":
+		return NewMinHop(), nil
+	case "updn":
+		return NewUpDown(), nil
+	case "ftree":
+		return NewFatTree(), nil
+	case "dfsssp":
+		return NewDFSSSP(), nil
+	case "lash":
+		return NewLASH(), nil
+	default:
+		return nil, fmt.Errorf("routing: unknown engine %q (have %v)", name, Names())
+	}
+}
+
+// Names lists the available engine names in a stable order.
+func Names() []string { return []string{"ftree", "minhop", "updn", "dfsssp", "lash"} }
+
+// fabricView is the preprocessed switch graph every engine works on.
+type fabricView struct {
+	topo     *topology.Topology
+	switches []topology.NodeID
+	swIdx    map[topology.NodeID]int // switch node -> dense index
+
+	// adjacency between switches: for switch i, a list of (port, peer index)
+	adj [][]swEdge
+
+	// attach[t] for each target: the switch the LID hangs off and the port
+	// on that switch toward the node (0 when the target IS the switch).
+	attach []attachPoint
+}
+
+type swEdge struct {
+	port ib.PortNum
+	peer int // dense switch index
+	rev  int // index of the reverse edge within adj[peer]
+}
+
+type attachPoint struct {
+	sw   int        // dense switch index
+	port ib.PortNum // egress on that switch toward the CA; 0 if target is the switch
+}
+
+func newFabricView(req *Request) (*fabricView, error) {
+	fv := &fabricView{
+		topo:  req.Topo,
+		swIdx: map[topology.NodeID]int{},
+	}
+	for _, id := range req.Topo.Switches() {
+		fv.swIdx[id] = len(fv.switches)
+		fv.switches = append(fv.switches, id)
+	}
+	if len(fv.switches) == 0 {
+		return nil, fmt.Errorf("routing: topology has no switches")
+	}
+	fv.adj = make([][]swEdge, len(fv.switches))
+	for i, id := range fv.switches {
+		n := req.Topo.Node(id)
+		for p := 1; p < len(n.Ports); p++ {
+			pt := n.Ports[p]
+			if pt.Peer == topology.NoNode || !pt.Up {
+				continue
+			}
+			if j, ok := fv.swIdx[pt.Peer]; ok {
+				fv.adj[i] = append(fv.adj[i], swEdge{port: ib.PortNum(p), peer: j})
+			}
+		}
+	}
+	// Fill reverse-edge slots: adj[i][k] <-> adj[peer][rev] describe the
+	// same physical link. Matched via the peer's port number.
+	for i, id := range fv.topo.Switches() {
+		n := fv.topo.Node(id)
+		for k := range fv.adj[i] {
+			e := &fv.adj[i][k]
+			peerPort := n.Ports[e.port].PeerPort
+			for k2, e2 := range fv.adj[e.peer] {
+				if e2.port == peerPort {
+					e.rev = k2
+					break
+				}
+			}
+		}
+	}
+	fv.attach = make([]attachPoint, len(req.Targets))
+	for ti, t := range req.Targets {
+		n := req.Topo.Node(t.Node)
+		if n.IsSwitch() {
+			fv.attach[ti] = attachPoint{sw: fv.swIdx[t.Node], port: 0}
+			continue
+		}
+		leaf := req.Topo.LeafSwitchOf(t.Node)
+		if leaf == topology.NoNode {
+			return nil, fmt.Errorf("routing: target LID %d on %q has no attached switch", t.LID, n.Desc)
+		}
+		fv.attach[ti] = attachPoint{
+			sw:   fv.swIdx[leaf],
+			port: req.Topo.PortToward(leaf, t.Node),
+		}
+	}
+	return fv, nil
+}
+
+// newLFTs allocates one forwarding table per switch sized for the topmost
+// target LID.
+func (fv *fabricView) newLFTs(targets []Target) map[topology.NodeID]*ib.LFT {
+	var top ib.LID
+	for _, t := range targets {
+		if t.LID > top {
+			top = t.LID
+		}
+	}
+	out := make(map[topology.NodeID]*ib.LFT, len(fv.switches))
+	for _, id := range fv.switches {
+		out[id] = ib.NewLFT(top)
+	}
+	return out
+}
+
+// bfsFromSwitch fills dist (len = #switches, -1 = unreachable) with hop
+// counts over the switch graph from the given dense index.
+func (fv *fabricView) bfsFromSwitch(src int, dist []int, queue []int) {
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue = append(queue[:0], src)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range fv.adj[u] {
+			if dist[e.peer] < 0 {
+				dist[e.peer] = dist[u] + 1
+				queue = append(queue, e.peer)
+			}
+		}
+	}
+}
+
+// groupTargetsBySwitch returns target indices grouped by attach switch, in
+// ascending LID order within each group, and the group keys in ascending
+// dense-index order. Engines that compute one tree per destination switch
+// use this to share work between LIDs of the same leaf.
+func (fv *fabricView) groupTargetsBySwitch(targets []Target) ([][]int, []int) {
+	groups := map[int][]int{}
+	for ti := range targets {
+		sw := fv.attach[ti].sw
+		groups[sw] = append(groups[sw], ti)
+	}
+	keys := make([]int, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := make([][]int, 0, len(keys))
+	for _, k := range keys {
+		g := groups[k]
+		sort.Slice(g, func(a, b int) bool { return targets[g[a]].LID < targets[g[b]].LID })
+		out = append(out, g)
+	}
+	return out, keys
+}
+
+// Verify walks every (switch, target LID) pair through the computed LFTs
+// and reports the first failure: a drop, a forwarding loop, or delivery to
+// the wrong node. It is O(switches x LIDs x pathlen) — meant for tests and
+// moderate subnets.
+func Verify(req *Request, res *Result) error {
+	nodeOf := map[ib.LID]topology.NodeID{}
+	for _, t := range req.Targets {
+		nodeOf[t.LID] = t.Node
+	}
+	for _, swID := range req.Topo.Switches() {
+		for _, t := range req.Targets {
+			if err := walkOne(req.Topo, res, swID, t.LID, nodeOf[t.LID]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// VerifySampled is Verify over every target LID but only from the given
+// number of evenly spaced source switches.
+func VerifySampled(req *Request, res *Result, sources int) error {
+	sw := req.Topo.Switches()
+	if sources <= 0 || sources > len(sw) {
+		sources = len(sw)
+	}
+	step := len(sw) / sources
+	if step == 0 {
+		step = 1
+	}
+	nodeOf := map[ib.LID]topology.NodeID{}
+	for _, t := range req.Targets {
+		nodeOf[t.LID] = t.Node
+	}
+	for i := 0; i < len(sw); i += step {
+		for _, t := range req.Targets {
+			if err := walkOne(req.Topo, res, sw[i], t.LID, nodeOf[t.LID]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func walkOne(topo *topology.Topology, res *Result, from topology.NodeID, dlid ib.LID, want topology.NodeID) error {
+	cur := from
+	for hops := 0; ; hops++ {
+		if hops > 64 {
+			return fmt.Errorf("routing: loop toward LID %d starting at %d", dlid, from)
+		}
+		n := topo.Node(cur)
+		if !n.IsSwitch() {
+			if cur != want {
+				return fmt.Errorf("routing: LID %d delivered to %q, want node %d", dlid, n.Desc, want)
+			}
+			return nil
+		}
+		lft := res.LFTs[cur]
+		if lft == nil {
+			return fmt.Errorf("routing: switch %q has no LFT", n.Desc)
+		}
+		out := lft.Get(dlid)
+		if out == ib.DropPort {
+			return fmt.Errorf("routing: switch %q drops LID %d", n.Desc, dlid)
+		}
+		if out == 0 {
+			if cur != want {
+				return fmt.Errorf("routing: LID %d consumed by switch %q, want node %d", dlid, n.Desc, want)
+			}
+			return nil
+		}
+		if int(out) >= len(n.Ports) || n.Ports[out].Peer == topology.NoNode || !n.Ports[out].Up {
+			return fmt.Errorf("routing: switch %q forwards LID %d to dead port %d", n.Desc, dlid, out)
+		}
+		cur = n.Ports[out].Peer
+	}
+}

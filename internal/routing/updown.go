@@ -1,0 +1,201 @@
+package routing
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+)
+
+// UpDown implements Up*/Down* routing: switches are ranked by a BFS from a
+// root, every link gets an "up" end (toward the root), and a legal path
+// climbs zero or more up links followed by zero or more down links. The
+// engine uses the down-preferred variant: a switch with any all-down path
+// to the destination takes the shortest such path, otherwise it forwards
+// up. Down-preferred guarantees the up*/down* property holds hop by hop
+// with plain destination-based LFTs, at the cost of occasionally
+// non-minimal paths on irregular fabrics.
+type UpDown struct {
+	// Root optionally pins the ranking root (dense switch index is chosen
+	// automatically when < 0).
+	Root int
+}
+
+// NewUpDown returns an up*/down* engine with automatic root selection (the
+// highest-degree switch, which in a fat-tree is a spine).
+func NewUpDown() *UpDown { return &UpDown{Root: -1} }
+
+// Name implements Engine.
+func (*UpDown) Name() string { return "updn" }
+
+// Compute implements Engine.
+func (e *UpDown) Compute(req *Request) (*Result, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	root := e.Root
+	if root < 0 {
+		// Prefer the topologically highest level when available (fat-tree
+		// spines), falling back to max degree.
+		best, bestKey := 0, -1
+		for i, id := range fv.switches {
+			n := fv.topo.Node(id)
+			key := n.Level*1000 + len(fv.adj[i])
+			if key > bestKey {
+				best, bestKey = i, key
+			}
+		}
+		root = best
+	}
+	if root >= len(fv.switches) {
+		return nil, fmt.Errorf("routing: updn root %d out of range", root)
+	}
+
+	// Rank switches by BFS depth from the root.
+	rank := make([]int, len(fv.switches))
+	queue := make([]int, 0, len(fv.switches))
+	fv.bfsFromSwitch(root, rank, queue)
+	for i, r := range rank {
+		if r < 0 {
+			return nil, fmt.Errorf("routing: switch %q unreachable from updn root",
+				fv.topo.Node(fv.switches[i]).Desc)
+		}
+	}
+	// up(i, j): moving i -> j is an up move (toward the root).
+	up := func(i, j int) bool {
+		if rank[j] != rank[i] {
+			return rank[j] < rank[i]
+		}
+		return j < i // deterministic tie-break for equal ranks
+	}
+
+	lfts := fv.newLFTs(req.Targets)
+	load := make([][]uint32, len(fv.switches))
+	for i, id := range fv.switches {
+		load[i] = make([]uint32, len(fv.topo.Node(id).Ports))
+	}
+
+	distD := make([]int, len(fv.switches)) // shortest all-down path to dest
+	distU := make([]int, len(fv.switches)) // shortest legal (up* then down*) path
+	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	paths := 0
+
+	for gi, group := range groups {
+		destSw := keys[gi]
+		paths++
+		// distD: BFS over reversed down moves. A move s->n is "down" when
+		// up(n, s) holds (n is the up end). Walking backward from the
+		// destination we extend via predecessors s with s->n down.
+		for i := range distD {
+			distD[i] = -1
+			distU[i] = -1
+		}
+		distD[destSw] = 0
+		queue = append(queue[:0], destSw)
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, e := range fv.adj[n] {
+				s := e.peer
+				// s -> n is a down move iff up(n, s)... careful: down means
+				// away from root, i.e. NOT an up move and specifically the
+				// reverse of one: s -> n is down iff up-direction of the
+				// link points from n to s, i.e. up(n, s) == false and
+				// up(s, n)? A link's up end is the lower-ranked side; the
+				// move s->n is down when n is the lower... no: up = toward
+				// root = toward lower rank. s->n is down when rank[n] >
+				// rank[s] (n farther from root), i.e. up(n, s).
+				if up(n, s) && distD[s] < 0 {
+					distD[s] = distD[n] + 1
+					queue = append(queue, s)
+				}
+			}
+		}
+		// distU: seeded by distD, relaxed backward over up moves (s -> n is
+		// up). Seeds differ in value, so process with a monotone bucket
+		// scan instead of plain BFS.
+		maxSeed := 0
+		for i, d := range distD {
+			distU[i] = d
+			if d > maxSeed {
+				maxSeed = d
+			}
+		}
+		buckets := make([][]int, maxSeed+len(fv.switches)+2)
+		for i, d := range distU {
+			if d >= 0 {
+				buckets[d] = append(buckets[d], i)
+			}
+		}
+		for d := 0; d < len(buckets); d++ {
+			for qi := 0; qi < len(buckets[d]); qi++ {
+				n := buckets[d][qi]
+				if distU[n] != d {
+					continue // stale entry
+				}
+				for _, e := range fv.adj[n] {
+					s := e.peer
+					if !up(s, n) {
+						continue // only up moves extend the U phase
+					}
+					if distU[s] < 0 || distU[s] > d+1 {
+						distU[s] = d + 1
+						if d+1 < len(buckets) {
+							buckets[d+1] = append(buckets[d+1], s)
+						}
+					}
+				}
+			}
+		}
+
+		// Candidates per switch: down-preferred.
+		candidates := make([][]ib.PortNum, len(fv.switches))
+		for i := range fv.switches {
+			if i == destSw {
+				continue
+			}
+			if distD[i] > 0 {
+				for _, e := range fv.adj[i] {
+					if up(e.peer, i) && distD[e.peer] == distD[i]-1 {
+						candidates[i] = append(candidates[i], e.port)
+					}
+				}
+			} else if distU[i] > 0 {
+				for _, e := range fv.adj[i] {
+					if up(i, e.peer) && distU[e.peer] == distU[i]-1 {
+						candidates[i] = append(candidates[i], e.port)
+					}
+				}
+			}
+		}
+
+		for _, ti := range group {
+			t := req.Targets[ti]
+			ap := fv.attach[ti]
+			lfts[fv.switches[destSw]].Set(t.LID, ap.port)
+			for i := range fv.switches {
+				if i == destSw || len(candidates[i]) == 0 {
+					continue
+				}
+				best := candidates[i][0]
+				for _, p := range candidates[i][1:] {
+					if load[i][p] < load[i][best] {
+						best = p
+					}
+				}
+				load[i][best]++
+				lfts[fv.switches[i]].Set(t.LID, best)
+			}
+		}
+	}
+
+	return &Result{
+		LFTs:  lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths},
+	}, nil
+}

@@ -1,0 +1,167 @@
+// Package sa models the InfiniBand Subnet Administration path-record
+// machinery the paper's introduction leans on: when a VM migrates and its
+// addresses change, every peer floods the SA with PathRecord queries to
+// re-resolve the destination (the "SA path record query storm").
+//
+// The authors' companion work (Tasoulas et al., CCGrid 2015, reference
+// [10]) adds client-side caching: peers cache GID-to-path mappings and skip
+// the SA on reconnect. The cache only helps if the cached record stays
+// *valid* — which is exactly what the vSwitch architecture provides, since
+// the VM carries its LID along. Under Shared Port the LID changes and every
+// cached record for the VM goes stale. This package lets the experiments
+// quantify that difference in queries saved.
+package sa
+
+import (
+	"fmt"
+	"sync"
+
+	"ibvsim/internal/ib"
+)
+
+// PathRecord is the subset of SA PathRecord attributes the simulator needs.
+type PathRecord struct {
+	DGID ib.GID
+	DLID ib.LID
+	SL   uint8
+}
+
+// Service is the SA: the authoritative GID-to-path registry colocated with
+// the subnet manager. Queries are counted; the vSwitch argument is that
+// reconfiguration keeps this registry consistent with just a rebind,
+// while address-changing migrations invalidate every consumer cache.
+type Service struct {
+	mu      sync.Mutex
+	records map[ib.GID]PathRecord
+	queries int
+}
+
+// NewService returns an empty SA.
+func NewService() *Service {
+	return &Service{records: map[ib.GID]PathRecord{}}
+}
+
+// Register installs or replaces the record for a GID.
+func (s *Service) Register(gid ib.GID, rec PathRecord) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec.DGID = gid
+	s.records[gid] = rec
+}
+
+// Unregister removes a GID.
+func (s *Service) Unregister(gid ib.GID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.records, gid)
+}
+
+// Rebind updates the LID of an existing record (the vSwitch migration case:
+// same GID, same LID — or a Shared Port migration: same GID, new LID).
+func (s *Service) Rebind(gid ib.GID, lid ib.LID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[gid]
+	if !ok {
+		return fmt.Errorf("sa: no record for GID %s", gid)
+	}
+	rec.DLID = lid
+	s.records[gid] = rec
+	return nil
+}
+
+// Query resolves a GID, counting the SA round trip.
+func (s *Service) Query(gid ib.GID) (PathRecord, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries++
+	rec, ok := s.records[gid]
+	if !ok {
+		return PathRecord{}, fmt.Errorf("sa: no record for GID %s", gid)
+	}
+	return rec, nil
+}
+
+// Queries returns the number of Query calls served.
+func (s *Service) Queries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queries
+}
+
+// ResetQueries zeroes the query counter.
+func (s *Service) ResetQueries() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queries = 0
+}
+
+// Cache is a peer-side path-record cache (the [10] scheme). Lookups hit the
+// cache first; a miss falls through to the SA and populates the cache.
+type Cache struct {
+	sa      *Service
+	mu      sync.Mutex
+	entries map[ib.GID]PathRecord
+
+	Hits   int
+	Misses int
+}
+
+// NewCache returns a cache backed by the given SA.
+func NewCache(sa *Service) *Cache {
+	return &Cache{sa: sa, entries: map[ib.GID]PathRecord{}}
+}
+
+// Resolve returns the path record for a GID, consulting the SA only on a
+// cache miss.
+func (c *Cache) Resolve(gid ib.GID) (PathRecord, error) {
+	c.mu.Lock()
+	if rec, ok := c.entries[gid]; ok {
+		c.Hits++
+		c.mu.Unlock()
+		return rec, nil
+	}
+	c.Misses++
+	c.mu.Unlock()
+	rec, err := c.sa.Query(gid)
+	if err != nil {
+		return PathRecord{}, err
+	}
+	c.mu.Lock()
+	c.entries[gid] = rec
+	c.mu.Unlock()
+	return rec, nil
+}
+
+// Invalidate drops one entry (what a peer must do when it learns the
+// destination's addresses changed — the Shared Port migration case).
+func (c *Cache) Invalidate(gid ib.GID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, gid)
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Validate compares a cached entry against the SA without counting a query
+// (used by tests to prove vSwitch migrations keep caches coherent).
+func (c *Cache) Validate(gid ib.GID) (bool, error) {
+	c.mu.Lock()
+	cached, ok := c.entries[gid]
+	c.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("sa: GID %s not cached", gid)
+	}
+	c.sa.mu.Lock()
+	truth, ok := c.sa.records[gid]
+	c.sa.mu.Unlock()
+	if !ok {
+		return false, fmt.Errorf("sa: GID %s not registered", gid)
+	}
+	return cached == truth, nil
+}

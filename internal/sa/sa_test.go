@@ -1,0 +1,142 @@
+package sa
+
+import (
+	"testing"
+
+	"ibvsim/internal/ib"
+)
+
+func gid(n uint64) ib.GID { return ib.MakeGID(ib.DefaultGIDPrefix, ib.GUID(n)) }
+
+func TestRegisterQueryUnregister(t *testing.T) {
+	s := NewService()
+	s.Register(gid(1), PathRecord{DLID: 10, SL: 1})
+	rec, err := s.Query(gid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DLID != 10 || rec.SL != 1 || rec.DGID != gid(1) {
+		t.Errorf("record = %+v", rec)
+	}
+	if s.Queries() != 1 {
+		t.Errorf("queries = %d", s.Queries())
+	}
+	if _, err := s.Query(gid(2)); err == nil {
+		t.Error("unknown GID should fail")
+	}
+	s.Unregister(gid(1))
+	if _, err := s.Query(gid(1)); err == nil {
+		t.Error("unregistered GID should fail")
+	}
+	s.ResetQueries()
+	if s.Queries() != 0 {
+		t.Error("ResetQueries")
+	}
+}
+
+func TestRebind(t *testing.T) {
+	s := NewService()
+	s.Register(gid(1), PathRecord{DLID: 10})
+	if err := s.Rebind(gid(1), 99); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := s.Query(gid(1))
+	if rec.DLID != 99 {
+		t.Errorf("DLID after rebind = %d", rec.DLID)
+	}
+	if err := s.Rebind(gid(7), 1); err == nil {
+		t.Error("rebinding unknown GID should fail")
+	}
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	s := NewService()
+	s.Register(gid(1), PathRecord{DLID: 10})
+	c := NewCache(s)
+	if _, err := c.Resolve(gid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Resolve(gid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if s.Queries() != 1 {
+		t.Errorf("SA queries = %d, want 1 (second resolve cached)", s.Queries())
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d", c.Len())
+	}
+	if _, err := c.Resolve(gid(5)); err == nil {
+		t.Error("unknown GID through cache should fail")
+	}
+}
+
+func TestVSwitchMigrationKeepsCacheValid(t *testing.T) {
+	// The core paper argument: under vSwitch the VM keeps LID+GID, so a
+	// peer's cached record is still valid after migration — zero new SA
+	// queries needed.
+	s := NewService()
+	s.Register(gid(1), PathRecord{DLID: 10})
+	c := NewCache(s)
+	if _, err := c.Resolve(gid(1)); err != nil {
+		t.Fatal(err)
+	}
+	// vSwitch migration: addresses unchanged, registry untouched.
+	ok, err := c.Validate(gid(1))
+	if err != nil || !ok {
+		t.Fatalf("cache should remain valid: ok=%v err=%v", ok, err)
+	}
+	s.ResetQueries()
+	if _, err := c.Resolve(gid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Queries() != 0 {
+		t.Errorf("reconnect after vSwitch migration issued %d SA queries, want 0", s.Queries())
+	}
+}
+
+func TestSharedPortMigrationStalesCache(t *testing.T) {
+	// Shared Port: the VM's LID becomes the destination hypervisor's LID;
+	// the cached record is stale and the peer must re-query.
+	s := NewService()
+	s.Register(gid(1), PathRecord{DLID: 10})
+	c := NewCache(s)
+	if _, err := c.Resolve(gid(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rebind(gid(1), 20); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := c.Validate(gid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("cache must be stale after an address-changing migration")
+	}
+	c.Invalidate(gid(1))
+	s.ResetQueries()
+	rec, err := c.Resolve(gid(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.DLID != 20 || s.Queries() != 1 {
+		t.Errorf("re-resolution: rec=%+v queries=%d", rec, s.Queries())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	s := NewService()
+	c := NewCache(s)
+	if _, err := c.Validate(gid(1)); err == nil {
+		t.Error("validating uncached GID should fail")
+	}
+	s.Register(gid(1), PathRecord{DLID: 1})
+	c.Resolve(gid(1))
+	s.Unregister(gid(1))
+	if _, err := c.Validate(gid(1)); err == nil {
+		t.Error("validating unregistered GID should fail")
+	}
+}

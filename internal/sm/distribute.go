@@ -1,0 +1,210 @@
+package sm
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/smp"
+	"ibvsim/internal/topology"
+)
+
+// DistributionStats reports the cost of pushing LFTs to the switches.
+type DistributionStats struct {
+	SwitchesUpdated int
+	SMPs            int
+	// ModelledTime applies the SM's cost model (eq. 2/4/5) to the SMPs
+	// actually sent.
+	ModelledTime time.Duration
+	Mode         smp.Mode
+	Duration     time.Duration // wall time of the simulation itself
+}
+
+// DistributeDiff reconciles every switch's programmed LFT with the target
+// LFT, sending one SMP per differing 64-LID block, using directed-route
+// SMPs (the OpenSM default for reconfiguration, since routes toward the
+// switches may themselves be changing).
+func (s *SubnetManager) DistributeDiff() (DistributionStats, error) {
+	return s.distribute(false, smp.DirectedRoute)
+}
+
+// DistributeFull re-sends the complete populated table of every switch —
+// blocks 0 through the top populated block — which is what the paper's
+// traditional full reconfiguration does ("a full reconfiguration will have
+// to update the complete LFT on each switch", section VII-C). Table I's
+// "Min SMPs Full RC" column equals the SMPs this method sends when LIDs are
+// densely assigned.
+func (s *SubnetManager) DistributeFull() (DistributionStats, error) {
+	return s.distribute(true, smp.DirectedRoute)
+}
+
+func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats, error) {
+	start := time.Now()
+	var st DistributionStats
+	st.Mode = mode
+	if !s.routed {
+		return st, fmt.Errorf("sm: distribute before ComputeRoutes")
+	}
+	for _, swID := range s.Topo.Switches() {
+		if !s.reachable[swID] {
+			continue // unreachable switches are re-programmed when they return
+		}
+		tgt := s.target[swID]
+		if tgt == nil {
+			return st, fmt.Errorf("sm: switch %q has no target LFT", s.Topo.Node(swID).Desc)
+		}
+		prog := s.programmed[swID]
+		var blocks []int
+		if full {
+			top := tgt.TopPopulatedBlock()
+			for b := 0; b <= top; b++ {
+				blocks = append(blocks, b)
+			}
+		} else if prog == nil {
+			top := tgt.TopPopulatedBlock()
+			for b := 0; b <= top; b++ {
+				blocks = append(blocks, b)
+			}
+		} else {
+			blocks = prog.Diff(tgt)
+		}
+		if len(blocks) == 0 {
+			continue
+		}
+		for _, b := range blocks {
+			if err := s.sendLFTBlock(swID, b, mode); err != nil {
+				return st, err
+			}
+			st.SMPs++
+		}
+		st.SwitchesUpdated++
+		s.programmed[swID] = tgt.Clone()
+		s.programmed[swID].ClearDirty()
+	}
+	st.ModelledTime = s.Cost.DistributionTime(st.SMPs, mode)
+	st.Duration = time.Since(start)
+	s.log.Addf(EvDistribute, "distribute(full=%v): %d SMPs to %d switches, modelled %v",
+		full, st.SMPs, st.SwitchesUpdated, st.ModelledTime)
+	return st, nil
+}
+
+// sendLFTBlock emits one LinearForwardingTable Set SMP for the given block
+// of the given switch, validating deliverability through the transport.
+func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mode) error {
+	p := &smp.SMP{
+		Attr:    smp.AttrLinearFwdTbl,
+		AttrMod: uint32(block),
+		IsSet:   true,
+	}
+	if mode == smp.DirectedRoute {
+		p.Path = append([]ib.PortNum(nil), s.dirPath[sw]...)
+		got, err := s.Transport.SendDirected(s.SMNode, p)
+		if err != nil {
+			return err
+		}
+		if got != sw {
+			return fmt.Errorf("sm: directed path for %q delivered to %d", s.Topo.Node(sw).Desc, got)
+		}
+		return nil
+	}
+	dlid := s.lidOf[sw]
+	if dlid == ib.LIDUnassigned {
+		return fmt.Errorf("sm: switch %q has no LID for destination-routed SMP", s.Topo.Node(sw).Desc)
+	}
+	p.DLID = dlid
+	got, err := s.Transport.SendLIDRouted(s.SMNode, p, s)
+	if err != nil {
+		return err
+	}
+	if got != sw {
+		return fmt.Errorf("sm: LID-routed SMP for %q delivered to %d", s.Topo.Node(sw).Desc, got)
+	}
+	return nil
+}
+
+// SetLFTEntries programs individual LFT entries on one switch (both the SM
+// shadow and the modelled physical switch), sending one SMP per touched
+// 64-LID block. This is the primitive the vSwitch reconfigurator uses: a
+// LID swap touches one or two blocks, a LID copy touches one (section V-C).
+// Mode selects directed vs destination-routed delivery — the paper's
+// improvement in eq. 5 uses destination routing because switch LIDs are
+// unaffected by VM migrations.
+func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.PortNum, mode smp.Mode) (int, error) {
+	prog := s.programmed[sw]
+	if prog == nil {
+		return 0, fmt.Errorf("sm: switch %q not yet programmed", s.Topo.Node(sw).Desc)
+	}
+	prog.ClearDirty()
+	for l, p := range entries {
+		prog.Set(l, p)
+	}
+	blocks := prog.DirtyBlocks()
+	for _, b := range blocks {
+		if err := s.sendLFTBlock(sw, b, mode); err != nil {
+			return 0, err
+		}
+	}
+	// Keep the target view coherent so a later full distribution does not
+	// undo the reconfiguration.
+	if tgt := s.target[sw]; tgt != nil {
+		for l, p := range entries {
+			tgt.Set(l, p)
+		}
+	}
+	prog.ClearDirty()
+	return len(blocks), nil
+}
+
+// SetVGUID models programming an alias GUID onto a hypervisor HCA port: one
+// GUIDInfo Set SMP to the node (section V-C step a).
+func (s *SubnetManager) SetVGUID(node topology.NodeID, guid ib.GUID) error {
+	n := s.Topo.Node(node)
+	if n == nil || n.IsSwitch() {
+		return fmt.Errorf("sm: SetVGUID target must be a CA")
+	}
+	p := &smp.SMP{Attr: smp.AttrGUIDInfo, IsSet: true,
+		Path: append([]ib.PortNum(nil), s.dirPath[node]...)}
+	got, err := s.Transport.SendDirected(s.SMNode, p)
+	if err != nil {
+		return err
+	}
+	if got != node {
+		return fmt.Errorf("sm: vGUID SMP delivered to %d, want %d", got, node)
+	}
+	s.log.Addf(EvGUID, "programmed vGUID %s on %q", guid, n.Desc)
+	return nil
+}
+
+// Bootstrap runs the full OpenSM bring-up: sweep, LID assignment, path
+// computation, initial LFT distribution. It returns the three stat blocks.
+func (s *SubnetManager) Bootstrap() (SweepStats, RouteStats, DistributionStats, error) {
+	sw, err := s.Sweep()
+	if err != nil {
+		return sw, RouteStats{}, DistributionStats{}, err
+	}
+	if err := s.AssignLIDs(); err != nil {
+		return sw, RouteStats{}, DistributionStats{}, err
+	}
+	rs, err := s.ComputeRoutes()
+	if err != nil {
+		return sw, RouteStats{}, DistributionStats{}, err
+	}
+	ds, err := s.DistributeDiff()
+	if err != nil {
+		return sw, RouteStats{Stats: rs}, ds, err
+	}
+	return sw, RouteStats{Stats: rs}, ds, nil
+}
+
+// FullReconfigure performs the traditional reconfiguration of section VI-A:
+// recompute every path (PCt) and push the complete LFT of every switch
+// (LFTDt = n*m*(k+r)). The paper's point is that doing this per VM
+// migration is untenable; the core package's planners replace it.
+func (s *SubnetManager) FullReconfigure() (RouteStats, DistributionStats, error) {
+	rs, err := s.ComputeRoutes()
+	if err != nil {
+		return RouteStats{}, DistributionStats{}, err
+	}
+	ds, err := s.DistributeFull()
+	return RouteStats{Stats: rs}, ds, err
+}

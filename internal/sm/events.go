@@ -1,0 +1,101 @@
+package sm
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/routing"
+)
+
+// RouteStats wraps the routing engine's stats (kept distinct so callers can
+// extend it without touching the routing package).
+type RouteStats struct {
+	routing.Stats
+}
+
+// EventKind classifies event-log entries.
+type EventKind uint8
+
+// Event kinds recorded by the subnet manager and the layers above it.
+const (
+	EvSweep EventKind = iota + 1
+	EvLIDs
+	EvRoute
+	EvDistribute
+	EvGUID
+	EvMigration
+	EvVM
+	EvNote
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EvSweep:
+		return "sweep"
+	case EvLIDs:
+		return "lids"
+	case EvRoute:
+		return "route"
+	case EvDistribute:
+		return "distribute"
+	case EvGUID:
+		return "guid"
+	case EvMigration:
+		return "migration"
+	case EvVM:
+		return "vm"
+	case EvNote:
+		return "note"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(k))
+	}
+}
+
+// Event is one log entry.
+type Event struct {
+	At   time.Time
+	Kind EventKind
+	Msg  string
+}
+
+// EventLog is a bounded in-memory event trace used by the examples and the
+// emulation tests to show the migration workflow step by step.
+type EventLog struct {
+	cap    int
+	events []Event
+}
+
+// NewEventLog returns a log holding at most capacity entries (oldest
+// dropped first).
+func NewEventLog(capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Addf appends a formatted entry.
+func (l *EventLog) Addf(kind EventKind, format string, args ...interface{}) {
+	l.events = append(l.events, Event{At: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	if len(l.events) > l.cap {
+		l.events = l.events[len(l.events)-l.cap:]
+	}
+}
+
+// Events returns the retained entries, oldest first.
+func (l *EventLog) Events() []Event { return l.events }
+
+// Filter returns the retained entries of one kind.
+func (l *EventLog) Filter(kind EventKind) []Event {
+	var out []Event
+	for _, e := range l.events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained entries.
+func (l *EventLog) Len() int { return len(l.events) }

@@ -1,0 +1,81 @@
+package sm
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/smp"
+	"ibvsim/internal/topology"
+)
+
+// LinkChange records one port whose state flipped since the previous
+// (light or full) sweep.
+type LinkChange struct {
+	Node topology.NodeID
+	Port ib.PortNum
+	Up   bool // the new state
+}
+
+// LightSweepStats reports a light sweep's cost and findings.
+type LightSweepStats struct {
+	SMPs     int
+	Changes  []LinkChange
+	Duration time.Duration
+}
+
+// snapshotPortState captures Up per port for every reachable node.
+func (s *SubnetManager) snapshotPortState() {
+	s.portState = map[topology.NodeID][]bool{}
+	for id := range s.reachable {
+		n := s.Topo.Node(id)
+		states := make([]bool, len(n.Ports))
+		for p := 1; p < len(n.Ports); p++ {
+			states[p] = n.Ports[p].Peer != topology.NoNode && n.Ports[p].Up
+		}
+		s.portState[id] = states
+	}
+}
+
+// LightSweep is the cheap periodic check OpenSM performs between full
+// sweeps: one PortInfo Get per reachable *switch* (CAs are observed from
+// the switch side), comparing port states against the previous snapshot.
+// It does not rebuild paths or reachability — when it reports changes the
+// caller escalates to Resweep plus a reconfiguration.
+func (s *SubnetManager) LightSweep() (LightSweepStats, error) {
+	start := time.Now()
+	var st LightSweepStats
+	if !s.swept {
+		return st, fmt.Errorf("sm: LightSweep before Sweep")
+	}
+	if len(s.portState) == 0 {
+		s.snapshotPortState()
+	}
+	for _, sw := range s.Topo.Switches() {
+		if !s.reachable[sw] {
+			continue
+		}
+		p := &smp.SMP{Attr: smp.AttrPortInfo, Path: append([]ib.PortNum(nil), s.dirPath[sw]...)}
+		if _, err := s.Transport.SendDirected(s.SMNode, p); err != nil {
+			// The path to the switch itself broke: that is a change too.
+			st.Changes = append(st.Changes, LinkChange{Node: sw, Port: 0, Up: false})
+			continue
+		}
+		st.SMPs++
+		n := s.Topo.Node(sw)
+		prev := s.portState[sw]
+		for pi := 1; pi < len(n.Ports); pi++ {
+			now := n.Ports[pi].Peer != topology.NoNode && n.Ports[pi].Up
+			was := pi < len(prev) && prev[pi]
+			if now != was {
+				st.Changes = append(st.Changes, LinkChange{Node: sw, Port: ib.PortNum(pi), Up: now})
+			}
+		}
+	}
+	s.snapshotPortState()
+	st.Duration = time.Since(start)
+	if len(st.Changes) > 0 {
+		s.log.Addf(EvSweep, "light sweep: %d SMPs, %d changes", st.SMPs, len(st.Changes))
+	}
+	return st, nil
+}

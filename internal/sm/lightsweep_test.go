@@ -1,0 +1,133 @@
+package sm
+
+import (
+	"testing"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/topology"
+)
+
+func TestLightSweepCleanFabric(t *testing.T) {
+	topo := smallFT(t)
+	s := newSM(t, topo, routing.NewMinHop())
+	if _, err := s.LightSweep(); err == nil {
+		t.Fatal("LightSweep before Sweep should fail")
+	}
+	full, _, _, err := s.Bootstrap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := s.LightSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Changes) != 0 {
+		t.Errorf("clean fabric reported changes: %v", ls.Changes)
+	}
+	if ls.SMPs != topo.NumSwitches() {
+		t.Errorf("light sweep sent %d SMPs, want %d (one per switch)", ls.SMPs, topo.NumSwitches())
+	}
+	// The point of light sweeps: far cheaper than a full sweep.
+	if ls.SMPs*4 >= full.SMPs {
+		t.Errorf("light sweep (%d SMPs) should be much cheaper than full (%d)", ls.SMPs, full.SMPs)
+	}
+}
+
+func TestLightSweepDetectsLinkFlap(t *testing.T) {
+	topo := smallFT(t)
+	s := newSM(t, topo, routing.NewMinHop())
+	if _, _, _, err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	// Down a CA link whose switch-side port must show the change. Pick a
+	// CA far from the SM so the SM's own directed paths stay valid.
+	victim := topo.CAs()[10]
+	leaf := topo.LeafSwitchOf(victim)
+	leafPort := topo.PortToward(leaf, victim)
+	if err := topo.SetLinkState(victim, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := s.LightSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ch := range ls.Changes {
+		if ch.Node == leaf && ch.Port == leafPort && !ch.Up {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("link-down not detected: %v", ls.Changes)
+	}
+	// A second light sweep is quiet again (the snapshot advanced).
+	ls2, err := s.LightSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls2.Changes) != 0 {
+		t.Errorf("second light sweep reported stale changes: %v", ls2.Changes)
+	}
+	// Recovery shows up as an Up change.
+	if err := topo.SetLinkState(victim, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	ls3, err := s.LightSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := false
+	for _, ch := range ls3.Changes {
+		if ch.Node == leaf && ch.Port == leafPort && ch.Up {
+			up = true
+		}
+	}
+	if !up {
+		t.Errorf("link recovery not detected: %v", ls3.Changes)
+	}
+}
+
+func TestLightSweepEscalation(t *testing.T) {
+	// The intended loop: light sweep detects, resweep + full reconfigure
+	// heal, and a final light sweep is quiet.
+	topo := smallFT(t)
+	s := newSM(t, topo, routing.NewMinHop())
+	if _, _, _, err := s.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	leaf := topo.LeafSwitchOf(topo.CAs()[8])
+	var trunk topology.NodeID
+	var trunkPort int
+	for i := 1; i < len(topo.Node(leaf).Ports); i++ {
+		p := topo.Node(leaf).Ports[i]
+		if p.Peer != topology.NoNode && topo.Node(p.Peer).IsSwitch() {
+			trunk, trunkPort = p.Peer, i
+			break
+		}
+	}
+	_ = trunk
+	if err := topo.SetLinkState(leaf, ib.PortNum(trunkPort), false); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := s.LightSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls.Changes) == 0 {
+		t.Fatal("trunk failure not detected")
+	}
+	if _, err := s.Resweep(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.FullReconfigure(); err != nil {
+		t.Fatal(err)
+	}
+	ls2, err := s.LightSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ls2.Changes) != 0 {
+		t.Errorf("post-heal light sweep reported %v", ls2.Changes)
+	}
+}

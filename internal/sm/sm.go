@@ -1,0 +1,380 @@
+// Package sm implements the subnet manager: the OpenSM analogue that
+// discovers the fabric with directed-route SMPs, assigns LIDs, runs a
+// routing engine, and distributes linear forwarding tables to the switches
+// in 64-LID blocks (one SMP per block).
+//
+// The manager keeps two views per switch: the target LFT computed by the
+// routing engine and the programmed LFT it believes the physical switch
+// holds. Distribution sends exactly the SMPs needed to reconcile them,
+// which is how both the traditional full reconfiguration of section VI-A
+// and the paper's minimal vSwitch reconfiguration (implemented on top of
+// this package by internal/core) are accounted.
+package sm
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/smp"
+	"ibvsim/internal/topology"
+)
+
+// SubnetManager manages one IB subnet.
+type SubnetManager struct {
+	Topo      *topology.Topology
+	SMNode    topology.NodeID // the CA hosting the SM
+	Transport *smp.Transport
+	Engine    routing.Engine
+	Cost      smp.CostModel
+	// LMC is the LID Mask Control value applied to CAs at AssignLIDs time:
+	// each CA receives 2^LMC consecutive, aligned LIDs, every one routed
+	// independently (the multipathing the prepopulated vSwitch model
+	// imitates without the contiguity constraint, section V-A).
+	LMC uint8
+
+	pool    *ib.LIDPool
+	lidOf   map[topology.NodeID]ib.LID
+	nodeOf  map[ib.LID]topology.NodeID
+	extra   map[ib.LID]topology.NodeID // additional (e.g. VF) LIDs per node
+	dirPath map[topology.NodeID][]ib.PortNum
+
+	target     map[topology.NodeID]*ib.LFT
+	programmed map[topology.NodeID]*ib.LFT
+	reachable  map[topology.NodeID]bool
+	portState  map[topology.NodeID][]bool // Up per port, as of the last (light) sweep
+
+	swept  bool
+	routed bool
+	state  SMState
+
+	log *EventLog
+}
+
+// New creates a subnet manager hosted on the given CA node, using the given
+// routing engine. The default cost model applies; replace Cost to change k,
+// r or the pipeline depth.
+func New(topo *topology.Topology, smNode topology.NodeID, engine routing.Engine) (*SubnetManager, error) {
+	n := topo.Node(smNode)
+	if n == nil {
+		return nil, fmt.Errorf("sm: SM node %d does not exist", smNode)
+	}
+	if n.IsSwitch() {
+		return nil, fmt.Errorf("sm: the SM must run on a CA (OpenSM style), got switch %q", n.Desc)
+	}
+	return &SubnetManager{
+		Topo:       topo,
+		SMNode:     smNode,
+		Transport:  smp.NewTransport(topo),
+		Engine:     engine,
+		Cost:       smp.DefaultCostModel(),
+		pool:       ib.NewLIDPool(),
+		lidOf:      map[topology.NodeID]ib.LID{},
+		nodeOf:     map[ib.LID]topology.NodeID{},
+		extra:      map[ib.LID]topology.NodeID{},
+		dirPath:    map[topology.NodeID][]ib.PortNum{},
+		target:     map[topology.NodeID]*ib.LFT{},
+		programmed: map[topology.NodeID]*ib.LFT{},
+		reachable:  map[topology.NodeID]bool{},
+		portState:  map[topology.NodeID][]bool{},
+		log:        NewEventLog(4096),
+	}, nil
+}
+
+// Log exposes the event log.
+func (s *SubnetManager) Log() *EventLog { return s.log }
+
+// SweepStats reports the cost of a discovery sweep.
+type SweepStats struct {
+	Nodes, Switches, CAs int
+	SMPs                 int
+	Duration             time.Duration
+}
+
+// Sweep performs directed-route topology discovery from the SM node,
+// recording a directed path to every node and counting the SMPs a real
+// OpenSM would send (NodeInfo per port probe, NodeDescription and
+// SwitchInfo per node, PortInfo per connected port). Sweep demands full
+// coverage (initial bring-up of a healthy fabric); after link failures use
+// Resweep, which tolerates unreachable nodes.
+func (s *SubnetManager) Sweep() (SweepStats, error) {
+	st, err := s.sweep()
+	if err != nil {
+		return st, err
+	}
+	if st.Nodes != s.Topo.NumNodes() {
+		return st, fmt.Errorf("sm: sweep found %d of %d nodes (disconnected fabric?)", st.Nodes, s.Topo.NumNodes())
+	}
+	return st, nil
+}
+
+// Resweep rediscovers the fabric after a topology change. Nodes that have
+// become unreachable keep their LIDs (they may return) but stop being
+// routing targets and are skipped by LFT distribution until a later
+// Resweep finds them again.
+func (s *SubnetManager) Resweep() (SweepStats, error) {
+	st, err := s.sweep()
+	if err != nil {
+		return st, err
+	}
+	missing := s.Topo.NumNodes() - st.Nodes
+	s.log.Addf(EvSweep, "resweep: %d nodes reachable, %d unreachable", st.Nodes, missing)
+	return st, nil
+}
+
+// Reachable reports whether the most recent sweep could reach the node.
+func (s *SubnetManager) Reachable(n topology.NodeID) bool { return s.reachable[n] }
+
+func (s *SubnetManager) sweep() (SweepStats, error) {
+	start := time.Now()
+	before := s.Transport.Counters.Sent
+	var st SweepStats
+
+	type qe struct {
+		node topology.NodeID
+		path []ib.PortNum
+	}
+	seen := map[topology.NodeID]bool{s.SMNode: true}
+	s.dirPath = map[topology.NodeID][]ib.PortNum{s.SMNode: nil}
+	queue := []qe{{node: s.SMNode, path: nil}}
+
+	probe := func(path []ib.PortNum, attr smp.Attr, set bool) (topology.NodeID, error) {
+		p := &smp.SMP{Attr: attr, IsSet: set, Path: append([]ib.PortNum(nil), path...)}
+		return s.Transport.SendDirected(s.SMNode, p)
+	}
+
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		n := s.Topo.Node(cur.node)
+		st.Nodes++
+		if n.IsSwitch() {
+			st.Switches++
+		} else {
+			st.CAs++
+		}
+		// NodeDescription for the node itself; SwitchInfo for switches.
+		if _, err := probe(cur.path, smp.AttrNodeDesc, false); err != nil {
+			return st, fmt.Errorf("sm: sweep NodeDesc at %q: %w", n.Desc, err)
+		}
+		if n.IsSwitch() {
+			if _, err := probe(cur.path, smp.AttrSwitchInfo, false); err != nil {
+				return st, err
+			}
+		}
+		for pi := 1; pi < len(n.Ports); pi++ {
+			pt := n.Ports[pi]
+			if pt.Peer == topology.NoNode || !pt.Up {
+				continue
+			}
+			// PortInfo for every connected port of the node.
+			if _, err := probe(cur.path, smp.AttrPortInfo, false); err != nil {
+				return st, err
+			}
+			// NodeInfo probe through the port to identify the neighbour.
+			npath := append(append([]ib.PortNum(nil), cur.path...), ib.PortNum(pi))
+			peer, err := probe(npath, smp.AttrNodeInfo, false)
+			if err != nil {
+				return st, fmt.Errorf("sm: sweep NodeInfo via %q port %d: %w", n.Desc, pi, err)
+			}
+			if !seen[peer] {
+				seen[peer] = true
+				s.dirPath[peer] = npath
+				queue = append(queue, qe{node: peer, path: npath})
+			}
+		}
+	}
+	st.SMPs = s.Transport.Counters.Sent - before
+	st.Duration = time.Since(start)
+	s.swept = true
+	s.reachable = seen
+	s.snapshotPortState()
+	s.log.Addf(EvSweep, "sweep: %d nodes (%d switches, %d CAs), %d SMPs",
+		st.Nodes, st.Switches, st.CAs, st.SMPs)
+	return st, nil
+}
+
+// AssignLIDs gives every CA and then every switch LIDs in
+// discovery-independent (node ID) order, sending one PortInfo Set per node.
+// CAs receive 2^LMC aligned consecutive LIDs each; switches always get a
+// single LID (the IBA forbids LMC on switch port 0 in this configuration).
+// It must follow Sweep.
+func (s *SubnetManager) AssignLIDs() error {
+	if !s.swept {
+		return fmt.Errorf("sm: AssignLIDs before Sweep")
+	}
+	assign := func(id topology.NodeID, lmc uint8) error {
+		if _, ok := s.lidOf[id]; ok {
+			return nil
+		}
+		base, err := s.pool.AllocAligned(lmc)
+		if err != nil {
+			return err
+		}
+		s.lidOf[id] = base
+		for l := base; l < base+(ib.LID(1)<<lmc); l++ {
+			s.nodeOf[l] = id
+		}
+		p := &smp.SMP{Attr: smp.AttrPortInfo, IsSet: true, Path: append([]ib.PortNum(nil), s.dirPath[id]...)}
+		if _, err := s.Transport.SendDirected(s.SMNode, p); err != nil {
+			return err
+		}
+		return nil
+	}
+	for _, ca := range s.Topo.CAs() {
+		if err := assign(ca, s.LMC); err != nil {
+			return err
+		}
+	}
+	for _, sw := range s.Topo.Switches() {
+		if err := assign(sw, 0); err != nil {
+			return err
+		}
+	}
+	s.log.Addf(EvLIDs, "assigned %d LIDs (top %d, LMC %d)", s.pool.Count(), s.pool.TopUsed(), s.LMC)
+	return nil
+}
+
+// LIDOf returns the base LID of a node (0 if unassigned).
+func (s *SubnetManager) LIDOf(n topology.NodeID) ib.LID { return s.lidOf[n] }
+
+// NodeOfLID resolves any LID — base or extra — to its owning node.
+func (s *SubnetManager) NodeOfLID(l ib.LID) topology.NodeID {
+	if n, ok := s.nodeOf[l]; ok {
+		return n
+	}
+	if n, ok := s.extra[l]; ok {
+		return n
+	}
+	return topology.NoNode
+}
+
+// AllocExtraLID allocates and binds an additional LID (a vSwitch VF LID) to
+// an existing CA node, returning it. Used by the dynamic-assignment model.
+func (s *SubnetManager) AllocExtraLID(node topology.NodeID) (ib.LID, error) {
+	if s.Topo.Node(node) == nil {
+		return 0, fmt.Errorf("sm: no node %d", node)
+	}
+	lid, err := s.pool.Alloc()
+	if err != nil {
+		return 0, err
+	}
+	s.extra[lid] = node
+	return lid, nil
+}
+
+// ReserveExtraLID binds a specific additional LID to a CA node (the
+// prepopulated model reserves VF LIDs up front).
+func (s *SubnetManager) ReserveExtraLID(lid ib.LID, node topology.NodeID) error {
+	if s.Topo.Node(node) == nil {
+		return fmt.Errorf("sm: no node %d", node)
+	}
+	if err := s.pool.Reserve(lid); err != nil {
+		return err
+	}
+	s.extra[lid] = node
+	return nil
+}
+
+// ReleaseExtraLID unbinds and frees an additional LID.
+func (s *SubnetManager) ReleaseExtraLID(lid ib.LID) {
+	if _, ok := s.extra[lid]; !ok {
+		return
+	}
+	delete(s.extra, lid)
+	s.pool.Release(lid)
+}
+
+// RebindExtraLID points an existing extra LID at a different node (the LID
+// follows a migrating VM).
+func (s *SubnetManager) RebindExtraLID(lid ib.LID, node topology.NodeID) error {
+	if _, ok := s.extra[lid]; !ok {
+		return fmt.Errorf("sm: LID %d is not an extra LID", lid)
+	}
+	if s.Topo.Node(node) == nil {
+		return fmt.Errorf("sm: no node %d", node)
+	}
+	s.extra[lid] = node
+	return nil
+}
+
+// ExtraLIDsOf lists the extra LIDs currently bound to a node, ascending.
+func (s *SubnetManager) ExtraLIDsOf(node topology.NodeID) []ib.LID {
+	var out []ib.LID
+	for l, n := range s.extra {
+		if n == node {
+			out = append(out, l)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// LIDCount returns the number of assigned LIDs (base + extra).
+func (s *SubnetManager) LIDCount() int { return s.pool.Count() }
+
+// TopLID returns the highest assigned LID.
+func (s *SubnetManager) TopLID() ib.LID { return s.pool.TopUsed() }
+
+// Targets builds the routing-engine target list from the current LID
+// state, excluding nodes the latest sweep could not reach.
+func (s *SubnetManager) Targets() []routing.Target {
+	out := make([]routing.Target, 0, len(s.nodeOf)+len(s.extra))
+	for l, n := range s.nodeOf {
+		if s.reachable[n] {
+			out = append(out, routing.Target{LID: l, Node: n})
+		}
+	}
+	for l, n := range s.extra {
+		if s.reachable[n] {
+			out = append(out, routing.Target{LID: l, Node: n})
+		}
+	}
+	// Deterministic order (ascending LID) keeps engines reproducible.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1].LID > out[j].LID; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// ComputeRoutes runs the routing engine over all current targets and
+// installs the result as the target LFT state. The returned stats carry the
+// measured path-computation time PCt of equation 1.
+func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
+	if !s.swept {
+		return routing.Stats{}, fmt.Errorf("sm: ComputeRoutes before Sweep")
+	}
+	req := &routing.Request{Topo: s.Topo, Targets: s.Targets()}
+	res, err := s.Engine.Compute(req)
+	if err != nil {
+		return routing.Stats{}, err
+	}
+	s.target = res.LFTs
+	s.routed = true
+	s.log.Addf(EvRoute, "routing (%s): %d paths in %v", s.Engine.Name(),
+		res.Stats.PathsComputed, res.Stats.Duration)
+	return res.Stats, nil
+}
+
+// SwitchRoute implements smp.LFTResolver against the programmed state.
+func (s *SubnetManager) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum {
+	lft := s.programmed[sw]
+	if lft == nil {
+		return ib.DropPort
+	}
+	return lft.Get(dlid)
+}
+
+// ProgrammedLFT returns the LFT the SM believes the switch holds (nil
+// before first distribution).
+func (s *SubnetManager) ProgrammedLFT(sw topology.NodeID) *ib.LFT { return s.programmed[sw] }
+
+// TargetLFT returns the routing engine's most recent table for a switch.
+func (s *SubnetManager) TargetLFT(sw topology.NodeID) *ib.LFT { return s.target[sw] }

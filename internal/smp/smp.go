@@ -1,0 +1,285 @@
+// Package smp models InfiniBand subnet management packets (SMPs): their
+// attributes, their two routing modes (directed-route and destination/LID
+// routed), a transport that walks them across a fabric, and the cost model
+// the paper uses in its reconfiguration-time analysis (section VI):
+//
+//	RCt        = PCt + n*m*(k+r)   traditional full reconfiguration (eq. 3)
+//	vSwitchRCt = n'*m'*(k+r)       vSwitch reconfig, directed SMPs  (eq. 4)
+//	vSwitchRCt = n'*m'*k           vSwitch reconfig, destination-routed (eq. 5)
+//
+// where k is the average network traversal time per SMP and r the extra
+// per-SMP cost of directed routing (every intermediate switch rewrites the
+// hop pointer and reverse path).
+package smp
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// Attr identifies the management attribute an SMP carries, mirroring the
+// subset of IBA attributes the simulator needs.
+type Attr uint16
+
+// Management attributes used by the subnet manager.
+const (
+	AttrNodeInfo     Attr = 0x0011 // discovery: node type, GUID, port count
+	AttrNodeDesc     Attr = 0x0010 // discovery: human-readable description
+	AttrPortInfo     Attr = 0x0015 // port state, LID assignment
+	AttrSwitchInfo   Attr = 0x0012 // switch capabilities (LFT cap etc.)
+	AttrLinearFwdTbl Attr = 0x0019 // one 64-entry LFT block
+	AttrGUIDInfo     Attr = 0x0014 // alias GUID (vGUID) programming
+	AttrSMInfo       Attr = 0x0020 // SM-to-SM negotiation
+)
+
+// String implements fmt.Stringer.
+func (a Attr) String() string {
+	switch a {
+	case AttrNodeInfo:
+		return "NodeInfo"
+	case AttrNodeDesc:
+		return "NodeDescription"
+	case AttrPortInfo:
+		return "PortInfo"
+	case AttrSwitchInfo:
+		return "SwitchInfo"
+	case AttrLinearFwdTbl:
+		return "LinearForwardingTable"
+	case AttrGUIDInfo:
+		return "GUIDInfo"
+	case AttrSMInfo:
+		return "SMInfo"
+	default:
+		return fmt.Sprintf("Attr(0x%04x)", uint16(a))
+	}
+}
+
+// Mode is the SMP routing mode.
+type Mode uint8
+
+const (
+	// DirectedRoute SMPs carry an explicit output-port vector and work
+	// before any LFTs exist; every hop rewrites the header (cost r).
+	DirectedRoute Mode = iota
+	// DestinationRouted (LID-routed) SMPs are forwarded by the switches'
+	// LFTs like any unicast packet.
+	DestinationRouted
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == DirectedRoute {
+		return "directed"
+	}
+	return "lid-routed"
+}
+
+// SMP is one subnet management packet.
+type SMP struct {
+	Attr    Attr
+	AttrMod uint32 // attribute modifier; for LFTs this is the block index
+	Mode    Mode
+	IsSet   bool // Set() vs Get()
+
+	// DirectedRoute only: the initial path — output port at each hop
+	// starting from the SM node.
+	Path []ib.PortNum
+	// DestinationRouted only.
+	DLID ib.LID
+
+	// Hops is filled in by the transport on delivery.
+	Hops int
+}
+
+// Counters aggregates SMP traffic by attribute and mode; the experiments
+// report these (Table I is purely SMP counting).
+type Counters struct {
+	Sent      int
+	Set       int
+	Get       int
+	ByAttr    map[Attr]int
+	ByMode    map[Mode]int
+	TotalHops int
+}
+
+// NewCounters returns zeroed counters.
+func NewCounters() *Counters {
+	return &Counters{ByAttr: map[Attr]int{}, ByMode: map[Mode]int{}}
+}
+
+func (c *Counters) observe(p *SMP) {
+	c.Sent++
+	if p.IsSet {
+		c.Set++
+	} else {
+		c.Get++
+	}
+	c.ByAttr[p.Attr]++
+	c.ByMode[p.Mode]++
+	c.TotalHops += p.Hops
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other *Counters) {
+	c.Sent += other.Sent
+	c.Set += other.Set
+	c.Get += other.Get
+	c.TotalHops += other.TotalHops
+	for k, v := range other.ByAttr {
+		c.ByAttr[k] += v
+	}
+	for k, v := range other.ByMode {
+		c.ByMode[k] += v
+	}
+}
+
+// Reset zeroes the counters in place.
+func (c *Counters) Reset() {
+	*c = Counters{ByAttr: map[Attr]int{}, ByMode: map[Mode]int{}}
+}
+
+// String summarises the counters.
+func (c *Counters) String() string {
+	return fmt.Sprintf("SMPs{sent=%d set=%d get=%d hops=%d}", c.Sent, c.Set, c.Get, c.TotalHops)
+}
+
+// LFTResolver supplies LID-routed forwarding state: given a switch and a
+// destination LID, the egress port programmed in that switch's LFT, plus
+// LID ownership (a node may own several LIDs — its base LID and any VF
+// LIDs). The subnet manager implements this against its shadow tables.
+type LFTResolver interface {
+	SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum
+	NodeOfLID(l ib.LID) topology.NodeID
+}
+
+// Transport walks SMPs across a topology, validating deliverability and
+// counting hops. It is deliberately synchronous: the experiments care about
+// counts and modelled latency, not wall-clock interleaving.
+type Transport struct {
+	Topo     *topology.Topology
+	Counters *Counters
+}
+
+// NewTransport returns a transport over the given fabric.
+func NewTransport(t *topology.Topology) *Transport {
+	return &Transport{Topo: t, Counters: NewCounters()}
+}
+
+// SendDirected walks a directed-route SMP from src along p.Path, returning
+// the node it lands on. The path's port numbers are interpreted at each
+// successive node. An empty path addresses src itself.
+func (t *Transport) SendDirected(src topology.NodeID, p *SMP) (topology.NodeID, error) {
+	p.Mode = DirectedRoute
+	cur := src
+	for i, out := range p.Path {
+		n := t.Topo.Node(cur)
+		if n == nil {
+			return topology.NoNode, fmt.Errorf("smp: directed route hop %d: no node %d", i, cur)
+		}
+		if int(out) < 1 || int(out) >= len(n.Ports) {
+			return topology.NoNode, fmt.Errorf("smp: directed route hop %d: %q has no port %d", i, n.Desc, out)
+		}
+		link := n.Ports[out]
+		if link.Peer == topology.NoNode || !link.Up {
+			return topology.NoNode, fmt.Errorf("smp: directed route hop %d: %q port %d down", i, n.Desc, out)
+		}
+		cur = link.Peer
+	}
+	p.Hops = len(p.Path)
+	t.Counters.observe(p)
+	return cur, nil
+}
+
+// SendLIDRouted forwards the SMP from the CA or switch src toward p.DLID
+// using the LFTs exposed by r. It returns the delivering node. Forwarding
+// loops are cut off after maxHops (64, the IBA hop limit).
+func (t *Transport) SendLIDRouted(src topology.NodeID, p *SMP, r LFTResolver) (topology.NodeID, error) {
+	const maxHops = 64
+	p.Mode = DestinationRouted
+	owner := r.NodeOfLID(p.DLID)
+	cur := src
+	hops := 0
+	for {
+		n := t.Topo.Node(cur)
+		if n == nil {
+			return topology.NoNode, fmt.Errorf("smp: lid route: no node %d", cur)
+		}
+		if cur == owner {
+			p.Hops = hops
+			t.Counters.observe(p)
+			return cur, nil
+		}
+		var out ib.PortNum
+		if n.IsSwitch() {
+			out = r.SwitchRoute(cur, p.DLID)
+			if out == ib.DropPort || out == 0 {
+				return topology.NoNode, fmt.Errorf("smp: lid route: %q drops LID %d", n.Desc, p.DLID)
+			}
+		} else {
+			// CAs forward out their first up port.
+			for i := 1; i < len(n.Ports); i++ {
+				if n.Ports[i].Peer != topology.NoNode && n.Ports[i].Up {
+					out = ib.PortNum(i)
+					break
+				}
+			}
+			if out == 0 {
+				return topology.NoNode, fmt.Errorf("smp: lid route: CA %q has no up port", n.Desc)
+			}
+		}
+		link := n.Ports[out]
+		if link.Peer == topology.NoNode || !link.Up {
+			return topology.NoNode, fmt.Errorf("smp: lid route: %q port %d down", n.Desc, out)
+		}
+		cur = link.Peer
+		hops++
+		if hops > maxHops {
+			return topology.NoNode, fmt.Errorf("smp: lid route: hop limit exceeded toward LID %d (forwarding loop?)", p.DLID)
+		}
+	}
+}
+
+// CostModel carries the latency parameters of the paper's analysis.
+type CostModel struct {
+	// K is the average time for one SMP to traverse the network and reach a
+	// switch (the paper's k).
+	K time.Duration
+	// R is the average extra time per SMP added by directed routing (the
+	// paper's r).
+	R time.Duration
+	// PipelineDepth is how many in-flight SMPs the SM keeps (OpenSM
+	// pipelines LFT block updates); 1 means fully serial, matching the
+	// "assuming no pipelining" equations.
+	PipelineDepth int
+}
+
+// DefaultCostModel uses QDR-era magnitudes: ~5us wire+switch time per SMP
+// and ~2.5us directed-route processing overhead, serial distribution.
+func DefaultCostModel() CostModel {
+	return CostModel{K: 5 * time.Microsecond, R: 2500 * time.Nanosecond, PipelineDepth: 1}
+}
+
+// SMPTime returns the modelled delivery time of one SMP in the given mode.
+func (c CostModel) SMPTime(m Mode) time.Duration {
+	if m == DirectedRoute {
+		return c.K + c.R
+	}
+	return c.K
+}
+
+// DistributionTime models sending nSMPs of the given mode, honouring the
+// pipeline depth: ceil(n/depth) serialised rounds.
+func (c CostModel) DistributionTime(nSMPs int, m Mode) time.Duration {
+	if nSMPs <= 0 {
+		return 0
+	}
+	depth := c.PipelineDepth
+	if depth < 1 {
+		depth = 1
+	}
+	rounds := (nSMPs + depth - 1) / depth
+	return time.Duration(rounds) * c.SMPTime(m)
+}

@@ -1,0 +1,81 @@
+package sriov
+
+import (
+	"fmt"
+
+	"ibvsim/internal/ib"
+)
+
+// CapacityPlan evaluates the LID-budget arithmetic of section V-A/V-B for a
+// subnet design.
+type CapacityPlan struct {
+	VFsPerHypervisor int
+	Switches         int // physical switches (each consumes one LID)
+	OtherNodes       int // dedicated SM nodes, routers, storage heads, ...
+}
+
+// LIDsPerHypervisor returns the LIDs one hypervisor consumes under the
+// prepopulated model: one for the PF (shared with the vSwitch) plus one per
+// VF.
+func (p CapacityPlan) LIDsPerHypervisor() int { return 1 + p.VFsPerHypervisor }
+
+// MaxHypervisorsPrepopulated returns how many hypervisors fit in the
+// unicast LID space under prepopulated LIDs, after switches and other
+// LID-consuming nodes are subtracted. With no switches and 16 VFs this is
+// the paper's floor(49151/17) = 2891.
+func (p CapacityPlan) MaxHypervisorsPrepopulated() int {
+	avail := ib.UnicastLIDCount - p.Switches - p.OtherNodes
+	if avail <= 0 {
+		return 0
+	}
+	return avail / p.LIDsPerHypervisor()
+}
+
+// MaxVMsPrepopulated is the matching VM ceiling (2891*16 = 46256 in the
+// paper's example).
+func (p CapacityPlan) MaxVMsPrepopulated() int {
+	return p.MaxHypervisorsPrepopulated() * p.VFsPerHypervisor
+}
+
+// MaxActiveVMsDynamic returns the ceiling on *simultaneously running* VMs
+// under dynamic assignment given a number of hypervisors: the total VF
+// count no longer bounds the subnet, but active VMs + physical nodes still
+// must fit the unicast space (section V-B).
+func (p CapacityPlan) MaxActiveVMsDynamic(hypervisors int) int {
+	avail := ib.UnicastLIDCount - p.Switches - p.OtherNodes - hypervisors
+	if avail < 0 {
+		return 0
+	}
+	max := hypervisors * p.VFsPerHypervisor
+	if max > avail {
+		return avail
+	}
+	return max
+}
+
+// InitialPathLIDsPrepopulated returns how many LIDs the initial path
+// computation must cover under prepopulated LIDs (every VF routed even with
+// zero VMs running).
+func (p CapacityPlan) InitialPathLIDsPrepopulated(hypervisors int) int {
+	return p.Switches + p.OtherNodes + hypervisors*p.LIDsPerHypervisor()
+}
+
+// InitialPathLIDsDynamic returns the same figure under dynamic assignment
+// with a given number of already-running VMs.
+func (p CapacityPlan) InitialPathLIDsDynamic(hypervisors, runningVMs int) int {
+	return p.Switches + p.OtherNodes + hypervisors + runningVMs
+}
+
+// Validate rejects impossible plans.
+func (p CapacityPlan) Validate() error {
+	if p.VFsPerHypervisor < 1 {
+		return fmt.Errorf("sriov: plan needs >= 1 VF per hypervisor")
+	}
+	if p.VFsPerHypervisor > 126 {
+		return fmt.Errorf("sriov: %d VFs exceeds the adapter limit of 126", p.VFsPerHypervisor)
+	}
+	if p.Switches < 0 || p.OtherNodes < 0 {
+		return fmt.Errorf("sriov: negative node counts")
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package sriov
+
+import (
+	"strings"
+	"testing"
+
+	"ibvsim/internal/ib"
+)
+
+func TestModelStringAndKind(t *testing.T) {
+	if SharedPort.String() != "shared-port" ||
+		VSwitchPrepopulated.String() != "vswitch-prepopulated" ||
+		VSwitchDynamic.String() != "vswitch-dynamic" {
+		t.Error("model stringers")
+	}
+	if !strings.Contains(Model(99).String(), "99") {
+		t.Error("unknown model stringer")
+	}
+	if SharedPort.IsVSwitch() || !VSwitchPrepopulated.IsVSwitch() || !VSwitchDynamic.IsVSwitch() {
+		t.Error("IsVSwitch")
+	}
+}
+
+func TestNewHCAValidation(t *testing.T) {
+	if _, err := NewHCA(SharedPort, 1, 0x100, 5, 0); err == nil {
+		t.Error("0 VFs should fail")
+	}
+	if _, err := NewHCA(SharedPort, 1, 0x100, 5, 127); err == nil {
+		t.Error("127 VFs should exceed the ConnectX-3 limit")
+	}
+	h, err := NewHCA(SharedPort, 1, 0x100, 5, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumVFs() != 16 {
+		t.Errorf("NumVFs = %d", h.NumVFs())
+	}
+	// Derived vGUIDs are distinct and PF-relative.
+	if h.VFs[0].GUID != 0x101 || h.VFs[15].GUID != 0x110 {
+		t.Errorf("vGUIDs = %v, %v", h.VFs[0].GUID, h.VFs[15].GUID)
+	}
+}
+
+func TestSharedPortAddressing(t *testing.T) {
+	h, _ := NewHCA(SharedPort, 1, 0x100, 42, 4)
+	a, err := h.VFAddresses(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 1: same LID as the PF, own GID.
+	if a.LID != 42 {
+		t.Errorf("shared-port VF LID = %d, want PF LID 42", a.LID)
+	}
+	if a.GUID != 0x103 {
+		t.Errorf("VF GUID = %v", a.GUID)
+	}
+	if a.GID != ib.MakeGID(ib.DefaultGIDPrefix, 0x103) {
+		t.Errorf("VF GID = %v", a.GID)
+	}
+	pf := h.PFAddresses()
+	if pf.LID != 42 || pf.GUID != 0x100 {
+		t.Errorf("PF addresses = %+v", pf)
+	}
+	if _, err := h.VFAddresses(9); err == nil {
+		t.Error("out-of-range VF should fail")
+	}
+	// Shared Port cannot set VF LIDs.
+	if err := h.SetVFLID(0, 77); err == nil {
+		t.Error("SetVFLID under shared port should fail")
+	}
+}
+
+func TestVSwitchAddressing(t *testing.T) {
+	h, _ := NewHCA(VSwitchPrepopulated, 1, 0x200, 10, 3)
+	for i := 0; i < 3; i++ {
+		if err := h.SetVFLID(i, ib.LID(11+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fig. 2: every VF has its own LID.
+	a, _ := h.VFAddresses(1)
+	if a.LID != 12 {
+		t.Errorf("vSwitch VF LID = %d, want 12", a.LID)
+	}
+	if h.LIDsConsumed() != 4 {
+		t.Errorf("LIDsConsumed = %d, want 4 (PF + 3 VFs; vSwitch shares PF LID)", h.LIDsConsumed())
+	}
+}
+
+func TestQP0Filtering(t *testing.T) {
+	sp, _ := NewHCA(SharedPort, 1, 1, 1, 2)
+	vs, _ := NewHCA(VSwitchDynamic, 2, 1, 2, 2)
+	// Section IV-A: "an SM cannot run inside a VM" under Shared Port.
+	if sp.QP0Allowed(0) {
+		t.Error("shared-port VF must not reach QP0")
+	}
+	if !sp.QP0Allowed(-1) {
+		t.Error("PF always reaches QP0")
+	}
+	if !vs.QP0Allowed(0) {
+		t.Error("vSwitch VF is a full vHCA and reaches QP0")
+	}
+}
+
+func TestAttachDetachLifecycle(t *testing.T) {
+	h, _ := NewHCA(VSwitchDynamic, 1, 0x1, 1, 2)
+	// Dynamic VF without a LID cannot attach.
+	if err := h.Attach(0); err == nil {
+		t.Error("attach without LID should fail")
+	}
+	h.SetVFLID(0, 50)
+	if err := h.Attach(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(0); err == nil {
+		t.Error("double attach should fail")
+	}
+	if got := h.FreeVF(); got != 1 {
+		t.Errorf("FreeVF = %d, want 1", got)
+	}
+	if got := h.AttachedVFs(); len(got) != 1 || got[0] != 0 {
+		t.Errorf("AttachedVFs = %v", got)
+	}
+	if err := h.Detach(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Detach(0); err == nil {
+		t.Error("double detach should fail")
+	}
+	if err := h.Attach(5); err == nil || h.Detach(5) == nil {
+		t.Error("out-of-range attach/detach should fail")
+	}
+	h.SetVFLID(1, 51)
+	h.Attach(0)
+	h.Attach(1)
+	if h.FreeVF() != -1 {
+		t.Error("full HCA should report no free VF")
+	}
+	// Shared-port attach works without LIDs.
+	sp, _ := NewHCA(SharedPort, 1, 0x1, 1, 1)
+	if err := sp.Attach(0); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetVFGUID(t *testing.T) {
+	h, _ := NewHCA(VSwitchDynamic, 1, 0x1, 1, 1)
+	if err := h.SetVFGUID(0, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := h.VFAddresses(0)
+	if a.GUID != 0xbeef {
+		t.Error("vGUID not programmed")
+	}
+	if err := h.SetVFGUID(7, 1); err == nil {
+		t.Error("out-of-range vGUID should fail")
+	}
+}
+
+func TestCapacityPlanPaperNumbers(t *testing.T) {
+	// Section V-A: "16 VFs per hypervisor ... each hypervisor consumes 17
+	// LIDs ... floor(49151/17) = 2891 ... 2891*16 = 46256".
+	p := CapacityPlan{VFsPerHypervisor: 16}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.LIDsPerHypervisor(); got != 17 {
+		t.Errorf("LIDsPerHypervisor = %d, want 17", got)
+	}
+	if got := p.MaxHypervisorsPrepopulated(); got != 2891 {
+		t.Errorf("MaxHypervisors = %d, want 2891", got)
+	}
+	if got := p.MaxVMsPrepopulated(); got != 46256 {
+		t.Errorf("MaxVMs = %d, want 46256", got)
+	}
+}
+
+func TestCapacityPlanWithInfrastructure(t *testing.T) {
+	// "These numbers are actually even smaller since each switch ...
+	// consume LIDs as well."
+	base := CapacityPlan{VFsPerHypervisor: 16}
+	infra := CapacityPlan{VFsPerHypervisor: 16, Switches: 648, OtherNodes: 2}
+	if infra.MaxHypervisorsPrepopulated() >= base.MaxHypervisorsPrepopulated() {
+		t.Error("infrastructure LIDs must reduce hypervisor capacity")
+	}
+	full := CapacityPlan{VFsPerHypervisor: 16, Switches: ib.UnicastLIDCount}
+	if full.MaxHypervisorsPrepopulated() != 0 || full.MaxVMsPrepopulated() != 0 {
+		t.Error("saturated subnet should fit zero hypervisors")
+	}
+}
+
+func TestCapacityDynamicVsPrepopulated(t *testing.T) {
+	// Section V-B: dynamic assignment has no cap on total VFs; active VMs
+	// plus physical nodes must still fit the LID space.
+	p := CapacityPlan{VFsPerHypervisor: 16, Switches: 100}
+	hyp := 4000 // more than the prepopulated ceiling
+	if p.MaxHypervisorsPrepopulated() >= hyp {
+		t.Fatal("test premise: hyp must exceed prepopulated capacity")
+	}
+	active := p.MaxActiveVMsDynamic(hyp)
+	if active <= 0 {
+		t.Fatal("dynamic model should still run VMs")
+	}
+	if active != ib.UnicastLIDCount-100-hyp {
+		t.Errorf("active VM cap = %d, want LID-bounded %d", active, ib.UnicastLIDCount-100-hyp)
+	}
+	// Few hypervisors: bounded by VF count instead.
+	if got := p.MaxActiveVMsDynamic(10); got != 160 {
+		t.Errorf("VF-bounded active VMs = %d, want 160", got)
+	}
+	if got := p.MaxActiveVMsDynamic(ib.UnicastLIDCount); got != 0 {
+		t.Errorf("over-saturated = %d, want 0", got)
+	}
+}
+
+func TestInitialPathLIDs(t *testing.T) {
+	// Section V-B: dynamic boot routes ~3000 LIDs, prepopulated ~49000+
+	// for the same 2891-hypervisor example.
+	p := CapacityPlan{VFsPerHypervisor: 16}
+	pre := p.InitialPathLIDsPrepopulated(2891)
+	dyn := p.InitialPathLIDsDynamic(2891, 0)
+	if pre != 2891*17 {
+		t.Errorf("prepopulated initial LIDs = %d", pre)
+	}
+	if dyn != 2891 {
+		t.Errorf("dynamic initial LIDs = %d", dyn)
+	}
+	if pre <= dyn*16 {
+		t.Errorf("prepopulated (%d) should dwarf dynamic (%d)", pre, dyn)
+	}
+}
+
+func TestCapacityPlanValidate(t *testing.T) {
+	bad := []CapacityPlan{
+		{VFsPerHypervisor: 0},
+		{VFsPerHypervisor: 127},
+		{VFsPerHypervisor: 4, Switches: -1},
+		{VFsPerHypervisor: 4, OtherNodes: -2},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d should be invalid", i)
+		}
+	}
+}

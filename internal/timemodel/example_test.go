@@ -1,0 +1,25 @@
+package timemodel_test
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/timemodel"
+)
+
+// Example evaluates equations 3 and 5 for the paper's largest fabric: a
+// traditional reconfiguration versus the vSwitch worst case.
+func Example() {
+	p := timemodel.PaperDefaults(1620, 13284) // 11664-node fat-tree
+	pct := 67 * time.Second                   // the paper's measured ftree PCt
+
+	fmt.Printf("full RC SMPs: %d\n", p.FullDistributionSMPs())
+	fmt.Printf("traditional RCt: %v\n", p.TraditionalRC(pct).Round(time.Second))
+	fmt.Printf("vSwitch worst case: %v\n", p.VSwitchRC(1620, 2, true))
+	fmt.Printf("vSwitch best case: %v\n", p.VSwitchRC(1, 1, true))
+	// Output:
+	// full RC SMPs: 336960
+	// traditional RCt: 1m10s
+	// vSwitch worst case: 16.2ms
+	// vSwitch best case: 5µs
+}

@@ -1,0 +1,112 @@
+// Package timemodel encodes the reconfiguration-cost analysis of the
+// paper's section VI as executable equations:
+//
+//	eq. 1: RCt        = PCt + LFTDt
+//	eq. 2: LFTDt      = n * m * (k + r)
+//	eq. 3: RCt        = PCt + n*m*(k+r)
+//	eq. 4: vSwitchRCt = n' * m' * (k + r)     (directed-route SMPs)
+//	eq. 5: vSwitchRCt = n' * m' * k           (destination-routed SMPs)
+//
+// where n is the number of switches, m the LFT blocks per switch, k the
+// average SMP network traversal time, r the directed-route overhead, and
+// n' <= n, m' in {1, 2} the vSwitch reconfiguration's footprint. Pipelining
+// divides the distribution term.
+package timemodel
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+)
+
+// Params carries the model inputs.
+type Params struct {
+	// Switches is n.
+	Switches int
+	// BlocksPerSwitch is m; derive it from the LID count with BlocksFor.
+	BlocksPerSwitch int
+	// K is the average SMP traversal time (the paper's k).
+	K time.Duration
+	// R is the directed-route overhead per SMP (the paper's r).
+	R time.Duration
+	// PipelineDepth is the number of in-flight SMPs the SM sustains
+	// (1 = the paper's "assuming no pipelining").
+	PipelineDepth int
+}
+
+// Validate rejects unusable parameters.
+func (p Params) Validate() error {
+	if p.Switches < 1 || p.BlocksPerSwitch < 1 {
+		return fmt.Errorf("timemodel: need >= 1 switch and >= 1 block, got n=%d m=%d",
+			p.Switches, p.BlocksPerSwitch)
+	}
+	if p.K <= 0 || p.R < 0 {
+		return fmt.Errorf("timemodel: need k > 0 and r >= 0")
+	}
+	return nil
+}
+
+// BlocksFor returns m for a subnet with the given number of densely
+// assigned LIDs.
+func BlocksFor(lids int) int { return ib.MinBlocksForDenseLIDs(lids) }
+
+func (p Params) depth() int {
+	if p.PipelineDepth < 1 {
+		return 1
+	}
+	return p.PipelineDepth
+}
+
+func (p Params) pipelined(smps int, perSMP time.Duration) time.Duration {
+	if smps <= 0 {
+		return 0
+	}
+	rounds := (smps + p.depth() - 1) / p.depth()
+	return time.Duration(rounds) * perSMP
+}
+
+// FullDistributionSMPs returns n*m, the SMP count of a traditional full
+// LFT distribution (Table I, "Min SMPs Full RC").
+func (p Params) FullDistributionSMPs() int { return p.Switches * p.BlocksPerSwitch }
+
+// LFTDt implements equation 2 (with optional pipelining).
+func (p Params) LFTDt() time.Duration {
+	return p.pipelined(p.FullDistributionSMPs(), p.K+p.R)
+}
+
+// TraditionalRC implements equation 3 for a measured path-computation time.
+func (p Params) TraditionalRC(pct time.Duration) time.Duration {
+	return pct + p.LFTDt()
+}
+
+// VSwitchRC implements equations 4 and 5: nPrime switches receive mPrime
+// SMPs each; destination-routed SMPs drop the r term.
+func (p Params) VSwitchRC(nPrime, mPrime int, destinationRouted bool) time.Duration {
+	perSMP := p.K + p.R
+	if destinationRouted {
+		perSMP = p.K
+	}
+	return p.pipelined(nPrime*mPrime, perSMP)
+}
+
+// Speedup returns TraditionalRC / VSwitchRC as a dimensionless factor.
+func (p Params) Speedup(pct time.Duration, nPrime, mPrime int, destinationRouted bool) float64 {
+	v := p.VSwitchRC(nPrime, mPrime, destinationRouted)
+	if v <= 0 {
+		return 0
+	}
+	return float64(p.TraditionalRC(pct)) / float64(v)
+}
+
+// PaperDefaults returns k and r magnitudes representative of QDR hardware,
+// matching smp.DefaultCostModel.
+func PaperDefaults(switches, lids int) Params {
+	return Params{
+		Switches:        switches,
+		BlocksPerSwitch: BlocksFor(lids),
+		K:               5 * time.Microsecond,
+		R:               2500 * time.Nanosecond,
+		PipelineDepth:   1,
+	}
+}

@@ -1,0 +1,105 @@
+package timemodel
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Switches: 0, BlocksPerSwitch: 1, K: 1},
+		{Switches: 1, BlocksPerSwitch: 0, K: 1},
+		{Switches: 1, BlocksPerSwitch: 1, K: 0},
+		{Switches: 1, BlocksPerSwitch: 1, K: 1, R: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %d should be invalid", i)
+		}
+	}
+	if err := (Params{Switches: 1, BlocksPerSwitch: 1, K: 1}).Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBlocksForMatchesTableI(t *testing.T) {
+	cases := map[int]int{360: 6, 702: 11, 6804: 107, 13284: 208}
+	for lids, want := range cases {
+		if got := BlocksFor(lids); got != want {
+			t.Errorf("BlocksFor(%d) = %d, want %d", lids, got, want)
+		}
+	}
+}
+
+func TestFullDistributionSMPsMatchesTableI(t *testing.T) {
+	// Table I "Min SMPs Full RC" = n * m.
+	cases := []struct {
+		switches, lids, want int
+	}{
+		{36, 360, 216},
+		{54, 702, 594},
+		{972, 6804, 104004},
+		{1620, 13284, 336960},
+	}
+	for _, c := range cases {
+		p := PaperDefaults(c.switches, c.lids)
+		if got := p.FullDistributionSMPs(); got != c.want {
+			t.Errorf("n=%d: full RC SMPs = %d, want %d", c.switches, got, c.want)
+		}
+	}
+}
+
+func TestEquations(t *testing.T) {
+	p := Params{Switches: 10, BlocksPerSwitch: 3, K: 10 * time.Microsecond, R: 2 * time.Microsecond, PipelineDepth: 1}
+	// eq. 2: 30 SMPs * 12us.
+	if got := p.LFTDt(); got != 360*time.Microsecond {
+		t.Errorf("LFTDt = %v", got)
+	}
+	// eq. 3.
+	pct := 5 * time.Second
+	if got := p.TraditionalRC(pct); got != pct+360*time.Microsecond {
+		t.Errorf("TraditionalRC = %v", got)
+	}
+	// eq. 4: n'=2, m'=2, directed.
+	if got := p.VSwitchRC(2, 2, false); got != 4*12*time.Microsecond {
+		t.Errorf("VSwitchRC directed = %v", got)
+	}
+	// eq. 5: destination-routed drops r.
+	if got := p.VSwitchRC(2, 2, true); got != 4*10*time.Microsecond {
+		t.Errorf("VSwitchRC lid-routed = %v", got)
+	}
+	if got := p.VSwitchRC(0, 1, true); got != 0 {
+		t.Errorf("zero-switch reconfig = %v", got)
+	}
+}
+
+func TestPipelining(t *testing.T) {
+	p := Params{Switches: 10, BlocksPerSwitch: 1, K: 10 * time.Microsecond, PipelineDepth: 4}
+	// 10 SMPs at depth 4 -> 3 rounds.
+	if got := p.LFTDt(); got != 30*time.Microsecond {
+		t.Errorf("pipelined LFTDt = %v", got)
+	}
+	p.PipelineDepth = 0
+	if got := p.LFTDt(); got != 100*time.Microsecond {
+		t.Errorf("depth-0 LFTDt = %v", got)
+	}
+}
+
+func TestSpeedupGrowsWithSubnet(t *testing.T) {
+	// The paper's headline: savings grow with subnet size. Compare the
+	// 324-node and 11664-node fabrics with the same k, r and a PCt that
+	// scales the way Fig. 7 measured for fat-tree routing.
+	small := PaperDefaults(36, 360)
+	big := PaperDefaults(1620, 13284)
+	sSmall := small.Speedup(12*time.Millisecond, 1, 1, true)
+	sBig := big.Speedup(67*time.Second, 1, 1, true)
+	if sSmall <= 1 || sBig <= 1 {
+		t.Fatalf("speedups must exceed 1: small=%f big=%f", sSmall, sBig)
+	}
+	if sBig <= sSmall {
+		t.Errorf("speedup must grow with subnet size: small=%f big=%f", sSmall, sBig)
+	}
+	if got := big.Speedup(0, 0, 1, true); got != 0 {
+		t.Errorf("degenerate speedup = %f", got)
+	}
+}

@@ -1,0 +1,139 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ibvsim/internal/ib"
+)
+
+// WriteDOT renders the fabric as a Graphviz graph: switches as boxes, CAs
+// as ellipses, one edge per physical link.
+func (t *Topology) WriteDOT(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "graph %q {\n", t.Name); err != nil {
+		return err
+	}
+	for _, n := range t.nodes {
+		shape := "ellipse"
+		if n.IsSwitch() {
+			shape = "box"
+		}
+		if _, err := fmt.Fprintf(w, "  n%d [label=%q shape=%s];\n", n.ID, n.Desc, shape); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.nodes {
+		for i := 1; i < len(n.Ports); i++ {
+			p := n.Ports[i]
+			if p.Peer == NoNode || p.Peer < n.ID {
+				continue // draw each link once
+			}
+			style := ""
+			if !p.Up {
+				style = " [style=dashed]"
+			}
+			if _, err := fmt.Fprintf(w, "  n%d -- n%d%s;\n", n.ID, p.Peer, style); err != nil {
+				return err
+			}
+		}
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}
+
+type jsonPort struct {
+	Port     int  `json:"port"`
+	Peer     int  `json:"peer"`
+	PeerPort int  `json:"peerPort"`
+	Up       bool `json:"up"`
+}
+
+type jsonNode struct {
+	ID    int        `json:"id"`
+	Type  string     `json:"type"`
+	GUID  string     `json:"guid"`
+	Desc  string     `json:"desc"`
+	Level int        `json:"level"`
+	Ports []jsonPort `json:"ports"`
+}
+
+type jsonTopology struct {
+	Name  string     `json:"name"`
+	Nodes []jsonNode `json:"nodes"`
+}
+
+// WriteJSON serialises the fabric.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	out := jsonTopology{Name: t.Name}
+	for _, n := range t.nodes {
+		jn := jsonNode{
+			ID:    int(n.ID),
+			Type:  n.Type.String(),
+			GUID:  n.GUID.String(),
+			Desc:  n.Desc,
+			Level: n.Level,
+		}
+		for i := 1; i < len(n.Ports); i++ {
+			p := n.Ports[i]
+			if p.Peer == NoNode {
+				continue
+			}
+			jn.Ports = append(jn.Ports, jsonPort{
+				Port: i, Peer: int(p.Peer), PeerPort: int(p.PeerPort), Up: p.Up,
+			})
+		}
+		out.Nodes = append(out.Nodes, jn)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Degrees returns a sorted histogram of connected-port counts over
+// switches, useful for sanity-checking generated fabrics.
+func (t *Topology) Degrees() map[int]int {
+	h := map[int]int{}
+	for _, n := range t.nodes {
+		if !n.IsSwitch() {
+			continue
+		}
+		h[len(n.ConnectedPorts())]++
+	}
+	return h
+}
+
+// DegreeSummary renders Degrees() deterministically, e.g. "18x2 36x4".
+func (t *Topology) DegreeSummary() string {
+	h := t.Degrees()
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	s := ""
+	for i, k := range keys {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("deg%d:%d", k, h[k])
+	}
+	return s
+}
+
+// PortToward returns the port on node `from` whose link leads to `to`, or 0
+// if they are not adjacent.
+func (t *Topology) PortToward(from, to NodeID) ib.PortNum {
+	n := t.Node(from)
+	if n == nil {
+		return 0
+	}
+	for i := 1; i < len(n.Ports); i++ {
+		p := n.Ports[i]
+		if p.Peer == to && p.Up {
+			return ib.PortNum(i)
+		}
+	}
+	return 0
+}

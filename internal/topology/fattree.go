@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"fmt"
+
+	"ibvsim/internal/ib"
+)
+
+func pnum(i int) ib.PortNum { return ib.PortNum(i) }
+
+// XGFTSpec describes an eXtended Generalized Fat-Tree XGFT(h; m1..mh;
+// w1..wh): h switch levels above the leaf (compute-node) level, where each
+// level-(i-1) vertex has m_i parents... strictly, each level-i switch has
+// m_i children and each level-(i-1) vertex has w_i parents.
+//
+// The paper's four evaluation fabrics, all built from 36-port switches:
+//
+//	XGFT(2; 18,18;    1,18)    ->   324 nodes,   36 switches
+//	XGFT(2; 18,36;    1,18)    ->   648 nodes,   54 switches
+//	XGFT(3; 18,18,18; 1,18,18) ->  5832 nodes,  972 switches
+//	XGFT(3; 18,18,36; 1,18,18) -> 11664 nodes, 1620 switches
+type XGFTSpec struct {
+	M []int // children counts per level, len h
+	W []int // parent counts per level, len h
+}
+
+// Validate checks the spec is well formed.
+func (s XGFTSpec) Validate() error {
+	if len(s.M) == 0 || len(s.M) != len(s.W) {
+		return fmt.Errorf("topology: XGFT needs equal, non-empty M and W (got %d, %d)", len(s.M), len(s.W))
+	}
+	for i := range s.M {
+		if s.M[i] < 1 || s.W[i] < 1 {
+			return fmt.Errorf("topology: XGFT level %d has non-positive arity", i+1)
+		}
+	}
+	return nil
+}
+
+// Height returns h, the number of switch levels.
+func (s XGFTSpec) Height() int { return len(s.M) }
+
+// NumLeaves returns the number of compute nodes: prod(M).
+func (s XGFTSpec) NumLeaves() int {
+	n := 1
+	for _, m := range s.M {
+		n *= m
+	}
+	return n
+}
+
+// SwitchesAtLevel returns the number of switches at level l (1-based):
+// prod(M[l+1..h]) * prod(W[1..l]).
+func (s XGFTSpec) SwitchesAtLevel(l int) int {
+	n := 1
+	for i := l; i < len(s.M); i++ {
+		n *= s.M[i]
+	}
+	for i := 0; i < l; i++ {
+		n *= s.W[i]
+	}
+	return n
+}
+
+// NumSwitches returns the total switch count across all levels.
+func (s XGFTSpec) NumSwitches() int {
+	total := 0
+	for l := 1; l <= s.Height(); l++ {
+		total += s.SwitchesAtLevel(l)
+	}
+	return total
+}
+
+// Paper evaluation topologies (section VII, Fig. 7 and Table I).
+var (
+	// FatTree324 is the 2-level, 324-node fabric.
+	FatTree324 = XGFTSpec{M: []int{18, 18}, W: []int{1, 18}}
+	// FatTree648 is the 2-level, 648-node fabric.
+	FatTree648 = XGFTSpec{M: []int{18, 36}, W: []int{1, 18}}
+	// FatTree5832 is the 3-level, 5832-node fabric.
+	FatTree5832 = XGFTSpec{M: []int{18, 18, 18}, W: []int{1, 18, 18}}
+	// FatTree11664 is the 3-level, 11664-node fabric.
+	FatTree11664 = XGFTSpec{M: []int{18, 18, 36}, W: []int{1, 18, 18}}
+)
+
+// PaperFatTrees maps the node counts used in Fig. 7 / Table I to specs.
+var PaperFatTrees = map[int]XGFTSpec{
+	324:   FatTree324,
+	648:   FatTree648,
+	5832:  FatTree5832,
+	11664: FatTree11664,
+}
+
+// BuildXGFT constructs the fat-tree with switch radix switchRadix (0 means
+// "just enough ports"). Compute nodes are named node-<i>; switches
+// sw<level>-<index>. Levels are recorded in Node.Level (leaf switches are
+// level 1, compute nodes level 0).
+//
+// Port layout on each switch: children occupy the low port numbers, parents
+// the following ones — the deterministic layout the fat-tree routing engine
+// relies on.
+func BuildXGFT(spec XGFTSpec, switchRadix int) (*Topology, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	h := spec.Height()
+	t := New(fmt.Sprintf("xgft-%dnodes", spec.NumLeaves()))
+
+	// ids[l] holds node IDs at level l; level 0 = compute nodes.
+	ids := make([][]NodeID, h+1)
+	nLeaves := spec.NumLeaves()
+	ids[0] = make([]NodeID, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		id := t.AddCA(fmt.Sprintf("node-%d", i))
+		t.Node(id).Level = 0
+		ids[0][i] = id
+	}
+	for l := 1; l <= h; l++ {
+		cnt := spec.SwitchesAtLevel(l)
+		ids[l] = make([]NodeID, cnt)
+		radix := switchRadix
+		if radix == 0 {
+			radix = spec.M[l-1]
+			if l < h {
+				radix += spec.W[l]
+			}
+		}
+		for i := 0; i < cnt; i++ {
+			id := t.AddSwitch(radix, fmt.Sprintf("sw%d-%d", l, i))
+			t.Node(id).Level = l
+			ids[l][i] = id
+		}
+	}
+
+	// Connect level l-1 vertices to their level-l parents.
+	//
+	// A level-i vertex carries the XGFT tuple (a_{i+1}, ..., a_h, b_1, ...,
+	// b_i): the a-components locate its subtree within higher levels, the
+	// b-components distinguish the w_j-way replication at each level it has
+	// passed. A level-(l-1) vertex (a_l, ..., a_h, b_1, ..., b_{l-1})
+	// connects to the w_l parents (a_{l+1}, ..., a_h, b_1, ..., b_{l-1}, c)
+	// for c in [0, w_l). We encode tuples with the first component most
+	// significant, via levelRadices.
+	for l := 1; l <= h; l++ {
+		wl := spec.W[l-1]
+		childRad := levelRadices(spec, l-1)
+		parentRad := levelRadices(spec, l)
+		childTuple := make([]int, len(childRad))
+		parentTuple := make([]int, len(parentRad))
+		for child := 0; child < len(ids[l-1]); child++ {
+			decodeTuple(child, childRad, childTuple)
+			aL := childTuple[0] // the a_l component
+			// Parent tuple: drop a_l, append c at the end.
+			copy(parentTuple, childTuple[1:])
+			for c := 0; c < wl; c++ {
+				parentTuple[len(parentTuple)-1] = c
+				parent := encodeTuple(parentRad, parentTuple)
+				childNode := t.Node(ids[l-1][child])
+				var childPort int
+				if childNode.IsSwitch() {
+					// up-ports come after the m_{l-1} down-ports
+					childPort = spec.M[l-2] + c + 1
+				} else {
+					childPort = c + 1 // CA ports are 1..w_1
+				}
+				parentPort := aL + 1
+				if err := t.Connect(ids[l-1][child], pnum(childPort), ids[l][parent], pnum(parentPort)); err != nil {
+					return nil, fmt.Errorf("xgft connect l=%d child=%d parent=%d: %w", l, child, parent, err)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// levelRadices returns the mixed-radix shape of level-i tuples:
+// (m_{i+1}, ..., m_h, w_1, ..., w_i), first component most significant.
+func levelRadices(spec XGFTSpec, i int) []int {
+	h := spec.Height()
+	rad := make([]int, 0, h)
+	for j := i + 1; j <= h; j++ {
+		rad = append(rad, spec.M[j-1])
+	}
+	for j := 1; j <= i; j++ {
+		rad = append(rad, spec.W[j-1])
+	}
+	return rad
+}
+
+func decodeTuple(idx int, radices, out []int) {
+	for i := len(radices) - 1; i >= 0; i-- {
+		out[i] = idx % radices[i]
+		idx /= radices[i]
+	}
+}
+
+func encodeTuple(radices, tuple []int) int {
+	idx := 0
+	for i := 0; i < len(radices); i++ {
+		idx = idx*radices[i] + tuple[i]
+	}
+	return idx
+}
+
+// BuildPaperFatTree builds one of the paper's four fabrics by node count
+// using 36-port switches.
+func BuildPaperFatTree(nodes int) (*Topology, error) {
+	spec, ok := PaperFatTrees[nodes]
+	if !ok {
+		return nil, fmt.Errorf("topology: no paper fat-tree with %d nodes (have 324, 648, 5832, 11664)", nodes)
+	}
+	return BuildXGFT(spec, 36)
+}

@@ -1,0 +1,250 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BuildRing builds a ring of n switches, each with casPerSwitch attached
+// CAs. Rings are the canonical topology for demonstrating routing deadlock
+// (section VI-C): any shortest-path routing over a ring of length >= 4 with
+// wrap-around traffic creates a cyclic channel dependency.
+func BuildRing(n, casPerSwitch int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 switches, got %d", n)
+	}
+	t := New(fmt.Sprintf("ring-%d", n))
+	sw := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		sw[i] = t.AddSwitch(2+casPerSwitch, fmt.Sprintf("ringsw-%d", i))
+		t.Node(sw[i]).Level = 1
+	}
+	for i := 0; i < n; i++ {
+		// port 1: clockwise to next; port 2: counter-clockwise (wired by
+		// the neighbour's Connect call).
+		next := (i + 1) % n
+		if err := t.Connect(sw[i], 1, sw[next], 2); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < casPerSwitch; c++ {
+			ca := t.AddCA(fmt.Sprintf("ringnode-%d-%d", i, c))
+			t.Node(ca).Level = 0
+			if err := t.Connect(ca, 1, sw[i], pnum(3+c)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// BuildMesh2D builds an rows x cols 2D mesh of switches with casPerSwitch
+// CAs on each.
+func BuildMesh2D(rows, cols, casPerSwitch int) (*Topology, error) {
+	return buildGrid(rows, cols, casPerSwitch, false)
+}
+
+// BuildTorus2D builds an rows x cols 2D torus (mesh with wrap-around links).
+func BuildTorus2D(rows, cols, casPerSwitch int) (*Topology, error) {
+	return buildGrid(rows, cols, casPerSwitch, true)
+}
+
+func buildGrid(rows, cols, casPerSwitch int, wrap bool) (*Topology, error) {
+	if rows < 2 || cols < 2 {
+		return nil, fmt.Errorf("topology: grid needs >= 2x2, got %dx%d", rows, cols)
+	}
+	kind := "mesh"
+	if wrap {
+		kind = "torus"
+	}
+	t := New(fmt.Sprintf("%s-%dx%d", kind, rows, cols))
+	sw := make([]NodeID, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			sw[r*cols+c] = t.AddSwitch(4+casPerSwitch, fmt.Sprintf("%ssw-%d-%d", kind, r, c))
+			t.Node(sw[r*cols+c]).Level = 1
+		}
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			id := sw[r*cols+c]
+			// port 1 = east, 2 = west, 3 = south, 4 = north
+			if c+1 < cols {
+				if err := t.Connect(id, 1, sw[r*cols+c+1], 2); err != nil {
+					return nil, err
+				}
+			} else if wrap && cols > 2 {
+				if err := t.Connect(id, 1, sw[r*cols], 2); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < rows {
+				if err := t.Connect(id, 3, sw[(r+1)*cols+c], 4); err != nil {
+					return nil, err
+				}
+			} else if wrap && rows > 2 {
+				if err := t.Connect(id, 3, sw[c], 4); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for i, id := range sw {
+		for c := 0; c < casPerSwitch; c++ {
+			ca := t.AddCA(fmt.Sprintf("%snode-%d-%d", kind, i, c))
+			t.Node(ca).Level = 0
+			if err := t.Connect(ca, 1, id, pnum(5+c)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// BuildRandom builds a connected random irregular network of n switches
+// with the given radix, extraLinks random additional switch-switch links
+// beyond a spanning tree, and casPerSwitch CAs per switch. Deterministic
+// for a given seed.
+func BuildRandom(n, radix, extraLinks, casPerSwitch int, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: random net needs >= 2 switches")
+	}
+	if radix < casPerSwitch+2 {
+		return nil, fmt.Errorf("topology: radix %d too small for %d CAs + trunks", radix, casPerSwitch)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t := New(fmt.Sprintf("random-%d-seed%d", n, seed))
+	sw := make([]NodeID, n)
+	for i := range sw {
+		sw[i] = t.AddSwitch(radix, fmt.Sprintf("rndsw-%d", i))
+		t.Node(sw[i]).Level = 1
+	}
+	// Random spanning tree: attach each switch to a random earlier one.
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		if _, _, err := t.Link(sw[i], sw[j]); err != nil {
+			return nil, err
+		}
+	}
+	// Extra links between random distinct pairs with free ports.
+	for e := 0; e < extraLinks; e++ {
+		for attempt := 0; attempt < 32; attempt++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			if t.Node(sw[a]).FreePort() == 0 || t.Node(sw[b]).FreePort() == 0 {
+				continue
+			}
+			if _, _, err := t.Link(sw[a], sw[b]); err == nil {
+				break
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for c := 0; c < casPerSwitch; c++ {
+			if t.Node(sw[i]).FreePort() == 0 {
+				break
+			}
+			ca := t.AddCA(fmt.Sprintf("rndnode-%d-%d", i, c))
+			t.Node(ca).Level = 0
+			if _, _, err := t.Link(ca, sw[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// BuildDragonfly builds a fully connected dragonfly: groups of `a`
+// switches, each switch with `p` CAs; switches within a group are fully
+// meshed; every group pair is joined by one global link (so a*(groups-1)
+// must not exceed the ports left after local mesh and CAs... the builder
+// sizes the radix automatically). Dragonflies are the other big
+// topology-agnosticism test for the reconfiguration method: minimal paths
+// need the global-link structure and naive minimal routing deadlocks.
+func BuildDragonfly(groups, a, p int) (*Topology, error) {
+	if groups < 2 || a < 1 || p < 1 {
+		return nil, fmt.Errorf("topology: dragonfly needs >= 2 groups, >= 1 switch/group, >= 1 CA/switch")
+	}
+	// Global links per switch: spread the groups-1 peer groups round-robin
+	// over the a switches of the group.
+	globalsPerSwitch := (groups - 1 + a - 1) / a
+	radix := (a - 1) + p + globalsPerSwitch
+	t := New(fmt.Sprintf("dragonfly-%dx%d", groups, a))
+	sw := make([][]NodeID, groups)
+	for g := 0; g < groups; g++ {
+		sw[g] = make([]NodeID, a)
+		for i := 0; i < a; i++ {
+			sw[g][i] = t.AddSwitch(radix, fmt.Sprintf("dfsw-%d-%d", g, i))
+			t.Node(sw[g][i]).Level = 1
+		}
+		// Local full mesh.
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				if _, _, err := t.Link(sw[g][i], sw[g][j]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// One global link per group pair; endpoint switch chosen round-robin.
+	for g1 := 0; g1 < groups; g1++ {
+		for g2 := g1 + 1; g2 < groups; g2++ {
+			s1 := sw[g1][(g2-1)%a]
+			s2 := sw[g2][g1%a]
+			if _, _, err := t.Link(s1, s2); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for g := 0; g < groups; g++ {
+		for i := 0; i < a; i++ {
+			for c := 0; c < p; c++ {
+				ca := t.AddCA(fmt.Sprintf("dfnode-%d-%d-%d", g, i, c))
+				t.Node(ca).Level = 0
+				if _, _, err := t.Link(ca, sw[g][i]); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// BuildTestbed reproduces the paper's physical testbed shape (section
+// VII-A): two 36-port switches connected by trunk links, and nine servers —
+// 3 SUN Fire (controller/network/storage) and 6 HP compute nodes — split
+// across the two switches.
+func BuildTestbed() (*Topology, error) {
+	t := New("testbed")
+	swA := t.AddSwitch(36, "sun-dcs36-A")
+	swB := t.AddSwitch(36, "sun-dcs36-B")
+	t.Node(swA).Level = 1
+	t.Node(swB).Level = 1
+	// Two trunk links between the switches.
+	if _, _, err := t.Link(swA, swB); err != nil {
+		return nil, err
+	}
+	if _, _, err := t.Link(swA, swB); err != nil {
+		return nil, err
+	}
+	names := []string{
+		"sunfire-controller", "sunfire-network", "sunfire-storage",
+		"hp-compute-1", "hp-compute-2", "hp-compute-3",
+		"hp-compute-4", "hp-compute-5", "hp-compute-6",
+	}
+	for i, name := range names {
+		ca := t.AddCA(name)
+		t.Node(ca).Level = 0
+		target := swA
+		if i%2 == 1 {
+			target = swB
+		}
+		if _, _, err := t.Link(ca, target); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,73 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ibvsim/internal/ib"
+)
+
+// ReadJSON reconstructs a topology serialised by WriteJSON. Node IDs must
+// be dense and ascending (WriteJSON guarantees this); links are validated
+// for symmetry by Validate before the topology is returned.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var in jsonTopology
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("topology: decoding JSON: %w", err)
+	}
+	t := New(in.Name)
+	for i, jn := range in.Nodes {
+		if jn.ID != i {
+			return nil, fmt.Errorf("topology: node IDs must be dense and ascending; got %d at position %d", jn.ID, i)
+		}
+		numPorts := 0
+		for _, p := range jn.Ports {
+			if p.Port > numPorts {
+				numPorts = p.Port
+			}
+		}
+		if numPorts == 0 {
+			numPorts = 1
+		}
+		var id NodeID
+		switch jn.Type {
+		case ib.NodeSwitch.String():
+			id = t.AddSwitch(numPorts, jn.Desc)
+		case ib.NodeCA.String():
+			id = t.AddCA(jn.Desc)
+			if numPorts > 1 {
+				// Recreate multi-port CAs faithfully.
+				t.nodes[id].Ports = make([]Port, numPorts+1)
+				for pi := range t.nodes[id].Ports {
+					t.nodes[id].Ports[pi] = Port{Num: ib.PortNum(pi), Peer: NoNode}
+				}
+			}
+		default:
+			return nil, fmt.Errorf("topology: node %d has unknown type %q", jn.ID, jn.Type)
+		}
+		t.Node(id).Level = jn.Level
+	}
+	// Second pass: wire the links (each appears on both endpoints; connect
+	// once, from the lower node ID).
+	for _, jn := range in.Nodes {
+		for _, p := range jn.Ports {
+			if p.Peer < jn.ID {
+				continue
+			}
+			if err := t.Connect(NodeID(jn.ID), ib.PortNum(p.Port), NodeID(p.Peer), ib.PortNum(p.PeerPort)); err != nil {
+				return nil, err
+			}
+			if !p.Up {
+				if err := t.SetLinkState(NodeID(jn.ID), ib.PortNum(p.Port), false); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: loaded fabric invalid: %w", err)
+	}
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig, err := BuildXGFT(XGFTSpec{M: []int{3, 3}, W: []int{1, 3}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Include a downed link in the round trip.
+	leaf := orig.LeafSwitchOf(orig.CAs()[0])
+	var upPort int
+	for i := 1; i < len(orig.Node(leaf).Ports); i++ {
+		p := orig.Node(leaf).Ports[i]
+		if p.Peer != NoNode && orig.Node(p.Peer).IsSwitch() {
+			upPort = i
+			break
+		}
+	}
+	if err := orig.SetLinkState(leaf, pnum(upPort), false); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf strings.Builder
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumSwitches() != orig.NumSwitches() {
+		t.Fatalf("counts differ: %s vs %s", got, orig)
+	}
+	for i := range orig.Nodes() {
+		a, b := orig.Node(NodeID(i)), got.Node(NodeID(i))
+		if a.Type != b.Type || a.Desc != b.Desc || a.Level != b.Level {
+			t.Fatalf("node %d metadata differs: %+v vs %+v", i, a, b)
+		}
+		for p := 1; p < len(a.Ports) && p < len(b.Ports); p++ {
+			if a.Ports[p].Peer != b.Ports[p].Peer || a.Ports[p].Up != b.Ports[p].Up {
+				t.Fatalf("node %d port %d differs: %+v vs %+v", i, p, a.Ports[p], b.Ports[p])
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		`{not json`,
+		`{"name":"x","nodes":[{"id":5,"type":"CA","desc":"a"}]}`,                                                      // non-dense IDs
+		`{"name":"x","nodes":[{"id":0,"type":"Weird","desc":"a"}]}`,                                                   // unknown type
+		`{"name":"x","nodes":[{"id":0,"type":"CA","desc":"a","ports":[{"port":1,"peer":0,"peerPort":1,"up":true}]}]}`, // self link
+	}
+	for i, c := range cases {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadJSONMultiPortCA(t *testing.T) {
+	orig := New("dual")
+	sw := orig.AddSwitch(4, "sw")
+	ca := orig.AddCAWithPorts(2, "dual-ca")
+	if err := orig.Connect(ca, 1, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := orig.Connect(ca, 2, sw, 2); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Node(ca).NumPorts() != 2 {
+		t.Errorf("dual-port CA lost a port: %d", got.Node(ca).NumPorts())
+	}
+}

@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ibvsim/internal/ib"
+)
+
+// WriteNetDiscover renders the fabric in an ibnetdiscover-style text
+// format: one stanza per node ("Switch <nports> ..." / "Ca <nports> ...")
+// followed by one line per connected port. GUIDs use the S-/H- prefix
+// convention of the real tool; levels ride in a comment so a round trip
+// preserves fat-tree annotations.
+//
+//	Switch 36 "S-0002000000000001" # "sw1-0" level 1
+//	[1] "H-0002000000000025"[1] # "node-0"
+//	Ca 1 "H-0002000000000025" # "node-0" level 0
+//	[1] "S-0002000000000001"[1] # "sw1-0"
+func (t *Topology) WriteNetDiscover(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# ibvsim fabric %q\n", t.Name)
+	guid := func(n *Node) string {
+		p := "H"
+		if n.IsSwitch() {
+			p = "S"
+		}
+		return fmt.Sprintf("%s-%016x", p, uint64(n.GUID))
+	}
+	for _, n := range t.nodes {
+		kind := "Ca"
+		if n.IsSwitch() {
+			kind = "Switch"
+		}
+		fmt.Fprintf(bw, "\n%s %d %q # %q level %d\n", kind, n.NumPorts(), guid(n), n.Desc, n.Level)
+		for i := 1; i < len(n.Ports); i++ {
+			p := n.Ports[i]
+			if p.Peer == NoNode {
+				continue
+			}
+			peer := t.Node(p.Peer)
+			state := ""
+			if !p.Up {
+				state = " DOWN"
+			}
+			fmt.Fprintf(bw, "[%d] %q[%d] # %q%s\n", i, guid(peer), p.PeerPort, peer.Desc, state)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadNetDiscover parses the format emitted by WriteNetDiscover and
+// returns the reconstructed, validated fabric.
+func ReadNetDiscover(r io.Reader) (*Topology, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+
+	t := New("loaded")
+	byGUID := map[string]NodeID{}
+	type pendingLink struct {
+		from     NodeID
+		fromPort ib.PortNum
+		toGUID   string
+		toPort   ib.PortNum
+		down     bool
+		line     int
+	}
+	var links []pendingLink
+	var cur NodeID = NoNode
+	lineNo := 0
+
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			// The fabric-name header.
+			if strings.HasPrefix(line, "# ibvsim fabric ") {
+				if name, err := strconv.Unquote(strings.TrimPrefix(line, "# ibvsim fabric ")); err == nil {
+					t.Name = name
+				}
+			}
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "Switch ") || strings.HasPrefix(line, "Ca "):
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("topology: line %d: malformed node stanza", lineNo)
+			}
+			nports, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad port count: %w", lineNo, err)
+			}
+			guid, rest, err := takeQuoted(fields[2] + " " + fields[3])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+			}
+			desc, level := "", -1
+			if i := strings.Index(rest, "#"); i >= 0 {
+				comment := strings.TrimSpace(rest[i+1:])
+				if d, tail, err := takeQuoted(comment); err == nil {
+					desc = d
+					tail = strings.TrimSpace(tail)
+					if strings.HasPrefix(tail, "level ") {
+						if lv, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(tail, "level "))); err == nil {
+							level = lv
+						}
+					}
+				}
+			}
+			if _, dup := byGUID[guid]; dup {
+				return nil, fmt.Errorf("topology: line %d: duplicate GUID %s", lineNo, guid)
+			}
+			if fields[0] == "Switch" {
+				cur = t.AddSwitch(nports, desc)
+			} else {
+				cur = t.AddCAWithPorts(nports, desc)
+			}
+			t.Node(cur).Level = level
+			byGUID[guid] = cur
+
+		case strings.HasPrefix(line, "["):
+			if cur == NoNode {
+				return nil, fmt.Errorf("topology: line %d: port line before any node stanza", lineNo)
+			}
+			// [n] "GUID"[m] # ...
+			close1 := strings.Index(line, "]")
+			if close1 < 0 {
+				return nil, fmt.Errorf("topology: line %d: malformed port line", lineNo)
+			}
+			fromPort, err := strconv.Atoi(line[1:close1])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad port: %w", lineNo, err)
+			}
+			rest := strings.TrimSpace(line[close1+1:])
+			peerGUID, rest, err := takeQuoted(rest)
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: %w", lineNo, err)
+			}
+			if !strings.HasPrefix(rest, "[") {
+				return nil, fmt.Errorf("topology: line %d: missing peer port", lineNo)
+			}
+			close2 := strings.Index(rest, "]")
+			toPort, err := strconv.Atoi(rest[1:close2])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad peer port: %w", lineNo, err)
+			}
+			links = append(links, pendingLink{
+				from:     cur,
+				fromPort: ib.PortNum(fromPort),
+				toGUID:   peerGUID,
+				toPort:   ib.PortNum(toPort),
+				down:     strings.HasSuffix(strings.TrimSpace(rest), "DOWN"),
+				line:     lineNo,
+			})
+		default:
+			return nil, fmt.Errorf("topology: line %d: unrecognised line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	// Wire links; each appears once per endpoint, connect on first sight.
+	for _, l := range links {
+		to, ok := byGUID[l.toGUID]
+		if !ok {
+			return nil, fmt.Errorf("topology: line %d: unknown peer GUID %s", l.line, l.toGUID)
+		}
+		n := t.Node(l.from)
+		if int(l.fromPort) < len(n.Ports) && n.Ports[l.fromPort].Peer == to {
+			continue // reverse side already connected
+		}
+		if err := t.Connect(l.from, l.fromPort, to, l.toPort); err != nil {
+			return nil, fmt.Errorf("topology: line %d: %w", l.line, err)
+		}
+		if l.down {
+			if err := t.SetLinkState(l.from, l.fromPort, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("topology: loaded fabric invalid: %w", err)
+	}
+	return t, nil
+}
+
+// takeQuoted extracts a leading quoted string, returning it and the
+// remainder.
+func takeQuoted(s string) (string, string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) == 0 || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted string in %q", s)
+	}
+	end := strings.Index(s[1:], `"`)
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated quote in %q", s)
+	}
+	return s[1 : end+1], s[end+2:], nil
+}

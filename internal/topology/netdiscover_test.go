@@ -1,0 +1,104 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNetDiscoverRoundTrip(t *testing.T) {
+	orig, err := BuildXGFT(XGFTSpec{M: []int{3, 3}, W: []int{1, 3}}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Down one trunk to verify state survives the round trip.
+	leaf := orig.LeafSwitchOf(orig.CAs()[0])
+	for i := 1; i < len(orig.Node(leaf).Ports); i++ {
+		p := orig.Node(leaf).Ports[i]
+		if p.Peer != NoNode && orig.Node(p.Peer).IsSwitch() {
+			if err := orig.SetLinkState(leaf, pnum(i), false); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	var buf strings.Builder
+	if err := orig.WriteNetDiscover(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetDiscover(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatalf("%v\n---\n%s", err, buf.String())
+	}
+	if got.Name != orig.Name {
+		t.Errorf("name %q != %q", got.Name, orig.Name)
+	}
+	if got.NumNodes() != orig.NumNodes() || got.NumSwitches() != orig.NumSwitches() {
+		t.Fatalf("counts differ: %s vs %s", got, orig)
+	}
+	for i := range orig.Nodes() {
+		a, b := orig.Node(NodeID(i)), got.Node(NodeID(i))
+		if a.Type != b.Type || a.Desc != b.Desc || a.Level != b.Level {
+			t.Fatalf("node %d metadata differs", i)
+		}
+		for p := 1; p < len(a.Ports); p++ {
+			if a.Ports[p].Peer != b.Ports[p].Peer ||
+				a.Ports[p].PeerPort != b.Ports[p].PeerPort ||
+				a.Ports[p].Up != b.Ports[p].Up {
+				t.Fatalf("node %d port %d differs: %+v vs %+v", i, p, a.Ports[p], b.Ports[p])
+			}
+		}
+	}
+}
+
+func TestNetDiscoverRoundTripTestbed(t *testing.T) {
+	orig, err := BuildTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := orig.WriteNetDiscover(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNetDiscover(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Connected() {
+		t.Error("loaded testbed disconnected")
+	}
+}
+
+func TestReadNetDiscoverErrors(t *testing.T) {
+	cases := []string{
+		`Switch x "S-1" # "s" level 1`, // bad port count
+		`Switch`,                       // malformed stanza
+		`[1] "S-1"[1] # "x"`,           // port before stanza
+		"Switch 2 \"S-1\" # \"a\" level 1\n[z] \"S-2\"[1]",                   // bad port number
+		"Switch 2 \"S-1\" # \"a\" level 1\n[1] \"S-9\"[1]",                   // unknown peer
+		"Switch 2 \"S-1\" # \"a\" level 1\nSwitch 2 \"S-1\" # \"b\" level 1", // dup GUID
+		"Switch 2 \"S-1\" # \"a\" level 1\n[1] \"S-1\"[2]",                   // self link
+		`garbage line`,
+		"Switch 2 \"S-1\" # \"a\" level 1\n[1] noquote[1]", // unquoted peer
+	}
+	for i, c := range cases {
+		if _, err := ReadNetDiscover(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail:\n%s", i, c)
+		}
+	}
+}
+
+func TestTakeQuoted(t *testing.T) {
+	s, rest, err := takeQuoted(`  "hello" world`)
+	if err != nil || s != "hello" || strings.TrimSpace(rest) != "world" {
+		t.Errorf("takeQuoted = %q, %q, %v", s, rest, err)
+	}
+	if _, _, err := takeQuoted("nope"); err == nil {
+		t.Error("unquoted should fail")
+	}
+	if _, _, err := takeQuoted(`"unterminated`); err == nil {
+		t.Error("unterminated should fail")
+	}
+}

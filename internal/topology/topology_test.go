@@ -1,0 +1,508 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+
+	"ibvsim/internal/ib"
+)
+
+func TestAddAndConnect(t *testing.T) {
+	topo := New("t")
+	sw := topo.AddSwitch(4, "sw0")
+	a := topo.AddCA("a")
+	b := topo.AddCA("b")
+	if err := topo.Connect(a, 1, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(b, 1, sw, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Error("topology should be connected")
+	}
+	if topo.NumSwitches() != 1 || topo.NumCAs() != 2 {
+		t.Errorf("counts: %d switches, %d CAs", topo.NumSwitches(), topo.NumCAs())
+	}
+	if got := topo.LeafSwitchOf(a); got != sw {
+		t.Errorf("LeafSwitchOf(a) = %d, want %d", got, sw)
+	}
+	if got := topo.PortToward(sw, b); got != 2 {
+		t.Errorf("PortToward = %d, want 2", got)
+	}
+	if got := topo.PortToward(a, b); got != 0 {
+		t.Errorf("PortToward non-adjacent = %d, want 0", got)
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	topo := New("t")
+	sw := topo.AddSwitch(2, "sw0")
+	a := topo.AddCA("a")
+	if err := topo.Connect(a, 1, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Connect(a, 1, sw, 2); err == nil {
+		t.Error("reusing a connected port should fail")
+	}
+	if err := topo.Connect(a, 2, sw, 2); err == nil {
+		t.Error("CA port 2 does not exist; Connect should fail")
+	}
+	if err := topo.Connect(NodeID(99), 1, sw, 2); err == nil {
+		t.Error("unknown node should fail")
+	}
+	if err := topo.Connect(sw, 2, sw, 2); err == nil {
+		t.Error("self-port link should fail")
+	}
+}
+
+func TestLinkAutoPort(t *testing.T) {
+	topo := New("t")
+	s1 := topo.AddSwitch(3, "s1")
+	s2 := topo.AddSwitch(3, "s2")
+	p1, p2, err := topo.Link(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != 1 || p2 != 1 {
+		t.Errorf("Link chose ports %d,%d, want 1,1", p1, p2)
+	}
+	p1, p2, err = topo.Link(s1, s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != 2 || p2 != 2 {
+		t.Errorf("second Link chose ports %d,%d, want 2,2", p1, p2)
+	}
+}
+
+func TestLinkExhaustion(t *testing.T) {
+	topo := New("t")
+	s1 := topo.AddSwitch(1, "s1")
+	s2 := topo.AddSwitch(1, "s2")
+	s3 := topo.AddSwitch(1, "s3")
+	if _, _, err := topo.Link(s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := topo.Link(s1, s3); err == nil {
+		t.Error("link on full switch should fail")
+	}
+}
+
+func TestSetLinkState(t *testing.T) {
+	topo := New("t")
+	s1 := topo.AddSwitch(2, "s1")
+	s2 := topo.AddSwitch(2, "s2")
+	ca := topo.AddCA("ca")
+	if _, _, err := topo.Link(s1, s2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := topo.Link(ca, s2); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.SetLinkState(s1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Connected() {
+		t.Error("down link should disconnect fabric")
+	}
+	if topo.Node(s2).Ports[1].Up {
+		t.Error("peer side should also be down")
+	}
+	if err := topo.SetLinkState(s1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Error("fabric should reconnect")
+	}
+	if err := topo.SetLinkState(s1, 2, false); err == nil {
+		t.Error("SetLinkState on unconnected port should fail")
+	}
+}
+
+func TestValidateCatchesBackToBackCAs(t *testing.T) {
+	topo := New("t")
+	a := topo.AddCA("a")
+	b := topo.AddCA("b")
+	if err := topo.Connect(a, 1, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err == nil {
+		t.Error("Validate should reject CA-to-CA link")
+	}
+}
+
+func TestSwitchHopDistances(t *testing.T) {
+	// line: ca0 - s0 - s1 - s2 - ca1
+	topo := New("t")
+	s0 := topo.AddSwitch(3, "s0")
+	s1 := topo.AddSwitch(3, "s1")
+	s2 := topo.AddSwitch(3, "s2")
+	ca0 := topo.AddCA("ca0")
+	ca1 := topo.AddCA("ca1")
+	topo.Link(s0, s1)
+	topo.Link(s1, s2)
+	topo.Link(ca0, s0)
+	topo.Link(ca1, s2)
+	d := topo.SwitchHopDistances(s0)
+	if d[s0] != 0 || d[s1] != 1 || d[s2] != 2 {
+		t.Errorf("switch distances: %v", d)
+	}
+	if d[ca0] != 1 || d[ca1] != 3 {
+		t.Errorf("CA distances: ca0=%d ca1=%d", d[ca0], d[ca1])
+	}
+}
+
+func TestXGFTPaperSizes(t *testing.T) {
+	// Table I: nodes -> switches.
+	cases := []struct {
+		nodes    int
+		switches int
+	}{
+		{324, 36}, {648, 54}, {5832, 972}, {11664, 1620},
+	}
+	for _, c := range cases {
+		spec := PaperFatTrees[c.nodes]
+		if got := spec.NumLeaves(); got != c.nodes {
+			t.Errorf("spec %d: NumLeaves = %d", c.nodes, got)
+		}
+		if got := spec.NumSwitches(); got != c.switches {
+			t.Errorf("spec %d: NumSwitches = %d, want %d", c.nodes, got, c.switches)
+		}
+	}
+}
+
+func TestBuildXGFT324(t *testing.T) {
+	topo, err := BuildPaperFatTree(324)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCAs() != 324 || topo.NumSwitches() != 36 {
+		t.Fatalf("got %d CAs, %d switches", topo.NumCAs(), topo.NumSwitches())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("fat-tree should be connected")
+	}
+	// Every leaf switch: 18 CAs down + 18 up = 36 connected ports.
+	// Every spine: 18 down.
+	for _, id := range topo.Switches() {
+		n := topo.Node(id)
+		got := len(n.ConnectedPorts())
+		switch n.Level {
+		case 1:
+			if got != 36 {
+				t.Errorf("leaf %s has %d connected ports, want 36", n.Desc, got)
+			}
+		case 2:
+			if got != 18 {
+				t.Errorf("spine %s has %d connected ports, want 18", n.Desc, got)
+			}
+		default:
+			t.Errorf("switch %s has level %d", n.Desc, n.Level)
+		}
+	}
+	// Every CA must be exactly 3 switch-hops from any other leaf's CA and
+	// reachable. Check one representative pair via BFS.
+	ca := topo.CAs()
+	d := topo.SwitchHopDistances(topo.LeafSwitchOf(ca[0]))
+	if d[ca[323]] != 3 {
+		t.Errorf("cross-tree CA distance = %d, want 3 (leaf-spine-leaf-CA)", d[ca[323]])
+	}
+}
+
+func TestBuildXGFT648Shape(t *testing.T) {
+	topo, err := BuildPaperFatTree(648)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCAs() != 648 || topo.NumSwitches() != 54 {
+		t.Fatalf("got %d CAs, %d switches", topo.NumCAs(), topo.NumSwitches())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("not connected")
+	}
+	// Spines in the 648-node fabric use all 36 ports.
+	for _, id := range topo.Switches() {
+		n := topo.Node(id)
+		if n.Level == 2 && len(n.ConnectedPorts()) != 36 {
+			t.Errorf("spine %s has %d ports connected, want 36", n.Desc, len(n.ConnectedPorts()))
+		}
+	}
+}
+
+func TestBuildXGFT5832Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build")
+	}
+	topo, err := BuildPaperFatTree(5832)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCAs() != 5832 || topo.NumSwitches() != 972 {
+		t.Fatalf("got %d CAs, %d switches", topo.NumCAs(), topo.NumSwitches())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("not connected")
+	}
+}
+
+func TestBuildXGFT11664Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build")
+	}
+	topo, err := BuildPaperFatTree(11664)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumCAs() != 11664 || topo.NumSwitches() != 1620 {
+		t.Fatalf("got %d CAs, %d switches", topo.NumCAs(), topo.NumSwitches())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildPaperFatTreeUnknown(t *testing.T) {
+	if _, err := BuildPaperFatTree(100); err == nil {
+		t.Error("unknown size should fail")
+	}
+}
+
+func TestXGFTSpecValidate(t *testing.T) {
+	bad := []XGFTSpec{
+		{},
+		{M: []int{2}, W: []int{}},
+		{M: []int{0}, W: []int{1}},
+		{M: []int{2}, W: []int{-1}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+	if _, err := BuildXGFT(XGFTSpec{}, 0); err == nil {
+		t.Error("BuildXGFT with invalid spec should fail")
+	}
+}
+
+func TestBuildRing(t *testing.T) {
+	topo, err := BuildRing(6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSwitches() != 6 || topo.NumCAs() != 12 {
+		t.Fatalf("ring: %d switches %d CAs", topo.NumSwitches(), topo.NumCAs())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("ring not connected")
+	}
+	if _, err := BuildRing(2, 1); err == nil {
+		t.Error("ring of 2 should fail")
+	}
+}
+
+func TestBuildMeshAndTorus(t *testing.T) {
+	mesh, err := BuildMesh2D(3, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.NumSwitches() != 12 || mesh.NumCAs() != 12 {
+		t.Fatalf("mesh: %d/%d", mesh.NumSwitches(), mesh.NumCAs())
+	}
+	if err := mesh.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !mesh.Connected() {
+		t.Fatal("mesh not connected")
+	}
+
+	torus, err := BuildTorus2D(3, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := torus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !torus.Connected() {
+		t.Fatal("torus not connected")
+	}
+	// Torus switches have 4 trunk links + 1 CA each.
+	for _, id := range torus.Switches() {
+		if got := len(torus.Node(id).ConnectedPorts()); got != 5 {
+			t.Errorf("torus switch has %d connected ports, want 5", got)
+		}
+	}
+	if _, err := BuildMesh2D(1, 5, 1); err == nil {
+		t.Error("1-row mesh should fail")
+	}
+}
+
+func TestBuildRandomConnectedDeterministic(t *testing.T) {
+	a, err := BuildRandom(20, 8, 10, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Connected() {
+		t.Fatal("random net not connected")
+	}
+	b, err := BuildRandom(20, 8, 10, 2, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Error("same seed produced different node counts")
+	}
+	for i := range a.Nodes() {
+		na, nb := a.Node(NodeID(i)), b.Node(NodeID(i))
+		for p := 1; p < len(na.Ports); p++ {
+			if na.Ports[p].Peer != nb.Ports[p].Peer {
+				t.Fatalf("same seed, different wiring at node %d port %d", i, p)
+			}
+		}
+	}
+	if _, err := BuildRandom(1, 8, 0, 1, 1); err == nil {
+		t.Error("1-switch random should fail")
+	}
+	if _, err := BuildRandom(4, 2, 0, 2, 1); err == nil {
+		t.Error("radix too small should fail")
+	}
+}
+
+func TestBuildDragonfly(t *testing.T) {
+	topo, err := BuildDragonfly(4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSwitches() != 12 || topo.NumCAs() != 24 {
+		t.Fatalf("dragonfly: %d switches %d CAs", topo.NumSwitches(), topo.NumCAs())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("dragonfly not connected")
+	}
+	// Every switch pair within a group is adjacent (full local mesh).
+	sw := topo.Switches()
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if topo.PortToward(sw[i], sw[j]) == 0 {
+				t.Errorf("group-local switches %d,%d not meshed", i, j)
+			}
+		}
+	}
+	// Diameter over switch hops is small (<= 3: local, global, local).
+	d := topo.SwitchHopDistances(sw[0])
+	for _, id := range sw {
+		if d[id] > 3 {
+			t.Errorf("switch %d at distance %d, want <= 3", id, d[id])
+		}
+	}
+	if _, err := BuildDragonfly(1, 2, 1); err == nil {
+		t.Error("1-group dragonfly should fail")
+	}
+}
+
+func TestBuildTestbed(t *testing.T) {
+	topo, err := BuildTestbed()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumSwitches() != 2 || topo.NumCAs() != 9 {
+		t.Fatalf("testbed: %d switches, %d CAs", topo.NumSwitches(), topo.NumCAs())
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !topo.Connected() {
+		t.Fatal("testbed not connected")
+	}
+}
+
+func TestWriteDOTAndJSON(t *testing.T) {
+	topo, err := BuildRing(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot strings.Builder
+	if err := topo.WriteDOT(&dot); err != nil {
+		t.Fatal(err)
+	}
+	s := dot.String()
+	if !strings.Contains(s, "graph") || !strings.Contains(s, "ringsw-0") {
+		t.Errorf("DOT output missing content: %s", s)
+	}
+	var js strings.Builder
+	if err := topo.WriteJSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), "\"ringsw-1\"") {
+		t.Error("JSON output missing node")
+	}
+}
+
+func TestDegreeSummary(t *testing.T) {
+	topo, _ := BuildRing(4, 1)
+	got := topo.DegreeSummary()
+	if got != "deg3:4" {
+		t.Errorf("DegreeSummary = %q, want deg3:4", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	topo, _ := BuildRing(3, 1)
+	if !strings.Contains(topo.String(), "3 switches") {
+		t.Errorf("String = %q", topo.String())
+	}
+	if topo.Node(NoNode) != nil {
+		t.Error("Node(NoNode) should be nil")
+	}
+	if topo.LeafSwitchOf(topo.Switches()[0]) != NoNode {
+		t.Error("LeafSwitchOf(switch) should be NoNode")
+	}
+}
+
+func TestNodeHelpers(t *testing.T) {
+	topo := New("t")
+	sw := topo.AddSwitch(4, "sw")
+	n := topo.Node(sw)
+	if n.NumPorts() != 4 {
+		t.Errorf("NumPorts = %d", n.NumPorts())
+	}
+	if n.FreePort() != 1 {
+		t.Errorf("FreePort = %d", n.FreePort())
+	}
+	ca := topo.AddCA("ca")
+	topo.Connect(ca, 1, sw, 3)
+	if got := n.ConnectedPorts(); len(got) != 1 || got[0] != ib.PortNum(3) {
+		t.Errorf("ConnectedPorts = %v", got)
+	}
+}
+
+func TestAddNodePanicsOnZeroPorts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	topo := New("t")
+	topo.AddCAWithPorts(0, "bad")
+}
