@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench experiments experiments-full fmt vet clean
+.PHONY: all build test test-short race cover bench fuzz experiments experiments-full fmt vet clean
 
 all: build test
 
@@ -20,6 +20,12 @@ race:
 
 cover:
 	$(GO) test -cover ./...
+
+# Fuzz the LFT block-diff and the migration swap primitive (10s each; Go
+# allows one fuzz target per invocation).
+fuzz:
+	$(GO) test ./internal/ib -run '^$$' -fuzz '^FuzzLFTDiff$$' -fuzztime 10s
+	$(GO) test ./internal/ib -run '^$$' -fuzz '^FuzzLFTSwap$$' -fuzztime 10s
 
 # The benchmark harness: one benchmark per paper table/figure + ablations.
 bench:

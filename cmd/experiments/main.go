@@ -22,11 +22,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig7|table1|leaflocal|deadlock|capacity|costmodel|all")
+	exp := flag.String("exp", "all", "experiment: fig7|table1|leaflocal|deadlock|capacity|costmodel|faulty|all")
 	full := flag.Bool("full", false, "run the expensive Fig.7 combinations (dfsssp/lash on 3-level fabrics; can take many minutes to hours)")
 	sizes := flag.String("sizes", "", "comma-separated node counts (default: 324,648,5832,11664)")
 	measure := flag.Int("measure", 648, "table1: wire-verify full-RC SMP counts for fabrics up to this node count (0 = closed form only)")
-	csvOut := flag.String("csv", "", "also write fig7/table1 results as CSV to this file")
+	csvOut := flag.String("csv", "", "also write fig7/table1/faulty results as CSV to this file")
+	drops := flag.String("drops", "", "faulty: comma-separated SMP drop probabilities (default 0,0.01,0.05,0.1,0.2)")
+	seed := flag.Int64("seed", 1, "faulty: fault-schedule seed")
 	flag.Parse()
 
 	var sz []int
@@ -101,6 +103,30 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(experiments.RenderBalance(rows))
+		case "faulty":
+			// FaultyDistribution mode: reconfiguration cost vs. SMP drop
+			// rate under the retrying concurrent distribution engine.
+			opt := experiments.FaultSweepOptions{Seed: *seed}
+			if len(sz) > 0 {
+				opt.Nodes = sz[0]
+			}
+			if *drops != "" {
+				for _, d := range strings.Split(*drops, ",") {
+					v, err := strconv.ParseFloat(strings.TrimSpace(d), 64)
+					if err != nil {
+						fatal(fmt.Errorf("bad -drops value %q: %w", d, err))
+					}
+					opt.Drops = append(opt.Drops, v)
+				}
+			}
+			rows, err := experiments.FaultSweep(opt)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(experiments.RenderFaultSweep(rows))
+			if *csvOut != "" {
+				writeCSV(*csvOut, func(w io.Writer) error { return experiments.FaultSweepCSV(rows, w) })
+			}
 		case "churn":
 			size := 324
 			if len(sz) > 0 {
@@ -117,7 +143,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"table1", "capacity", "costmodel", "leaflocal", "migrations", "balance", "transition", "churn", "deadlock", "fig7"} {
+		for _, name := range []string{"table1", "capacity", "costmodel", "leaflocal", "migrations", "balance", "transition", "churn", "faulty", "deadlock", "fig7"} {
 			run(name)
 		}
 		return

@@ -38,6 +38,37 @@ func Fig7CSV(rows []Fig7Row, w io.Writer) error {
 	return cw.Error()
 }
 
+// FaultSweepCSV writes the drop-rate sweep rows as machine-readable CSV.
+// Column order is pinned by the golden-file test: new columns must be
+// appended, never inserted.
+func FaultSweepCSV(rows []FaultRow, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"scheme", "drop_prob", "switches", "smps", "retried", "abandoned",
+		"attempts", "avg_attempts", "exp_attempts", "modelled_s",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			r.Scheme,
+			fmt.Sprintf("%.3f", r.DropProb),
+			fmt.Sprintf("%d", r.Switches),
+			fmt.Sprintf("%d", r.SMPs),
+			fmt.Sprintf("%d", r.Retried),
+			fmt.Sprintf("%d", r.Abandoned),
+			fmt.Sprintf("%d", r.Attempts),
+			fmt.Sprintf("%.4f", r.AvgAttempts),
+			fmt.Sprintf("%.4f", r.ExpAttempts),
+			fmt.Sprintf("%.9f", r.ModelledTime.Seconds()),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // Table1CSV writes the Table I rows as CSV.
 func Table1CSV(rows []Table1Row, w io.Writer) error {
 	cw := csv.NewWriter(w)

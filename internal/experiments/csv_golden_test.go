@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the CSV golden files")
+
+// checkGolden compares rendered CSV output byte-for-byte against a golden
+// file, so column reorderings (silent breakage for downstream plotting
+// scripts) fail loudly. Regenerate with: go test ./internal/experiments
+// -run Golden -update-golden
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-golden)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestFaultSweepCSVGolden(t *testing.T) {
+	rows := []FaultRow{
+		{Scheme: "prepopulated", DropProb: 0, Switches: 36, SMPs: 72,
+			Attempts: 72, AvgAttempts: 1, ExpAttempts: 1, ModelledTime: 540 * time.Microsecond},
+		{Scheme: "prepopulated", DropProb: 0.1, Switches: 36, SMPs: 72, Retried: 9,
+			Attempts: 81, AvgAttempts: 1.125, ExpAttempts: 1.1111, ModelledTime: 1020 * time.Microsecond},
+		{Scheme: "dynamic", DropProb: 0.2, Switches: 36, SMPs: 36, Retried: 11, Abandoned: 1,
+			Attempts: 47, AvgAttempts: 1.2703, ExpAttempts: 1.25, ModelledTime: 2 * time.Millisecond},
+	}
+	var sb strings.Builder
+	if err := FaultSweepCSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "faultsweep.csv.golden", sb.String())
+}
+
+func TestFig7CSVGolden(t *testing.T) {
+	rows := []Fig7Row{
+		{Nodes: 324, Switches: 36, Engine: "ftree", PCt: 12 * time.Millisecond, PaperSeconds: 0.012},
+		{Nodes: 5832, Switches: 972, Engine: "lash", PaperSeconds: 3859, Skipped: true},
+		{Nodes: 324, Switches: 36, Engine: "lid-swap/copy"},
+	}
+	var sb strings.Builder
+	if err := Fig7CSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig7.csv.golden", sb.String())
+}
+
+func TestTable1CSVGolden(t *testing.T) {
+	rows := []Table1Row{
+		{Nodes: 324, Switches: 36, LIDs: 360, MinBlocksSwitch: 6, MinSMPsFullRC: 216,
+			MinSMPsSwapCopy: 1, MaxSMPsSwapCopy: 72, MeasuredFullRC: 216, MeasuredVerified: true},
+		{Nodes: 11664, Switches: 1620, LIDs: 13284, MinBlocksSwitch: 208,
+			MinSMPsFullRC: 336960, MinSMPsSwapCopy: 1, MaxSMPsSwapCopy: 3240},
+	}
+	var sb strings.Builder
+	if err := Table1CSV(rows, &sb); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.csv.golden", sb.String())
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFaultSweep(t *testing.T) {
+	rows, err := FaultSweep(FaultSweepOptions{Nodes: 324, Drops: []float64{0, 0.15}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 2 schemes x 2 drop rates", len(rows))
+	}
+	byScheme := map[string][]FaultRow{}
+	for _, r := range rows {
+		byScheme[r.Scheme] = append(byScheme[r.Scheme], r)
+	}
+	pre, dyn := byScheme["prepopulated"], byScheme["dynamic"]
+	// Section VI footprints: a prepopulated swap touches <=2 blocks per
+	// switch, a dynamic copy exactly 1 per switch (36 switches at 324
+	// nodes). The drop rate must not change the unique-block footprint.
+	for _, r := range pre {
+		if r.SMPs != 72 || r.Abandoned != 0 {
+			t.Errorf("prepopulated @ drop %.2f: %d SMPs (%d abandoned), want 72",
+				r.DropProb, r.SMPs, r.Abandoned)
+		}
+	}
+	for _, r := range dyn {
+		if r.SMPs != 36 || r.Abandoned != 0 {
+			t.Errorf("dynamic @ drop %.2f: %d SMPs (%d abandoned), want 36",
+				r.DropProb, r.SMPs, r.Abandoned)
+		}
+	}
+	// Loss costs retries and modelled time, never extra unique blocks.
+	for _, rs := range [][]FaultRow{pre, dyn} {
+		clean, lossy := rs[0], rs[1]
+		if clean.Retried != 0 || clean.AvgAttempts != 1 {
+			t.Errorf("drop 0 retried %d SMPs (avg %.3f)", clean.Retried, clean.AvgAttempts)
+		}
+		if lossy.Retried == 0 {
+			t.Errorf("%s: drop 0.15 caused no retries", lossy.Scheme)
+		}
+		if lossy.ModelledTime <= clean.ModelledTime {
+			t.Errorf("%s: lossy modelled %v <= clean %v",
+				lossy.Scheme, lossy.ModelledTime, clean.ModelledTime)
+		}
+	}
+	out := RenderFaultSweep(rows)
+	if !strings.Contains(out, "prepopulated") || !strings.Contains(out, "dynamic") {
+		t.Errorf("render missing schemes:\n%s", out)
+	}
+}

@@ -1,0 +1,109 @@
+package ib
+
+import (
+	"testing"
+)
+
+// lftFromBytes decodes a fuzz payload into an LFT: each 3-byte record is a
+// (LID, port) Set. LIDs are folded into a bounded range so tables stay a
+// few dozen blocks at most.
+func lftFromBytes(data []byte) *LFT {
+	t := NewLFT(63)
+	for i := 0; i+2 < len(data); i += 3 {
+		l := LID(uint16(data[i])<<8|uint16(data[i+1])) % 4096
+		t.Set(l, PortNum(data[i+2]))
+	}
+	return t
+}
+
+// bruteDiff is the straightforward O(blocks*64) block compare Diff must
+// agree with: two blocks differ iff any of their 64 entries differ, with
+// out-of-range entries reading as DropPort.
+func bruteDiff(a, b *LFT) []int {
+	nb := a.NumBlocks()
+	if ob := b.NumBlocks(); ob > nb {
+		nb = ob
+	}
+	var out []int
+	for blk := 0; blk < nb; blk++ {
+		for i := 0; i < LFTBlockSize; i++ {
+			l := LID(blk*LFTBlockSize + i)
+			if a.Get(l) != b.Get(l) {
+				out = append(out, blk)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzLFTDiff(f *testing.F) {
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{0, 1, 3}, []byte{0, 1, 4})
+	f.Add([]byte{0, 200, 1, 1, 100, 2}, []byte{0, 200, 1})
+	f.Add([]byte{15, 255, 7}, []byte{0, 64, 9, 15, 255, 7})
+	f.Fuzz(func(t *testing.T, da, db []byte) {
+		a, b := lftFromBytes(da), lftFromBytes(db)
+		got := a.Diff(b)
+		want := bruteDiff(a, b)
+		if !sameInts(got, want) {
+			t.Errorf("Diff = %v, brute force = %v", got, want)
+		}
+		// Diff is symmetric: growth in either direction compares against
+		// implicit drop-filled blocks.
+		if rev := b.Diff(a); !sameInts(rev, want) {
+			t.Errorf("Diff not symmetric: %v vs %v", rev, want)
+		}
+		// A table never differs from itself or its clone.
+		if d := a.Diff(a); len(d) != 0 {
+			t.Errorf("self-diff = %v", d)
+		}
+		if d := a.Clone().Diff(a); len(d) != 0 {
+			t.Errorf("clone-diff = %v", d)
+		}
+	})
+}
+
+func FuzzLFTSwap(f *testing.F) {
+	f.Add([]byte{0, 1, 3, 0, 2, 4}, uint16(1), uint16(2))
+	f.Add([]byte{0, 1, 3}, uint16(1), uint16(1))
+	f.Add([]byte{0, 1, 3, 1, 0, 5}, uint16(1), uint16(256))
+	f.Fuzz(func(t *testing.T, data []byte, ra, rb uint16) {
+		lft := lftFromBytes(data)
+		a, b := LID(ra%4096), LID(rb%4096)
+		pa, pb := lft.Get(a), lft.Get(b)
+		orig := lft.Clone()
+
+		// One swap exchanges exactly the two entries.
+		lft.Swap(a, b)
+		if lft.Get(a) != pb || lft.Get(b) != pa {
+			t.Fatalf("Swap(%d,%d): got (%d,%d), want (%d,%d)",
+				a, b, lft.Get(a), lft.Get(b), pb, pa)
+		}
+		for _, blk := range bruteDiff(lft, orig) {
+			if blk != BlockOf(a) && blk != BlockOf(b) {
+				t.Fatalf("swap touched unrelated block %d (a in %d, b in %d)",
+					blk, BlockOf(a), BlockOf(b))
+			}
+		}
+
+		// The prepopulated-LID migration relies on the swap being its own
+		// inverse: applying it twice restores the original table.
+		lft.Swap(a, b)
+		if d := lft.Diff(orig); len(d) != 0 {
+			t.Fatalf("double swap is not identity: differing blocks %v", d)
+		}
+	})
+}

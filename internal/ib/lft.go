@@ -91,6 +91,18 @@ func (t *LFT) ensure(l LID) {
 	t.dirty = nd
 }
 
+// CopyBlockFrom overwrites one 64-entry block of t with the corresponding
+// block of other, growing t as needed. The distribution engine uses it to
+// commit exactly the blocks a switch acknowledged when a distribution ends
+// partially delivered.
+func (t *LFT) CopyBlockFrom(other *LFT, block int) {
+	base := block * LFTBlockSize
+	for i := 0; i < LFTBlockSize; i++ {
+		l := LID(base + i)
+		t.Set(l, other.Get(l))
+	}
+}
+
 // DirtyBlocks returns the indices of blocks modified since the last
 // ClearDirty, in ascending order. The subnet manager sends one SMP per dirty
 // block during LFT distribution.

@@ -1,7 +1,11 @@
 package sm
 
 import (
+	"errors"
 	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ibvsim/internal/ib"
@@ -9,12 +13,82 @@ import (
 	"ibvsim/internal/topology"
 )
 
+// RetryPolicy governs how the distribution engine reacts to lost SMPs. Real
+// subnets drop and delay SMPs; OpenSM retransmits after a response timeout
+// rather than assuming every LFT block arrives.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of times one SMP is sent before the
+	// block is abandoned (1 = never retry).
+	MaxAttempts int
+	// Timeout is the modelled wait before a missing response is declared
+	// lost. It should comfortably exceed the SMP round trip (k+r).
+	Timeout time.Duration
+	// Backoff is the modelled pause before the first retransmission; it
+	// doubles on every further attempt.
+	Backoff time.Duration
+}
+
+// DefaultRetryPolicy retries up to 5 attempts with a 50us response timeout
+// and 20us exponential backoff — an OpenSM-like budget at QDR magnitudes.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 5, Timeout: 50 * time.Microsecond, Backoff: 20 * time.Microsecond}
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// backoffBefore returns the modelled backoff preceding the given retry
+// (retry 1 = first retransmission), doubling each time.
+func (p RetryPolicy) backoffBefore(retry int) time.Duration {
+	if p.Backoff <= 0 || retry < 1 {
+		return 0
+	}
+	return p.Backoff << uint(retry-1)
+}
+
+// DistributionConfig sets the concurrency and retry behaviour of the LFT
+// distribution engine.
+type DistributionConfig struct {
+	// Workers is the number of switches programmed in parallel. Each
+	// switch's blocks stay strictly ordered on one worker (per-switch
+	// serial channels, as OpenSM pipelines per switch); 1 reproduces the
+	// fully serial distribution of the paper's "no pipelining" equations.
+	Workers int
+	// Retry is the per-SMP retransmission policy.
+	Retry RetryPolicy
+}
+
+// DefaultDistributionConfig uses 8 parallel switch workers and the default
+// retry policy.
+func DefaultDistributionConfig() DistributionConfig {
+	return DistributionConfig{Workers: 8, Retry: DefaultRetryPolicy()}
+}
+
 // DistributionStats reports the cost of pushing LFTs to the switches.
 type DistributionStats struct {
+	// SwitchesUpdated counts switches whose every differing block was
+	// acknowledged; SwitchesSkipped counts unreachable switches left for a
+	// later resweep; SwitchesFailed counts switches where at least one
+	// block was abandoned or hit a hard transport error.
 	SwitchesUpdated int
-	SMPs            int
-	// ModelledTime applies the SM's cost model (eq. 2/4/5) to the SMPs
-	// actually sent.
+	SwitchesSkipped int
+	SwitchesFailed  int
+	// SMPs counts unique LFT blocks acknowledged by switches. A block that
+	// needed several attempts still counts once here; the extra attempts
+	// are SMPsRetried. SMPsAbandoned blocks exhausted the retry budget.
+	SMPs          int
+	SMPsRetried   int
+	SMPsAbandoned int
+	// Workers is the parallelism the engine actually used.
+	Workers int
+	// ModelledTime applies the SM's cost model (eq. 2/4/5) plus the retry
+	// policy's timeout/backoff costs to the attempts actually made, with
+	// switches pipelined over the workers (makespan of the per-switch
+	// serial channels).
 	ModelledTime time.Duration
 	Mode         smp.Mode
 	Duration     time.Duration // wall time of the simulation itself
@@ -38,6 +112,29 @@ func (s *SubnetManager) DistributeFull() (DistributionStats, error) {
 	return s.distribute(true, smp.DirectedRoute)
 }
 
+// distJob is one switch's share of a distribution: the blocks to push and
+// the target table they come from.
+type distJob struct {
+	sw     topology.NodeID
+	tgt    *ib.LFT
+	blocks []int
+}
+
+// distResult is what one worker reports back for one job. Workers write
+// only their own slice slot, so no locking is needed until the join.
+type distResult struct {
+	delivered []int // blocks acknowledged by the switch
+	retried   int   // retransmissions beyond each block's first attempt
+	abandoned int   // blocks that exhausted the retry budget
+	modelled  time.Duration
+	err       error // hard transport error (aborts the remaining blocks)
+}
+
+// distribute runs the concurrent distribution engine: independent switches
+// are programmed in parallel by a bounded worker pool, while each switch's
+// blocks remain strictly ordered. Lost SMPs (smp.ErrTimeout from a faulty
+// transport) are retransmitted per the retry policy; hard transport errors
+// abort the affected switch but the other switches still complete.
 func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats, error) {
 	start := time.Now()
 	var st DistributionStats
@@ -45,9 +142,15 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 	if !s.routed {
 		return st, fmt.Errorf("sm: distribute before ComputeRoutes")
 	}
+
+	// Plan sequentially: per-switch block lists plus the unreachable set.
+	var jobs []distJob
+	var skipped []string
 	for _, swID := range s.Topo.Switches() {
 		if !s.reachable[swID] {
-			continue // unreachable switches are re-programmed when they return
+			st.SwitchesSkipped++
+			skipped = append(skipped, s.Topo.Node(swID).Desc)
+			continue
 		}
 		tgt := s.target[swID]
 		if tgt == nil {
@@ -55,12 +158,7 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		}
 		prog := s.programmed[swID]
 		var blocks []int
-		if full {
-			top := tgt.TopPopulatedBlock()
-			for b := 0; b <= top; b++ {
-				blocks = append(blocks, b)
-			}
-		} else if prog == nil {
+		if full || prog == nil {
 			top := tgt.TopPopulatedBlock()
 			for b := 0; b <= top; b++ {
 				blocks = append(blocks, b)
@@ -71,25 +169,155 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		if len(blocks) == 0 {
 			continue
 		}
-		for _, b := range blocks {
-			if err := s.sendLFTBlock(swID, b, mode); err != nil {
-				return st, err
-			}
-			st.SMPs++
-		}
-		st.SwitchesUpdated++
-		s.programmed[swID] = tgt.Clone()
-		s.programmed[swID].ClearDirty()
+		jobs = append(jobs, distJob{sw: swID, tgt: tgt, blocks: blocks})
 	}
-	st.ModelledTime = s.Cost.DistributionTime(st.SMPs, mode)
+
+	workers := s.Dist.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	st.Workers = workers
+
+	// Fan out: workers claim jobs by atomic index and write results into
+	// their own slots; the transport guards its own counters.
+	results := make([]distResult, len(jobs))
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = s.runDistJob(jobs[i], mode)
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Join: fold results into the stats, commit programmed state, and model
+	// the makespan of scheduling the per-switch channels over the workers.
+	var firstErr error
+	clocks := make([]time.Duration, workers)
+	for i, r := range results {
+		job := jobs[i]
+		st.SMPs += len(r.delivered)
+		st.SMPsRetried += r.retried
+		st.SMPsAbandoned += r.abandoned
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+		if r.err == nil && r.abandoned == 0 {
+			st.SwitchesUpdated++
+			s.programmed[job.sw] = job.tgt.Clone()
+			s.programmed[job.sw].ClearDirty()
+		} else {
+			st.SwitchesFailed++
+			// Only the acknowledged blocks are known to be on the switch.
+			prog := s.programmed[job.sw]
+			if prog == nil {
+				prog = ib.NewLFT(ib.LID(job.tgt.NumBlocks()*ib.LFTBlockSize - 1))
+				s.programmed[job.sw] = prog
+			}
+			for _, b := range r.delivered {
+				prog.CopyBlockFrom(job.tgt, b)
+			}
+			prog.ClearDirty()
+			s.log.Addf(EvFailure, "distribute: %q incomplete: %d/%d blocks delivered, %d abandoned (%v)",
+				s.Topo.Node(job.sw).Desc, len(r.delivered), len(job.blocks), r.abandoned, r.err)
+		}
+		if r.retried > 0 {
+			s.log.Addf(EvRetry, "distribute: %q needed %d retransmissions for %d blocks",
+				s.Topo.Node(job.sw).Desc, r.retried, len(job.blocks))
+		}
+		// Greedy list scheduling: each switch goes to the earliest-free
+		// worker, so the modelled time is the makespan across channels.
+		min := 0
+		for w := 1; w < workers; w++ {
+			if clocks[w] < clocks[min] {
+				min = w
+			}
+		}
+		clocks[min] += r.modelled
+	}
+	for _, c := range clocks {
+		if c > st.ModelledTime {
+			st.ModelledTime = c
+		}
+	}
+
 	st.Duration = time.Since(start)
-	s.log.Addf(EvDistribute, "distribute(full=%v): %d SMPs to %d switches, modelled %v",
-		full, st.SMPs, st.SwitchesUpdated, st.ModelledTime)
-	return st, nil
+	s.log.Addf(EvDistribute, "distribute(full=%v, workers=%d): %d SMPs to %d switches (%d retried, %d abandoned), modelled %v",
+		full, workers, st.SMPs, st.SwitchesUpdated, st.SMPsRetried, st.SMPsAbandoned, st.ModelledTime)
+	if len(skipped) > 0 {
+		s.log.Addf(EvDistribute, "distribute: skipped %d unreachable switches: %s",
+			len(skipped), strings.Join(skipped, ", "))
+	}
+	return st, firstErr
+}
+
+// runDistJob pushes one switch's blocks in order, retrying timeouts, and
+// accounts the modelled time of every attempt on this switch's serial
+// channel: an acknowledged attempt costs one SMP round trip, a lost one
+// costs the response timeout plus the pre-retry backoff.
+func (s *SubnetManager) runDistJob(job distJob, mode smp.Mode) distResult {
+	var res distResult
+	pol := s.Dist.Retry
+	for _, b := range job.blocks {
+		attempts, err := s.sendBlockReliably(job.sw, b, mode, pol)
+		timeouts := attempts - 1
+		if err != nil && errors.Is(err, smp.ErrTimeout) {
+			timeouts = attempts // the final attempt timed out too
+		}
+		res.modelled += time.Duration(timeouts) * pol.Timeout
+		for retry := 1; retry < attempts; retry++ {
+			res.modelled += pol.backoffBefore(retry)
+		}
+		res.retried += attempts - 1
+		switch {
+		case err == nil:
+			res.modelled += s.Cost.SMPTime(mode)
+			res.delivered = append(res.delivered, b)
+		case errors.Is(err, smp.ErrTimeout):
+			res.abandoned++
+		default:
+			res.err = err
+			return res
+		}
+	}
+	return res
+}
+
+// sendBlockReliably sends one LFT block, retrying on timeout per the
+// policy. It returns the attempts made and, when the block was never
+// acknowledged, an error: smp.ErrTimeout-wrapped when the retry budget ran
+// out, or the hard transport error that aborted the send.
+func (s *SubnetManager) sendBlockReliably(sw topology.NodeID, block int, mode smp.Mode, pol RetryPolicy) (int, error) {
+	max := pol.attempts()
+	for attempt := 1; ; attempt++ {
+		err := s.sendLFTBlock(sw, block, mode)
+		if err == nil {
+			return attempt, nil
+		}
+		if !errors.Is(err, smp.ErrTimeout) {
+			return attempt, err
+		}
+		if attempt == max {
+			return attempt, fmt.Errorf("sm: LFT block %d for %q abandoned after %d attempts: %w",
+				block, s.Topo.Node(sw).Desc, max, err)
+		}
+	}
 }
 
 // sendLFTBlock emits one LinearForwardingTable Set SMP for the given block
-// of the given switch, validating deliverability through the transport.
+// of the given switch, validating deliverability through the LFT sender
+// (the raw transport, or the fault-injecting wrapper when faults are on).
 func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mode) error {
 	p := &smp.SMP{
 		Attr:    smp.AttrLinearFwdTbl,
@@ -98,7 +326,7 @@ func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mod
 	}
 	if mode == smp.DirectedRoute {
 		p.Path = append([]ib.PortNum(nil), s.dirPath[sw]...)
-		got, err := s.Transport.SendDirected(s.SMNode, p)
+		got, err := s.lftSender().SendDirected(s.SMNode, p)
 		if err != nil {
 			return err
 		}
@@ -112,7 +340,7 @@ func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mod
 		return fmt.Errorf("sm: switch %q has no LID for destination-routed SMP", s.Topo.Node(sw).Desc)
 	}
 	p.DLID = dlid
-	got, err := s.Transport.SendLIDRouted(s.SMNode, p, s)
+	got, err := s.lftSender().SendLIDRouted(s.SMNode, p, s)
 	if err != nil {
 		return err
 	}
@@ -128,7 +356,8 @@ func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mod
 // LID swap touches one or two blocks, a LID copy touches one (section V-C).
 // Mode selects directed vs destination-routed delivery — the paper's
 // improvement in eq. 5 uses destination routing because switch LIDs are
-// unaffected by VM migrations.
+// unaffected by VM migrations. Lost SMPs are retried per the distribution
+// config; exhausting the budget surfaces as an error.
 func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.PortNum, mode smp.Mode) (int, error) {
 	prog := s.programmed[sw]
 	if prog == nil {
@@ -140,7 +369,7 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 	}
 	blocks := prog.DirtyBlocks()
 	for _, b := range blocks {
-		if err := s.sendLFTBlock(sw, b, mode); err != nil {
+		if _, err := s.sendBlockReliably(sw, b, mode, s.Dist.Retry); err != nil {
 			return 0, err
 		}
 	}

@@ -26,6 +26,11 @@ const (
 	EvMigration
 	EvVM
 	EvNote
+	// EvRetry records LFT blocks that needed retransmission; EvFailure
+	// records blocks abandoned after the retry budget or aborted by a hard
+	// transport error.
+	EvRetry
+	EvFailure
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +52,10 @@ func (k EventKind) String() string {
 		return "vm"
 	case EvNote:
 		return "note"
+	case EvRetry:
+		return "retry"
+	case EvFailure:
+		return "failure"
 	default:
 		return fmt.Sprintf("event(%d)", uint8(k))
 	}

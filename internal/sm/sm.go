@@ -28,6 +28,9 @@ type SubnetManager struct {
 	Transport *smp.Transport
 	Engine    routing.Engine
 	Cost      smp.CostModel
+	// Dist configures the concurrent LFT distribution engine (worker count
+	// and retry policy).
+	Dist DistributionConfig
 	// LMC is the LID Mask Control value applied to CAs at AssignLIDs time:
 	// each CA receives 2^LMC consecutive, aligned LIDs, every one routed
 	// independently (the multipathing the prepopulated vSwitch model
@@ -49,6 +52,11 @@ type SubnetManager struct {
 	routed bool
 	state  SMState
 
+	// sender, when set, replaces the raw transport for LFT distribution
+	// SMPs (the path that owns a retry policy). Discovery, LID assignment
+	// and vGUID programming keep perfect delivery: they have no retry loop.
+	sender smp.Sender
+
 	log *EventLog
 }
 
@@ -69,6 +77,7 @@ func New(topo *topology.Topology, smNode topology.NodeID, engine routing.Engine)
 		Transport:  smp.NewTransport(topo),
 		Engine:     engine,
 		Cost:       smp.DefaultCostModel(),
+		Dist:       DefaultDistributionConfig(),
 		pool:       ib.NewLIDPool(),
 		lidOf:      map[topology.NodeID]ib.LID{},
 		nodeOf:     map[ib.LID]topology.NodeID{},
@@ -84,6 +93,27 @@ func New(topo *topology.Topology, smNode topology.NodeID, engine routing.Engine)
 
 // Log exposes the event log.
 func (s *SubnetManager) Log() *EventLog { return s.log }
+
+// InjectFaults routes LFT distribution SMPs through a fault-injecting
+// transport with the given drop/delay/duplicate probabilities, returning it
+// so callers can read its verdict stats. The distribution engine's retry
+// policy (Dist.Retry) decides how many losses a block survives.
+func (s *SubnetManager) InjectFaults(cfg smp.FaultConfig) *smp.FaultyTransport {
+	ft := smp.NewFaultyTransport(s.Transport, cfg)
+	s.sender = ft
+	return ft
+}
+
+// ClearFaults restores perfect delivery for LFT distribution SMPs.
+func (s *SubnetManager) ClearFaults() { s.sender = nil }
+
+// lftSender returns the transport LFT distribution SMPs travel through.
+func (s *SubnetManager) lftSender() smp.Sender {
+	if s.sender != nil {
+		return s.sender
+	}
+	return s.Transport
+}
 
 // SweepStats reports the cost of a discovery sweep.
 type SweepStats struct {

@@ -1,0 +1,173 @@
+package smp
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"ibvsim/internal/topology"
+)
+
+// ErrTimeout is returned by a faulty transport when an SMP (or its response)
+// is lost: the sender waited for the configured response timeout and heard
+// nothing. It is the only retryable transport error — everything else
+// indicates a broken path and retrying cannot help.
+var ErrTimeout = errors.New("smp: timed out waiting for response")
+
+// Sender is the transport seam the subnet manager sends SMPs through. The
+// plain Transport implements it with perfect delivery; FaultyTransport wraps
+// a Transport with probabilistic loss, duplication and delay.
+type Sender interface {
+	SendDirected(src topology.NodeID, p *SMP) (topology.NodeID, error)
+	SendLIDRouted(src topology.NodeID, p *SMP, r LFTResolver) (topology.NodeID, error)
+}
+
+var (
+	_ Sender = (*Transport)(nil)
+	_ Sender = (*FaultyTransport)(nil)
+)
+
+// FaultConfig sets the per-SMP fault probabilities of a FaultyTransport.
+// The three probabilities partition one dice roll, so their sum must not
+// exceed 1; the remainder is clean delivery.
+type FaultConfig struct {
+	// Drop is the probability the request is lost before reaching its
+	// target: the switch state is untouched and the sender times out.
+	Drop float64
+	// Delay is the probability the request is delivered but its response is
+	// late or lost: the switch applied the update, yet the sender still
+	// times out and will retransmit. Retransmitting LFT Set SMPs is safe
+	// because block writes are idempotent.
+	Delay float64
+	// Duplicate is the probability the request is delivered twice (e.g. a
+	// spurious retransmission by a lower layer). The sender sees success.
+	Duplicate float64
+	// Seed seeds the private rand.Rand so fault schedules are reproducible.
+	Seed int64
+}
+
+// FaultStats counts the verdicts a FaultyTransport handed out.
+type FaultStats struct {
+	// Attempts is every send presented to the transport, faulted or not.
+	Attempts int
+	// Dropped requests never reached the target.
+	Dropped int
+	// Delayed requests reached the target but the sender timed out anyway.
+	Delayed int
+	// Duplicated requests reached the target twice.
+	Duplicated int
+}
+
+// FaultyTransport wraps a Transport with seeded probabilistic faults. It is
+// safe for concurrent use: the RNG, the stats and the per-destination
+// delivery counts are guarded by one mutex (the wrapped Transport guards its
+// own counters).
+type FaultyTransport struct {
+	inner *Transport
+	cfg   FaultConfig
+
+	mu      sync.Mutex
+	rng     *rand.Rand
+	st      FaultStats
+	perDest map[topology.NodeID]int
+}
+
+// NewFaultyTransport wraps inner with the given fault configuration.
+func NewFaultyTransport(inner *Transport, cfg FaultConfig) *FaultyTransport {
+	return &FaultyTransport{
+		inner:   inner,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		perDest: map[topology.NodeID]int{},
+	}
+}
+
+// Config returns the fault configuration.
+func (f *FaultyTransport) Config() FaultConfig { return f.cfg }
+
+// Stats returns a snapshot of the fault verdicts so far.
+func (f *FaultyTransport) Stats() FaultStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// DeliveredTo returns how many SMPs were actually delivered to the node
+// (duplicates count twice, drops not at all).
+func (f *FaultyTransport) DeliveredTo(n topology.NodeID) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.perDest[n]
+}
+
+type verdict uint8
+
+const (
+	deliver verdict = iota
+	drop
+	delay
+	duplicate
+)
+
+func (f *FaultyTransport) roll() verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.st.Attempts++
+	r := f.rng.Float64()
+	switch {
+	case r < f.cfg.Drop:
+		f.st.Dropped++
+		return drop
+	case r < f.cfg.Drop+f.cfg.Delay:
+		f.st.Delayed++
+		return delay
+	case r < f.cfg.Drop+f.cfg.Delay+f.cfg.Duplicate:
+		f.st.Duplicated++
+		return duplicate
+	default:
+		return deliver
+	}
+}
+
+func (f *FaultyTransport) delivered(n topology.NodeID) {
+	f.mu.Lock()
+	f.perDest[n]++
+	f.mu.Unlock()
+}
+
+func (f *FaultyTransport) send(v verdict, once func() (topology.NodeID, error)) (topology.NodeID, error) {
+	if v == drop {
+		return topology.NoNode, ErrTimeout
+	}
+	got, err := once()
+	if err != nil {
+		return got, err
+	}
+	f.delivered(got)
+	switch v {
+	case duplicate:
+		if got2, err2 := once(); err2 == nil {
+			f.delivered(got2)
+		}
+		return got, nil
+	case delay:
+		// The switch applied the update, but the sender never hears back.
+		return topology.NoNode, ErrTimeout
+	default:
+		return got, nil
+	}
+}
+
+// SendDirected implements Sender, applying one fault verdict per call.
+func (f *FaultyTransport) SendDirected(src topology.NodeID, p *SMP) (topology.NodeID, error) {
+	return f.send(f.roll(), func() (topology.NodeID, error) {
+		return f.inner.SendDirected(src, p)
+	})
+}
+
+// SendLIDRouted implements Sender, applying one fault verdict per call.
+func (f *FaultyTransport) SendLIDRouted(src topology.NodeID, p *SMP, r LFTResolver) (topology.NodeID, error) {
+	return f.send(f.roll(), func() (topology.NodeID, error) {
+		return f.inner.SendLIDRouted(src, p, r)
+	})
+}

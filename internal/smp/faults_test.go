@@ -1,0 +1,162 @@
+package smp
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// pair builds the two-node CA--switch fabric used by the transport tests.
+func pair(t *testing.T) (*topology.Topology, topology.NodeID, topology.NodeID) {
+	t.Helper()
+	topo := topology.New("pair")
+	ca := topo.AddCA("ca")
+	sw := topo.AddSwitch(4, "sw")
+	if err := topo.Connect(ca, 1, sw, 1); err != nil {
+		t.Fatal(err)
+	}
+	return topo, ca, sw
+}
+
+func directedLFTSet(block int) *SMP {
+	return &SMP{Attr: AttrLinearFwdTbl, AttrMod: uint32(block), IsSet: true, Path: []ib.PortNum{1}}
+}
+
+func TestFaultyTransportCleanPassThrough(t *testing.T) {
+	topo, ca, sw := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Seed: 1})
+	for i := 0; i < 10; i++ {
+		got, err := ft.SendDirected(ca, directedLFTSet(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != sw {
+			t.Fatalf("delivered to %d, want %d", got, sw)
+		}
+	}
+	if tr.Counters.Sent != 10 {
+		t.Errorf("inner counters saw %d SMPs, want 10", tr.Counters.Sent)
+	}
+	if ft.DeliveredTo(sw) != 10 {
+		t.Errorf("DeliveredTo = %d, want 10", ft.DeliveredTo(sw))
+	}
+	st := ft.Stats()
+	if st.Attempts != 10 || st.Dropped+st.Delayed+st.Duplicated != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFaultyTransportDropNeverDelivers(t *testing.T) {
+	topo, ca, sw := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Drop: 1, Seed: 2})
+	_, err := ft.SendDirected(ca, directedLFTSet(0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if tr.Counters.Sent != 0 || ft.DeliveredTo(sw) != 0 {
+		t.Errorf("dropped SMP reached the wire: inner=%d delivered=%d",
+			tr.Counters.Sent, ft.DeliveredTo(sw))
+	}
+	if ft.Stats().Dropped != 1 {
+		t.Errorf("stats = %+v", ft.Stats())
+	}
+}
+
+func TestFaultyTransportDelayDeliversButTimesOut(t *testing.T) {
+	topo, ca, sw := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Delay: 1, Seed: 3})
+	_, err := ft.SendDirected(ca, directedLFTSet(0))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	// The update reached the switch even though the sender timed out.
+	if tr.Counters.Sent != 1 || ft.DeliveredTo(sw) != 1 {
+		t.Errorf("delayed SMP: inner=%d delivered=%d, want 1/1",
+			tr.Counters.Sent, ft.DeliveredTo(sw))
+	}
+}
+
+func TestFaultyTransportDuplicateDeliversTwice(t *testing.T) {
+	topo, ca, sw := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Duplicate: 1, Seed: 4})
+	got, err := ft.SendDirected(ca, directedLFTSet(0))
+	if err != nil || got != sw {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	if tr.Counters.Sent != 2 || ft.DeliveredTo(sw) != 2 {
+		t.Errorf("duplicate SMP: inner=%d delivered=%d, want 2/2",
+			tr.Counters.Sent, ft.DeliveredTo(sw))
+	}
+}
+
+func TestFaultyTransportHardErrorsAreNotTimeouts(t *testing.T) {
+	topo, ca, _ := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Seed: 5})
+	// A directed route out of a non-existent port is a hard failure.
+	p := &SMP{Attr: AttrLinearFwdTbl, IsSet: true, Path: []ib.PortNum{7}}
+	_, err := ft.SendDirected(ca, p)
+	if err == nil || errors.Is(err, ErrTimeout) {
+		t.Fatalf("want hard error, got %v", err)
+	}
+}
+
+func TestFaultyTransportSeededReproducibility(t *testing.T) {
+	cfg := FaultConfig{Drop: 0.3, Delay: 0.2, Duplicate: 0.1, Seed: 42}
+	run := func() []bool {
+		topo, ca, _ := pair(t)
+		ft := NewFaultyTransport(NewTransport(topo), cfg)
+		out := make([]bool, 100)
+		for i := range out {
+			_, err := ft.SendDirected(ca, directedLFTSet(i))
+			out[i] = err == nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at send %d", i)
+		}
+	}
+}
+
+func TestFaultyTransportConcurrentSendsAreSafe(t *testing.T) {
+	topo, ca, sw := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Drop: 0.2, Delay: 0.1, Duplicate: 0.1, Seed: 6})
+	const goroutines, sends = 8, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sends; i++ {
+				_, err := ft.SendDirected(ca, directedLFTSet(i))
+				if err != nil && !errors.Is(err, ErrTimeout) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	st := ft.Stats()
+	if st.Attempts != goroutines*sends {
+		t.Errorf("attempts = %d, want %d", st.Attempts, goroutines*sends)
+	}
+	wantWire := st.Attempts - st.Dropped + st.Duplicated
+	if tr.Counters.Sent != wantWire {
+		t.Errorf("wire SMPs = %d, want %d", tr.Counters.Sent, wantWire)
+	}
+	if ft.DeliveredTo(sw) != wantWire {
+		t.Errorf("delivered = %d, want %d", ft.DeliveredTo(sw), wantWire)
+	}
+}

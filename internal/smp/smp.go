@@ -14,6 +14,7 @@ package smp
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ibvsim/internal/ib"
@@ -95,8 +96,12 @@ type SMP struct {
 }
 
 // Counters aggregates SMP traffic by attribute and mode; the experiments
-// report these (Table I is purely SMP counting).
+// report these (Table I is purely SMP counting). Recording is guarded by a
+// mutex so the concurrent distribution engine's workers may share one
+// transport; reading the fields directly is safe once the senders have been
+// joined (every distribution call returns only after its workers exit).
 type Counters struct {
+	mu        sync.Mutex
 	Sent      int
 	Set       int
 	Get       int
@@ -111,6 +116,8 @@ func NewCounters() *Counters {
 }
 
 func (c *Counters) observe(p *SMP) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Sent++
 	if p.IsSet {
 		c.Set++
@@ -124,6 +131,8 @@ func (c *Counters) observe(p *SMP) {
 
 // Add accumulates other into c.
 func (c *Counters) Add(other *Counters) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	c.Sent += other.Sent
 	c.Set += other.Set
 	c.Get += other.Get
@@ -138,7 +147,11 @@ func (c *Counters) Add(other *Counters) {
 
 // Reset zeroes the counters in place.
 func (c *Counters) Reset() {
-	*c = Counters{ByAttr: map[Attr]int{}, ByMode: map[Mode]int{}}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Sent, c.Set, c.Get, c.TotalHops = 0, 0, 0, 0
+	c.ByAttr = map[Attr]int{}
+	c.ByMode = map[Mode]int{}
 }
 
 // String summarises the counters.

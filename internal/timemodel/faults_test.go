@@ -1,0 +1,60 @@
+package timemodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestExpectedAttempts(t *testing.T) {
+	cases := []struct {
+		p    float64
+		max  int
+		want float64
+	}{
+		{0, 5, 1},
+		{0.5, 1, 1},
+		{0.5, 2, 1.5},
+		{0.5, 3, 1.75},
+		{1, 4, 4},
+		{0.2, 1000, 1.25}, // effectively untruncated: 1/(1-p)
+	}
+	for _, c := range cases {
+		got := ExpectedAttempts(c.p, c.max)
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("ExpectedAttempts(%v, %d) = %v, want %v", c.p, c.max, got, c.want)
+		}
+	}
+}
+
+func TestDeliveryProbability(t *testing.T) {
+	if got := DeliveryProbability(0, 3); got != 1 {
+		t.Errorf("lossless delivery = %v", got)
+	}
+	if got := DeliveryProbability(1, 3); got != 0 {
+		t.Errorf("total loss delivery = %v", got)
+	}
+	if got := DeliveryProbability(0.5, 3); math.Abs(got-0.875) > 1e-9 {
+		t.Errorf("DeliveryProbability(0.5, 3) = %v, want 0.875", got)
+	}
+}
+
+func TestFaultyLFTDt(t *testing.T) {
+	p := Params{Switches: 10, BlocksPerSwitch: 2, K: 5 * time.Microsecond,
+		R: 2500 * time.Nanosecond, PipelineDepth: 1}
+	// With zero loss the faulty model collapses to eq. 2.
+	if got, want := p.FaultyLFTDt(0, 5, 50*time.Microsecond), p.LFTDt(); got != want {
+		t.Errorf("lossless FaultyLFTDt = %v, want LFTDt %v", got, want)
+	}
+	// Loss adds (E[attempts]-1) timeouts per SMP: at p=0.5, max=2 that is
+	// half a timeout each.
+	got := p.FaultyLFTDt(0.5, 2, 50*time.Microsecond)
+	want := p.LFTDt() + time.Duration(p.FullDistributionSMPs())*25*time.Microsecond
+	if got != want {
+		t.Errorf("FaultyLFTDt(0.5, 2) = %v, want %v", got, want)
+	}
+	// More loss can only cost more time.
+	if p.FaultyLFTDt(0.3, 5, 50*time.Microsecond) <= p.LFTDt() {
+		t.Error("loss did not increase modelled distribution time")
+	}
+}

@@ -15,6 +15,7 @@ package timemodel
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"ibvsim/internal/ib"
@@ -97,6 +98,51 @@ func (p Params) Speedup(pct time.Duration, nPrime, mPrime int, destinationRouted
 		return 0
 	}
 	return float64(p.TraditionalRC(pct)) / float64(v)
+}
+
+// ExpectedAttempts returns the expected number of transmissions per SMP
+// when each attempt is lost independently with probability p and the sender
+// gives up after maxAttempts: sum_{i=1..max} p^(i-1) = (1-p^max)/(1-p).
+func ExpectedAttempts(p float64, maxAttempts int) float64 {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return float64(maxAttempts)
+	}
+	return (1 - math.Pow(p, float64(maxAttempts))) / (1 - p)
+}
+
+// DeliveryProbability returns the chance one SMP is eventually delivered
+// within the retry budget: 1 - p^maxAttempts.
+func DeliveryProbability(p float64, maxAttempts int) float64 {
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return 1 - math.Pow(p, float64(maxAttempts))
+}
+
+// FaultyLFTDt extends equation 2 with a loss model: every SMP costs its
+// round trip plus (E[attempts]-1) response timeouts, so the expected full
+// distribution time under drop probability p is
+// n*m * ((k+r) + (E[attempts]-1)*timeout), pipelined like LFTDt.
+func (p Params) FaultyLFTDt(drop float64, maxAttempts int, timeout time.Duration) time.Duration {
+	smps := p.FullDistributionSMPs()
+	if smps <= 0 {
+		return 0
+	}
+	perSMP := float64(p.K+p.R) + (ExpectedAttempts(drop, maxAttempts)-1)*float64(timeout)
+	rounds := (smps + p.depth() - 1) / p.depth()
+	return time.Duration(float64(rounds) * perSMP)
 }
 
 // PaperDefaults returns k and r magnitudes representative of QDR hardware,
