@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench fuzz experiments experiments-full fmt vet clean
+.PHONY: all build test test-short race cover bench bench-all fuzz experiments experiments-full fmt vet clean
 
 all: build test
 
@@ -27,8 +27,14 @@ fuzz:
 	$(GO) test ./internal/ib -run '^$$' -fuzz '^FuzzLFTDiff$$' -fuzztime 10s
 	$(GO) test ./internal/ib -run '^$$' -fuzz '^FuzzLFTSwap$$' -fuzztime 10s
 
-# The benchmark harness: one benchmark per paper table/figure + ablations.
+# The benchmark-regression harness: the Fig. 7 path-computation and Table I
+# SMP benchmarks, teed into BENCH_fig7.json (the artifact CI uploads and the
+# baseline to diff against after touching the routing engines).
 bench:
+	$(GO) test -run '^$$' -bench 'Fig7|Table1' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_fig7.json
+
+# Every benchmark in the repo, including reconfiguration and fabric-sim ones.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate the paper's evaluation artifacts (cheap subset).

@@ -33,49 +33,61 @@ import (
 // fig7Combos lists the Fig. 7 combinations benchmarked by default. The
 // dfsssp/lash runs on 5832/11664 nodes are the ones the paper measured at
 // 123-39145 s; they are skipped here and reproduced by
-// `cmd/experiments -exp fig7 -full` instead.
+// `cmd/experiments -exp fig7 -full` instead. Each combination runs at
+// worker counts w1 and w4 (the routing engines are deterministic across
+// worker counts, so the pairs also double as a scaling regression check);
+// dfsssp@648 adds w2 to expose the scaling curve of the heaviest
+// parallelized engine.
 var fig7Combos = []struct {
-	engine string
-	nodes  int
+	engine  string
+	nodes   int
+	workers []int
 }{
-	{"ftree", 324}, {"minhop", 324}, {"dfsssp", 324}, {"lash", 324},
-	{"ftree", 648}, {"minhop", 648}, {"dfsssp", 648}, {"lash", 648},
-	{"ftree", 5832}, {"minhop", 5832},
-	{"ftree", 11664}, {"minhop", 11664},
+	{"ftree", 324, []int{1, 4}}, {"minhop", 324, []int{1, 4}},
+	{"dfsssp", 324, []int{1, 4}}, {"lash", 324, []int{1, 4}},
+	{"ftree", 648, []int{1, 4}}, {"minhop", 648, []int{1, 4}},
+	{"dfsssp", 648, []int{1, 2, 4}}, {"lash", 648, []int{1, 4}},
+	{"ftree", 5832, []int{1, 4}}, {"minhop", 5832, []int{1, 4}},
+	{"ftree", 11664, []int{1, 4}}, {"minhop", 11664, []int{1, 4}},
 }
 
 func BenchmarkFig7PathComputation(b *testing.B) {
 	for _, combo := range fig7Combos {
 		combo := combo
-		b.Run(fmt.Sprintf("%s/%d", combo.engine, combo.nodes), func(b *testing.B) {
-			if testing.Short() && combo.nodes > 648 {
-				b.Skip("large fabric")
-			}
-			topo, err := topology.BuildPaperFatTree(combo.nodes)
-			if err != nil {
-				b.Fatal(err)
-			}
-			eng, err := routing.New(combo.engine)
-			if err != nil {
-				b.Fatal(err)
-			}
-			mgr, err := sm.New(topo, topo.CAs()[0], eng)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := mgr.Sweep(); err != nil {
-				b.Fatal(err)
-			}
-			if err := mgr.AssignLIDs(); err != nil {
-				b.Fatal(err)
-			}
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := mgr.ComputeRoutes(); err != nil {
+		for _, workers := range combo.workers {
+			workers := workers
+			b.Run(fmt.Sprintf("%s/%d/w%d", combo.engine, combo.nodes, workers), func(b *testing.B) {
+				if testing.Short() && combo.nodes > 648 {
+					b.Skip("large fabric")
+				}
+				topo, err := topology.BuildPaperFatTree(combo.nodes)
+				if err != nil {
 					b.Fatal(err)
 				}
-			}
-		})
+				eng, err := routing.New(combo.engine)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr, err := sm.New(topo, topo.CAs()[0], eng)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mgr.RouteWorkers = workers
+				if _, err := mgr.Sweep(); err != nil {
+					b.Fatal(err)
+				}
+				if err := mgr.AssignLIDs(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := mgr.ComputeRoutes(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,121 @@
+// Command benchjson converts `go test -bench` output into a JSON artifact.
+//
+// It reads the benchmark stream on stdin, echoes it unchanged to stdout (so
+// it can sit in a pipeline without hiding the live output), and writes the
+// parsed results to the file given with -o. CI uploads the JSON as the
+// benchmark-regression artifact; the schema is one object per benchmark
+// line plus the context lines (goos/goarch/pkg/cpu) go test prints.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'Fig7|Table1' -benchmem . | go run ./cmd/benchjson -o BENCH_fig7.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and the
+	// trailing -GOMAXPROCS suffix, e.g. "BenchmarkFig7PathComputation/dfsssp/648/w4-8".
+	Name string `json:"name"`
+	// Iterations is the measured b.N.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are present only with -benchmem.
+	BytesPerOp  *int64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64 `json:"allocs_per_op,omitempty"`
+}
+
+// Output is the artifact schema.
+type Output struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkX/sub-8  	 100	  12074 ns/op	 4559 B/op	 12 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("o", "", "write parsed results as JSON to this file (required)")
+	flag.Parse()
+	if *out == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
+		os.Exit(2)
+	}
+
+	var res Output
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			res.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			res.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			res.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			res.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			if v, err := strconv.ParseInt(m[4], 10, 64); err == nil {
+				r.BytesPerOp = &v
+			}
+		}
+		if m[5] != "" {
+			if v, err := strconv.ParseInt(m[5], 10, 64); err == nil {
+				r.AllocsPerOp = &v
+			}
+		}
+		res.Benchmarks = append(res.Benchmarks, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: reading stdin:", err)
+		os.Exit(1)
+	}
+
+	if res.Benchmarks == nil {
+		res.Benchmarks = []Result{} // an empty run still yields valid JSON
+	}
+	data, err := json.MarshalIndent(&res, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+}

@@ -6,6 +6,8 @@
 //	experiments -exp fig7 -full          # include dfsssp/lash on 5832/11664 (slow!)
 //	experiments -exp table1 -measure 648 # wire-verify full-RC SMPs up to 648 nodes
 //	experiments -exp fig7 -sizes 324,648
+//	experiments -exp fig7 -workers 1     # serial PCt (default: one worker per CPU)
+//	experiments -exp fig7 -cpuprofile fig7.prof   # profile the run
 //
 // Experiments: fig7, table1, leaflocal, deadlock, capacity, costmodel, all.
 package main
@@ -15,8 +17,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"ibvsim/internal/experiments"
 )
@@ -29,7 +34,21 @@ func main() {
 	csvOut := flag.String("csv", "", "also write fig7/table1/faulty results as CSV to this file")
 	drops := flag.String("drops", "", "faulty: comma-separated SMP drop probabilities (default 0,0.01,0.05,0.1,0.2)")
 	seed := flag.Int64("seed", 1, "faulty: fault-schedule seed")
+	workers := flag.Int("workers", 0, "routing-engine worker count (0 = one per CPU); results are identical for every value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	var sz []int
 	if *sizes != "" {
@@ -45,10 +64,27 @@ func main() {
 	run := func(name string) {
 		switch name {
 		case "fig7":
-			progress := func(r experiments.Fig7Row) {
-				fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: PCt = %v\n", r.Engine, r.Nodes, r.PCt)
+			w := *workers
+			if w == 0 {
+				w = runtime.GOMAXPROCS(0)
 			}
-			rows, err := experiments.Fig7(experiments.Fig7Options{Sizes: sz, Full: *full, Progress: progress})
+			var comboStart time.Time
+			starting := func(engine string, nodes int) {
+				comboStart = time.Now()
+				fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: computing (workers=%d) ...\n", engine, nodes, w)
+			}
+			progress := func(r experiments.Fig7Row) {
+				if r.Err != "" {
+					fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: failed after %v: %s\n",
+						r.Engine, r.Nodes, time.Since(comboStart).Round(time.Millisecond), r.Err)
+					return
+				}
+				fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: PCt = %v (elapsed %v incl. sweep+LID setup)\n",
+					r.Engine, r.Nodes, r.PCt, time.Since(comboStart).Round(time.Millisecond))
+			}
+			rows, err := experiments.Fig7(experiments.Fig7Options{
+				Sizes: sz, Full: *full, Progress: progress, Starting: starting, Workers: *workers,
+			})
 			if err != nil {
 				fatal(err)
 			}

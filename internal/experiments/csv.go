@@ -15,7 +15,7 @@ func Fig7CSV(rows []Fig7Row, w io.Writer) error {
 	}
 	for _, r := range rows {
 		measured := ""
-		if !r.Skipped {
+		if !r.Skipped && r.Err == "" {
 			measured = fmt.Sprintf("%.6f", r.PCt.Seconds())
 		}
 		paper := ""

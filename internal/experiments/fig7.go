@@ -21,6 +21,10 @@ type Fig7Row struct {
 	// (zero when the paper did not report the combination).
 	PaperSeconds float64
 	Skipped      bool // true when the combination was gated off (-full)
+	// Err carries a per-combination engine failure (e.g. dfsssp exhausting
+	// its VL budget on the 3-level fabrics, a documented consequence of its
+	// whole-tree layering granularity) without aborting the other cells.
+	Err string
 }
 
 // Fig7Options scopes the experiment.
@@ -35,6 +39,14 @@ type Fig7Options struct {
 	// essential feedback during the -full runs, which take on the order
 	// of an hour.
 	Progress func(Fig7Row)
+	// Starting, when set, is called before each engine/size combination
+	// begins computing, so a driver can print "dfsssp@5832 ..." ahead of a
+	// multi-minute measurement instead of only after it.
+	Starting func(engine string, nodes int)
+	// Workers bounds the routing engines' worker pool (0 = GOMAXPROCS).
+	// The computed routes are bit-identical for every value; only PCt
+	// changes.
+	Workers int
 }
 
 // gated reports whether a combination is too expensive without Full.
@@ -76,6 +88,9 @@ func Fig7(opt Fig7Options) ([]Fig7Row, error) {
 				rows = append(rows, row)
 				continue
 			}
+			if opt.Starting != nil {
+				opt.Starting(eng, nodes)
+			}
 			engine, err := routing.New(eng)
 			if err != nil {
 				return nil, err
@@ -84,6 +99,7 @@ func Fig7(opt Fig7Options) ([]Fig7Row, error) {
 			if err != nil {
 				return nil, err
 			}
+			mgr.RouteWorkers = opt.Workers
 			if _, err := mgr.Sweep(); err != nil {
 				return nil, err
 			}
@@ -92,7 +108,12 @@ func Fig7(opt Fig7Options) ([]Fig7Row, error) {
 			}
 			stats, err := mgr.ComputeRoutes()
 			if err != nil {
-				return nil, fmt.Errorf("fig7 %s@%d: %w", eng, nodes, err)
+				row.Err = err.Error()
+				rows = append(rows, row)
+				if opt.Progress != nil {
+					opt.Progress(row)
+				}
+				continue
 			}
 			row.LIDs = mgr.LIDCount()
 			row.PCt = stats.Duration
@@ -118,6 +139,10 @@ func RenderFig7(rows []Fig7Row) string {
 		if r.Skipped {
 			measured = "-"
 			note = "skipped (run with -full)"
+		}
+		if r.Err != "" {
+			measured = "-"
+			note = "failed: " + r.Err
 		}
 		paper := "-"
 		if r.Engine == "lid-swap/copy" {

@@ -45,6 +45,32 @@ func (t *LFT) Clone() *LFT {
 // NumBlocks returns the number of 64-entry blocks backing the table.
 func (t *LFT) NumBlocks() int { return len(t.ports) / LFTBlockSize }
 
+// Bytes returns a copy of the dense port array — a canonical byte
+// representation for equality checks between independently computed tables.
+func (t *LFT) Bytes() []byte {
+	out := make([]byte, len(t.ports))
+	for i, p := range t.ports {
+		out[i] = byte(p)
+	}
+	return out
+}
+
+// Equal reports whether two tables forward every LID identically. Tables of
+// different lengths are compared as if the shorter were padded with
+// DropPort (which is exactly how Get treats out-of-range LIDs).
+func (t *LFT) Equal(o *LFT) bool {
+	n := len(t.ports)
+	if len(o.ports) > n {
+		n = len(o.ports)
+	}
+	for l := LID(0); int(l) < n; l++ {
+		if t.Get(l) != o.Get(l) {
+			return false
+		}
+	}
+	return true
+}
+
 // Get returns the egress port for the given LID, or DropPort if the LID is
 // outside the populated range.
 func (t *LFT) Get(l LID) PortNum {

@@ -1,11 +1,9 @@
 package routing
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
-	"ibvsim/internal/cdg"
 	"ibvsim/internal/ib"
 	"ibvsim/internal/topology"
 )
@@ -18,11 +16,21 @@ import (
 // assigning destinations to virtual-lane layers until every layer's CDG is
 // acyclic.
 //
-// Divergence from the reference implementation, documented in DESIGN.md:
+// Divergences from the reference implementation, documented in DESIGN.md:
 // layering granularity is per destination LID rather than per
-// source-destination pair. This is coarser (it may use more VLs on
-// irregular fabrics) but preserves both the computational shape — one SSSP
-// per LID dominates — and deadlock freedom.
+// source-destination pair (coarser, but preserves both the computational
+// shape — one SSSP per LID dominates — and deadlock freedom); the
+// link-weight state advances once per dfssspEpoch destinations rather than
+// per destination, which is what lets the SSSPs of one epoch run
+// concurrently against a frozen weight snapshot with bit-identical results
+// for every worker count; and the balancing is restricted to minimal-hop
+// paths (see hopUnit), which lowers the VL pressure the coarser layering
+// granularity creates. The coarse granularity has one measurable limit:
+// on the paper's 3-level fabrics (5832+ nodes) the switch-destination
+// trees conflict densely enough that no whole-tree assignment fits 8 VLs
+// (first-fit needs 18 layers at 5832), so the engine reports the VL
+// exhaustion as an error there — the per-path granularity of the
+// reference implementation is what the full-scale fabrics genuinely need.
 type DFSSSP struct {
 	// MaxVLs bounds the layering (IB hardware commonly has 8 data VLs).
 	MaxVLs int
@@ -34,23 +42,67 @@ func NewDFSSSP() *DFSSSP { return &DFSSSP{MaxVLs: 8} }
 // Name implements Engine.
 func (*DFSSSP) Name() string { return "dfsssp" }
 
-// dijkstraHeap is a minimal binary heap over (dist, switch index).
-type dijkstraItem struct {
-	dist uint64
-	node int
+// dijkstraState is the per-worker scratch of the SSSP loop: distance,
+// egress and heap buffers reused across destinations, so the inner loop is
+// allocation-free once the heap reaches steady size.
+type dijkstraState struct {
+	dist   []uint64
+	egress []int32
+	heap   distHeap
 }
-type dijkstraHeap []dijkstraItem
 
-func (h dijkstraHeap) Len() int            { return len(h) }
-func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
-func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
-func (h *dijkstraHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+func newDijkstraState(nsw int) *dijkstraState {
+	return &dijkstraState{
+		dist:   make([]uint64, nsw),
+		egress: make([]int32, nsw),
+		heap:   distHeap{dist: make([]uint64, 0, 2*nsw), node: make([]int32, 0, 2*nsw)},
+	}
+}
+
+// hopUnit is the per-hop distance increment of the SSSP. It dwarfs any
+// accumulated link load (bounded by targets x epochs << 2^48), which makes
+// the single uint64 comparison lexicographic: hop count first, then load.
+// Restricting the balancing to minimal-hop paths keeps CA-destination
+// trees up-down on fat-trees (minimal CA paths cross a nearest common
+// ancestor), substantially lowering the VL pressure of the whole-tree
+// layering granularity — unconstrained weights start taking down-up
+// detours as load accumulates, and every such detour seeds dependency
+// cycles.
+const hopUnit uint64 = 1 << 48
+
+// sssp runs one reverse Dijkstra from the destination switch over the
+// weighted switch graph, leaving the chosen egress adjacency slot for every
+// switch in st.egress (-1 = unreachable or destination itself). weight must
+// be read-only for the duration of the call.
+func (fv *fabricView) sssp(destSw int, weight [][]uint64, st *dijkstraState) {
+	const inf = ^uint64(0)
+	for i := range st.dist {
+		st.dist[i] = inf
+		st.egress[i] = -1
+	}
+	st.dist[destSw] = 0
+	st.heap.reset()
+	st.heap.push(0, int32(destSw))
+	for !st.heap.empty() {
+		d, u32 := st.heap.pop()
+		u := int(u32)
+		if d != st.dist[u] {
+			continue // stale heap entry; u was finalized at a lower distance
+		}
+		// Relax predecessors s: the forward edge is s -> u, so the weight
+		// lives on s's adjacency slot pointing at u, reached in O(1)
+		// through the precomputed reverse-slot index.
+		for _, eu := range fv.adj[u] {
+			s := eu.peer
+			k := eu.rev
+			cand := d + hopUnit + weight[s][k]
+			if cand < st.dist[s] {
+				st.dist[s] = cand
+				st.egress[s] = int32(k)
+				st.heap.push(cand, int32(s))
+			}
+		}
+	}
 }
 
 // Compute implements Engine.
@@ -81,65 +133,44 @@ func (e *DFSSSP) Compute(req *Request) (*Result, error) {
 	}
 
 	lfts := fv.newLFTs(req.Targets)
-	dist := make([]uint64, nsw)
-	done := make([]bool, nsw)
-	// egress[i]: chosen adjacency slot at switch i toward the current
-	// destination (-1 = none).
-	egress := make([]int, nsw)
-	const inf = ^uint64(0)
-	h := make(dijkstraHeap, 0, nsw)
+	workers := req.workerCount()
+	pool := newWorkerPool(workers, func() *dijkstraState { return newDijkstraState(nsw) })
+
+	// Epoch buffers: one egress vector per destination of the window.
+	epochEgress := make([][]int32, dfssspEpoch)
+	for i := range epochEgress {
+		epochEgress[i] = make([]int32, nsw)
+	}
+
 	paths := 0
-
-	for ti, t := range req.Targets {
-		ap := fv.attach[ti]
-		destSw := ap.sw
-		paths++
-
-		for i := 0; i < nsw; i++ {
-			dist[i] = inf
-			done[i] = false
-			egress[i] = -1
-		}
-		dist[destSw] = 0
-		h = h[:0]
-		heap.Push(&h, dijkstraItem{0, destSw})
-		for h.Len() > 0 {
-			it := heap.Pop(&h).(dijkstraItem)
-			u := it.node
-			if done[u] {
-				continue
-			}
-			done[u] = true
-			// Relax predecessors s: the forward edge is s -> u, so the
-			// weight lives on s's adjacency slot pointing at u, reached in
-			// O(1) through the precomputed reverse-slot index.
-			for _, eu := range fv.adj[u] {
-				s := eu.peer
-				if done[s] {
+	for lo := 0; lo < len(req.Targets); lo += dfssspEpoch {
+		hi := min(lo+dfssspEpoch, len(req.Targets))
+		// Fan the epoch's SSSPs out; each reads the frozen weight state.
+		pool.run(hi-lo, func(k int, st *dijkstraState) {
+			fv.sssp(fv.attach[lo+k].sw, weight, st)
+			copy(epochEgress[k], st.egress)
+		})
+		// Fold serially in destination order: write LFT entries and
+		// accumulate link load for the next epoch.
+		for ti := lo; ti < hi; ti++ {
+			t := req.Targets[ti]
+			ap := fv.attach[ti]
+			destSw := ap.sw
+			paths++
+			eg := epochEgress[ti-lo]
+			lfts[fv.switches[destSw]].Set(t.LID, ap.port)
+			for i := 0; i < nsw; i++ {
+				if i == destSw || eg[i] < 0 {
 					continue
 				}
-				k := eu.rev
-				cand := dist[u] + weight[s][k]
-				if cand < dist[s] {
-					dist[s] = cand
-					egress[s] = k
-					heap.Push(&h, dijkstraItem{cand, s})
-				}
+				k := eg[i]
+				lfts[fv.switches[i]].Set(t.LID, fv.adj[i][k].port)
+				weight[i][k]++
 			}
-		}
-
-		lfts[fv.switches[destSw]].Set(t.LID, ap.port)
-		for i := 0; i < nsw; i++ {
-			if i == destSw || egress[i] < 0 {
-				continue
-			}
-			k := egress[i]
-			lfts[fv.switches[i]].Set(t.LID, fv.adj[i][k].port)
-			weight[i][k]++ // accumulate load for subsequent destinations
 		}
 	}
 
-	destVL, vls, err := e.assignVLs(req, fv, lfts, maxVLs)
+	destVL, vls, err := e.assignVLs(req, fv, lfts, maxVLs, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -147,56 +178,208 @@ func (e *DFSSSP) Compute(req *Request) (*Result, error) {
 	return &Result{
 		LFTs:   lfts,
 		DestVL: destVL,
-		Stats:  Stats{Duration: time.Since(start), PathsComputed: paths, VLsUsed: vls},
+		Stats:  Stats{Duration: time.Since(start), PathsComputed: paths, VLsUsed: vls, Workers: workers},
 	}, nil
+}
+
+// flatDep is one switch-to-switch channel dependency of a destination tree,
+// with both channels encoded as dense integers: dense switch index times the
+// port stride plus the egress port. The encoding is what keeps the serial
+// layering loop free of hash maps — the general cdg.Graph pays three map
+// operations per AddDep, which used to be the engine's dominant serial cost
+// once the SSSPs were fanned out.
+type flatDep struct {
+	a, b int32
+}
+
+// layerGraph is a flat multigraph over dense channel ids, rebuilt per
+// ejection round with a counting sort. Rebuilding is cheaper than
+// incremental removal here: the channel universe is tiny (switches times
+// ports) and the member dependency lists are already extracted.
+type layerGraph struct {
+	outDeg []int32
+	start  []int32 // CSR offsets, len(outDeg)+1
+	cursor []int32
+	edgeTo []int32
+	color  []uint8
+	parent []int32
+}
+
+func newLayerGraph(nchan int) *layerGraph {
+	return &layerGraph{
+		outDeg: make([]int32, nchan),
+		start:  make([]int32, nchan+1),
+		cursor: make([]int32, nchan),
+		color:  make([]uint8, nchan),
+		parent: make([]int32, nchan),
+	}
+}
+
+// build populates the CSR adjacency from the dependency lists of the given
+// member trees, in member order (deterministic for any worker count).
+func (g *layerGraph) build(deps [][]flatDep, members []int) {
+	for i := range g.outDeg {
+		g.outDeg[i] = 0
+	}
+	total := 0
+	for _, ti := range members {
+		for _, d := range deps[ti] {
+			g.outDeg[d.a]++
+			total++
+		}
+	}
+	g.start[0] = 0
+	for i, d := range g.outDeg {
+		g.start[i+1] = g.start[i] + d
+	}
+	if cap(g.edgeTo) < total {
+		g.edgeTo = make([]int32, total)
+	}
+	g.edgeTo = g.edgeTo[:total]
+	copy(g.cursor, g.start[:len(g.cursor)])
+	for _, ti := range members {
+		for _, d := range deps[ti] {
+			g.edgeTo[g.cursor[d.a]] = d.b
+			g.cursor[d.a]++
+		}
+	}
+}
+
+// findCycle returns one directed cycle as a channel-id sequence (edges run
+// between consecutive elements and from the last back to the first), or nil
+// when the graph is acyclic. Iterative white/grey/black DFS, channels
+// visited in ascending id order — deterministic for any worker count.
+func (g *layerGraph) findCycle() []int32 {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	for i := range g.color {
+		g.color[i] = white
+		g.parent[i] = -1
+	}
+	type frame struct {
+		node int32
+		next int32
+	}
+	var stack []frame
+	for start := range g.color {
+		if g.color[start] != white {
+			continue
+		}
+		stack = append(stack[:0], frame{node: int32(start)})
+		g.color[start] = grey
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < g.outDeg[f.node] {
+				to := g.edgeTo[g.start[f.node]+f.next]
+				f.next++
+				switch g.color[to] {
+				case white:
+					g.color[to] = grey
+					g.parent[to] = f.node
+					stack = append(stack, frame{node: to})
+				case grey:
+					// The cycle runs to -> ... -> f.node -> to: collect the
+					// parent chain and reverse it into forward order.
+					cyc := []int32{}
+					for x := f.node; x != to; x = g.parent[x] {
+						cyc = append(cyc, x)
+					}
+					cyc = append(cyc, to)
+					for i, j := 0, len(cyc)-1; i < j; i, j = i+1, j-1 {
+						cyc[i], cyc[j] = cyc[j], cyc[i]
+					}
+					return cyc
+				}
+			} else {
+				g.color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
 }
 
 // assignVLs moves whole destination trees between virtual-lane layers until
 // every layer's switch-to-switch channel dependency graph is acyclic,
-// mirroring the iterative cycle-ejection of the reference DFSSSP.
-func (e *DFSSSP) assignVLs(req *Request, fv *fabricView, lfts map[topology.NodeID]*ib.LFT, maxVLs int) (map[ib.LID]uint8, int, error) {
-	destVL := make(map[ib.LID]uint8, len(req.Targets))
+// mirroring the iterative cycle-ejection of the reference DFSSSP. Each
+// tree's dependency list is extracted once (in parallel — it only reads the
+// finished LFTs); each layer's graph is then rebuilt per ejection round by
+// counting sort over the surviving members, which involves no hashing and
+// runs in linear time in the layer's dependency count.
+func (e *DFSSSP) assignVLs(req *Request, fv *fabricView, lfts map[topology.NodeID]*ib.LFT, maxVLs int, pool *workerPool[*dijkstraState]) (map[ib.LID]uint8, int, error) {
+	stride := 0
+	for _, id := range fv.switches {
+		if n := len(fv.topo.Node(id).Ports); n > stride {
+			stride = n
+		}
+	}
+	deps := make([][]flatDep, len(req.Targets))
+	pool.run(len(req.Targets), func(ti int, _ *dijkstraState) {
+		deps[ti] = destTreeDeps(fv, lfts, req.Targets[ti].LID, stride)
+	})
+
 	layerOf := make([]uint8, len(req.Targets))
 	vls := 1
+	g := newLayerGraph(len(fv.switches) * stride)
 
-	for layer := 0; layer < maxVLs; layer++ {
+	cur := make([]int, len(req.Targets))
+	for i := range cur {
+		cur[i] = i
+	}
+	nxt := make([]int, 0, len(req.Targets))
+
+	for layer := 0; layer < maxVLs && len(cur) > 0; layer++ {
+		nxt = nxt[:0]
 		// Iteratively eject cycle participants from this layer.
 		for iter := 0; ; iter++ {
 			if iter > len(req.Targets) {
 				return nil, 0, fmt.Errorf("routing: dfsssp VL assignment did not converge on layer %d", layer)
 			}
-			g := cdg.NewGraph()
-			any := false
-			for ti := range req.Targets {
-				if layerOf[ti] != uint8(layer) {
-					continue
-				}
-				any = true
-				e.addDestTreeDeps(g, fv, lfts, req.Targets[ti].LID)
-			}
-			if !any {
-				break
-			}
-			cyc := g.FindCycle()
+			g.build(deps, cur)
+			cyc := g.findCycle()
 			if cyc == nil {
 				break
 			}
-			// Move every destination in this layer whose tree traverses the
-			// first dependency of the cycle to the next layer.
 			if layer+1 >= maxVLs {
 				return nil, 0, fmt.Errorf("routing: dfsssp needs more than %d VLs", maxVLs)
 			}
-			a, b := cyc[0], cyc[1]
-			moved := 0
-			for ti, t := range req.Targets {
-				if layerOf[ti] != uint8(layer) {
-					continue
-				}
-				if e.treeUsesDep(fv, lfts, t.LID, a, b) {
-					layerOf[ti] = uint8(layer + 1)
-					moved++
+			// Of the cycle's edges, eject along the one traversed by the
+			// fewest member trees (the reference DFSSSP's minimal-migration
+			// choice — ejecting by an arbitrary edge can move most of the
+			// layer at once and cascades into VL exhaustion at scale).
+			// First minimal edge wins ties, keeping the choice deterministic.
+			counts := make([]int, len(cyc))
+			for _, ti := range cur {
+				for _, d := range deps[ti] {
+					for ei := range cyc {
+						if d.a == cyc[ei] && d.b == cyc[(ei+1)%len(cyc)] {
+							counts[ei]++
+						}
+					}
 				}
 			}
+			best := 0
+			for ei, c := range counts {
+				if c > 0 && (counts[best] == 0 || c < counts[best]) {
+					best = ei
+				}
+			}
+			a, b := cyc[best], cyc[(best+1)%len(cyc)]
+			moved := 0
+			keep := cur[:0]
+			for _, ti := range cur {
+				if usesDep(deps[ti], a, b) {
+					layerOf[ti] = uint8(layer + 1)
+					nxt = append(nxt, ti)
+					moved++
+				} else {
+					keep = append(keep, ti)
+				}
+			}
+			cur = keep
 			if moved == 0 {
 				return nil, 0, fmt.Errorf("routing: dfsssp found an unattributable cycle on layer %d", layer)
 			}
@@ -204,54 +387,49 @@ func (e *DFSSSP) assignVLs(req *Request, fv *fabricView, lfts map[topology.NodeI
 				vls = layer + 2
 			}
 		}
+		cur, nxt = nxt, cur
 	}
+	destVL := make(map[ib.LID]uint8, len(req.Targets))
 	for ti, t := range req.Targets {
 		destVL[t.LID] = layerOf[ti]
 	}
 	return destVL, vls, nil
 }
 
-// addDestTreeDeps adds the switch-to-switch dependencies of one
-// destination's forwarding tree. Injection (CA) channels cannot take part
-// in cycles and are skipped.
-func (e *DFSSSP) addDestTreeDeps(g *cdg.Graph, fv *fabricView, lfts map[topology.NodeID]*ib.LFT, dlid ib.LID) {
+// destTreeDeps extracts the switch-to-switch dependencies of one
+// destination's forwarding tree as dense channel-id pairs. Injection (CA)
+// channels cannot take part in cycles and are skipped on the a-side; the
+// b-side may be a delivery channel, which is a terminal graph node.
+func destTreeDeps(fv *fabricView, lfts map[topology.NodeID]*ib.LFT, dlid ib.LID, stride int) []flatDep {
+	var out []flatDep
 	for i, id := range fv.switches {
-		out := lfts[id].Get(dlid)
-		if out == ib.DropPort || out == 0 {
+		op := lfts[id].Get(dlid)
+		if op == ib.DropPort || op == 0 {
 			continue
 		}
-		// Next hop must be a switch for a switch-switch dependency.
-		for _, eu := range fv.adj[i] {
-			if eu.port != out {
-				continue
-			}
-			nextID := fv.switches[eu.peer]
-			nout := lfts[nextID].Get(dlid)
-			if nout == ib.DropPort || nout == 0 {
-				break
-			}
-			g.AddDep(
-				cdg.Channel{Node: id, Port: out},
-				cdg.Channel{Node: nextID, Port: nout},
-			)
-			break
+		k := fv.portSlot[i][op]
+		if k < 0 {
+			continue // next hop is a CA, not a switch-switch dependency
 		}
+		next := fv.adj[i][k].peer
+		nout := lfts[fv.switches[next]].Get(dlid)
+		if nout == ib.DropPort || nout == 0 {
+			continue
+		}
+		out = append(out, flatDep{
+			a: int32(i*stride) + int32(op),
+			b: int32(next*stride) + int32(nout),
+		})
 	}
+	return out
 }
 
-// treeUsesDep reports whether the destination's tree contains the
-// dependency a -> b.
-func (e *DFSSSP) treeUsesDep(fv *fabricView, lfts map[topology.NodeID]*ib.LFT, dlid ib.LID, a, b cdg.Channel) bool {
-	if lfts[a.Node] == nil || lfts[b.Node] == nil {
-		return false
+// usesDep reports whether the tree's dependency list contains a -> b.
+func usesDep(deps []flatDep, a, b int32) bool {
+	for _, d := range deps {
+		if d.a == a && d.b == b {
+			return true
+		}
 	}
-	if lfts[a.Node].Get(dlid) != a.Port || lfts[b.Node].Get(dlid) != b.Port {
-		return false
-	}
-	// The a channel must actually lead to b's switch.
-	n := fv.topo.Node(a.Node)
-	if int(a.Port) >= len(n.Ports) {
-		return false
-	}
-	return n.Ports[a.Port].Peer == b.Node
+	return false
 }

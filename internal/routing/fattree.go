@@ -15,6 +15,10 @@ import (
 // ports by destination LID modulo the port count (the classical d-mod-k
 // dispersion, which is what gives distinct VF LIDs of one hypervisor
 // distinct spine paths in the prepopulated vSwitch model).
+//
+// Destinations share no balancing state, so the whole per-destination
+// computation fans out over the worker pool; port rows are folded into the
+// LFTs serially in destination order.
 type FatTree struct{}
 
 // NewFatTree returns the ftree engine.
@@ -22,6 +26,20 @@ func NewFatTree() *FatTree { return &FatTree{} }
 
 // Name implements Engine.
 func (*FatTree) Name() string { return "ftree" }
+
+// ftreeScratch is the per-worker state of one destination's cone walk.
+type ftreeScratch struct {
+	downPort []ib.PortNum // egress on the unique downward path, per switch
+	marked   []int32      // generation tags for cone membership
+	gen      int32
+	bfs      *bfsScratch // switch-target fallback BFS
+	frontier []int
+}
+
+// noEntry marks "leave this switch's LFT untouched" in a per-destination
+// port row. It aliases ib.DropPort, which no engine ever writes explicitly
+// (fresh tables already drop everything).
+const noEntry = ib.DropPort
 
 // Compute implements Engine.
 func (*FatTree) Compute(req *Request) (*Result, error) {
@@ -33,13 +51,14 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	nsw := len(fv.switches)
 	// Level sanity and per-switch up/down port split.
 	type upEdge struct {
 		port ib.PortNum
 		peer int
 	}
-	ups := make([][]upEdge, len(fv.switches))
-	downs := make([][]upEdge, len(fv.switches))
+	ups := make([][]upEdge, nsw)
+	downs := make([][]upEdge, nsw)
 	for i, id := range fv.switches {
 		n := fv.topo.Node(id)
 		if n.Level < 1 {
@@ -60,89 +79,116 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 	}
 
 	lfts := fv.newLFTs(req.Targets)
+	workers := req.workerCount()
+	pool := newWorkerPool(workers, func() *ftreeScratch {
+		return &ftreeScratch{
+			downPort: make([]ib.PortNum, nsw),
+			marked:   make([]int32, nsw),
+			bfs:      newBFSScratch(nsw),
+			frontier: make([]int, 0, nsw),
+		}
+	})
+	// Window buffers: one egress-port row per destination, noEntry = skip.
+	rows := make([][]ib.PortNum, min(targetWindow, len(req.Targets)))
+	for i := range rows {
+		rows[i] = make([]ib.PortNum, nsw)
+	}
+	errs := make([]error, len(rows))
 	paths := 0
 
-	// downPort[i] is reused per destination: the egress of switch i on the
-	// unique downward path, or 0 when i is not an ancestor.
-	downPort := make([]ib.PortNum, len(fv.switches))
-	marked := make([]int32, len(fv.switches)) // generation tags
-	gen := int32(0)
+	for lo := 0; lo < len(req.Targets); lo += targetWindow {
+		hi := min(lo+targetWindow, len(req.Targets))
+		pool.run(hi-lo, func(k int, s *ftreeScratch) {
+			ti := lo + k
+			t := req.Targets[ti]
+			ap := fv.attach[ti]
+			row := rows[k]
+			for i := range row {
+				row[i] = noEntry
+			}
+			errs[k] = nil
 
-	// For switch-target LIDs we fall back to BFS min-hop (management
-	// traffic to switch LIDs does not need d-mod-k dispersion).
-	dist := make([]int, len(fv.switches))
-	queue := make([]int, 0, len(fv.switches))
+			if ap.port == 0 {
+				// The target is a switch itself: BFS min-hop fallback
+				// (management traffic does not need d-mod-k dispersion).
+				fv.bfs(ap.sw, s.bfs)
+				row[ap.sw] = 0
+				for i := 0; i < nsw; i++ {
+					if i == ap.sw || s.bfs.dist[i] < 0 {
+						continue
+					}
+					for _, e := range fv.adj[i] {
+						if s.bfs.dist[e.peer] == s.bfs.dist[i]-1 {
+							row[i] = e.port
+							break
+						}
+					}
+				}
+				return
+			}
 
-	for ti, t := range req.Targets {
-		ap := fv.attach[ti]
-		if ap.port == 0 {
-			// The target is a switch itself.
+			// CA target: mark the ancestor cone with unique down ports.
+			s.gen++
+			frontier := s.frontier[:0]
+			s.downPort[ap.sw] = ap.port
+			s.marked[ap.sw] = s.gen
+			frontier = append(frontier, ap.sw)
+			for fi := 0; fi < len(frontier); fi++ {
+				u := frontier[fi]
+				for _, e := range ups[u] {
+					p := e.peer
+					if s.marked[p] == s.gen {
+						continue
+					}
+					s.marked[p] = s.gen
+					// The parent's egress toward u is the reverse of the up
+					// edge: find the down edge of p that reaches u.
+					var dp ib.PortNum
+					for _, de := range downs[p] {
+						if de.peer == u {
+							dp = de.port
+							break
+						}
+					}
+					if dp == 0 {
+						errs[k] = fmt.Errorf("routing: ftree asymmetry: parent of %q lacks a down port", fv.topo.Node(fv.switches[u]).Desc)
+						return
+					}
+					s.downPort[p] = dp
+					frontier = append(frontier, p)
+				}
+			}
+			s.frontier = frontier[:0]
+
+			for i := 0; i < nsw; i++ {
+				if s.marked[i] == s.gen {
+					row[i] = s.downPort[i]
+					continue
+				}
+				if len(ups[i]) == 0 {
+					continue // disconnected from the ancestor cone; drop
+				}
+				row[i] = ups[i][int(t.LID)%len(ups[i])].port
+			}
+		})
+
+		for ti := lo; ti < hi; ti++ {
+			if err := errs[ti-lo]; err != nil {
+				return nil, err
+			}
+			t := req.Targets[ti]
+			row := rows[ti-lo]
 			paths++
-			fv.bfsFromSwitch(ap.sw, dist, queue)
-			lfts[fv.switches[ap.sw]].Set(t.LID, 0)
-			for i := range fv.switches {
-				if i == ap.sw || dist[i] < 0 {
-					continue
-				}
-				for _, e := range fv.adj[i] {
-					if dist[e.peer] == dist[i]-1 {
-						lfts[fv.switches[i]].Set(t.LID, e.port)
-						break
-					}
+			for i := 0; i < nsw; i++ {
+				if row[i] != noEntry {
+					lfts[fv.switches[i]].Set(t.LID, row[i])
 				}
 			}
-			continue
-		}
-
-		// CA target: mark the ancestor cone with unique down ports.
-		paths++
-		gen++
-		frontier := queue[:0]
-		downPort[ap.sw] = ap.port
-		marked[ap.sw] = gen
-		frontier = append(frontier, ap.sw)
-		for fi := 0; fi < len(frontier); fi++ {
-			u := frontier[fi]
-			for _, e := range ups[u] {
-				p := e.peer
-				if marked[p] == gen {
-					continue
-				}
-				marked[p] = gen
-				// The parent's egress toward u is the reverse of the up
-				// edge: find the down edge of p that reaches u.
-				var dp ib.PortNum
-				for _, de := range downs[p] {
-					if de.peer == u {
-						dp = de.port
-						break
-					}
-				}
-				if dp == 0 {
-					return nil, fmt.Errorf("routing: ftree asymmetry: parent of %q lacks a down port", fv.topo.Node(fv.switches[u]).Desc)
-				}
-				downPort[p] = dp
-				frontier = append(frontier, p)
-			}
-		}
-		queue = frontier[:0]
-
-		for i := range fv.switches {
-			tbl := lfts[fv.switches[i]]
-			if marked[i] == gen {
-				tbl.Set(t.LID, downPort[i])
-				continue
-			}
-			if len(ups[i]) == 0 {
-				continue // disconnected from the ancestor cone; drop
-			}
-			sel := ups[i][int(t.LID)%len(ups[i])]
-			tbl.Set(t.LID, sel.port)
 		}
 	}
 
 	return &Result{
 		LFTs:  lfts,
-		Stats: Stats{Duration: time.Since(start), PathsComputed: paths},
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers},
 	}, nil
 }

@@ -1,0 +1,61 @@
+package routing
+
+// distHeap is an index-based binary min-heap over (distance, switch index)
+// pairs, stored as two parallel flat slices. It replaces the
+// container/heap-based dijkstraHeap: pushing through that interface boxed
+// every item into an interface{}, allocating on each relaxation, while this
+// heap allocates only when the backing arrays grow — i.e. never in steady
+// state, because the per-worker scratch reuses it across destinations.
+// Pop order for equal distances is a deterministic function of push order,
+// which the determinism suite relies on.
+type distHeap struct {
+	dist []uint64
+	node []int32
+}
+
+func (h *distHeap) reset()      { h.dist = h.dist[:0]; h.node = h.node[:0] }
+func (h *distHeap) empty() bool { return len(h.dist) == 0 }
+
+func (h *distHeap) push(d uint64, n int32) {
+	h.dist = append(h.dist, d)
+	h.node = append(h.node, n)
+	i := len(h.dist) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.dist[parent] <= h.dist[i] {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *distHeap) pop() (uint64, int32) {
+	d, n := h.dist[0], h.node[0]
+	last := len(h.dist) - 1
+	h.swap(0, last)
+	h.dist = h.dist[:last]
+	h.node = h.node[:last]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= last {
+			break
+		}
+		small := l
+		if r := l + 1; r < last && h.dist[r] < h.dist[l] {
+			small = r
+		}
+		if h.dist[i] <= h.dist[small] {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return d, n
+}
+
+func (h *distHeap) swap(i, j int) {
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+	h.node[i], h.node[j] = h.node[j], h.node[i]
+}

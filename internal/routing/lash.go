@@ -16,6 +16,13 @@ import (
 // fabric); this implementation keeps the same O(pairs) trial structure but
 // uses a Pearce-Kelly incremental topological order (cdg.Ordered) so the
 // trials are tractable on a laptop.
+//
+// Parallelization: the destination-tree BFS and the pair-path enumeration
+// fan out over the worker pool, but VL placement stays strictly serial on
+// the deterministic (destination, source) pair order — the Pearce-Kelly
+// structures are order-sensitive, and keeping their insertion sequence
+// fixed is what makes the accepted-layer assignment reproducible for every
+// worker count.
 type LASH struct {
 	// MaxVLs bounds the number of layers (8 data VLs in common hardware).
 	MaxVLs int
@@ -42,40 +49,44 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 		maxVLs = 8
 	}
 
+	nsw := len(fv.switches)
 	lfts := fv.newLFTs(req.Targets)
 	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	workers := req.workerCount()
+	pool := newWorkerPool(workers, func() *bfsScratch { return newBFSScratch(nsw) })
 
 	// Destination trees: plain BFS shortest paths, lowest-port tie-break
 	// (classic LASH does not load balance; the layering is its concern).
-	dist := make([]int, len(fv.switches))
-	queue := make([]int, 0, len(fv.switches))
-	// egressTo[d][s] = egress adjacency slot of switch s toward dest switch
-	// d, used later to reconstruct pair paths without LFT lookups.
-	egressTo := make(map[int][]int, len(groups))
-
-	for gi, group := range groups {
+	// egs[gi][s] = egress adjacency slot of switch s toward keys[gi], kept
+	// for the whole run to reconstruct pair paths without LFT lookups.
+	egs := make([][]int32, len(groups))
+	pool.run(len(groups), func(gi int, s *bfsScratch) {
 		destSw := keys[gi]
-		fv.bfsFromSwitch(destSw, dist, queue)
-		eg := make([]int, len(fv.switches))
+		fv.bfs(destSw, s)
+		eg := make([]int32, nsw)
 		for i := range eg {
 			eg[i] = -1
 		}
-		for i := range fv.switches {
-			if i == destSw || dist[i] < 0 {
+		for i := 0; i < nsw; i++ {
+			if i == destSw || s.dist[i] < 0 {
 				continue
 			}
 			for k, ed := range fv.adj[i] {
-				if dist[ed.peer] == dist[i]-1 {
-					eg[i] = k
+				if s.dist[ed.peer] == s.dist[i]-1 {
+					eg[i] = int32(k)
 					break
 				}
 			}
 		}
-		egressTo[destSw] = eg
+		egs[gi] = eg
+	})
+	for gi, group := range groups {
+		destSw := keys[gi]
+		eg := egs[gi]
 		for _, ti := range group {
 			t := req.Targets[ti]
 			lfts[fv.switches[destSw]].Set(t.LID, fv.attach[ti].port)
-			for i := range fv.switches {
+			for i := 0; i < nsw; i++ {
 				if eg[i] >= 0 {
 					lfts[fv.switches[i]].Set(t.LID, fv.adj[i][eg[i]].port)
 				}
@@ -93,57 +104,87 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 		}
 	}
 	var sources []int
-	for i := range fv.switches {
+	for i := 0; i < nsw; i++ {
 		if srcSet[i] {
 			sources = append(sources, i)
+		}
+	}
+
+	// The deterministic pair order: destinations in ascending dense index,
+	// sources in ascending dense index within each destination.
+	type pair struct {
+		gi  int // group index (destination)
+		src int
+	}
+	var pairsList []pair
+	for gi := range keys {
+		for _, src := range sources {
+			if src != keys[gi] {
+				pairsList = append(pairsList, pair{gi: gi, src: src})
+			}
 		}
 	}
 
 	layers := make([]*cdg.Ordered, 1, maxVLs)
 	layers[0] = cdg.NewOrdered()
 	pairVL := map[[2]topology.NodeID]uint8{}
-	pairs := 0
 
-	pathBuf := make([]cdg.Channel, 0, 16)
-	for _, destSw := range keys {
-		eg := egressTo[destSw]
-		for _, src := range sources {
-			if src == destSw {
-				continue
-			}
-			pairs++
-			// Reconstruct the channel sequence src -> destSw.
-			pathBuf = pathBuf[:0]
-			cur := src
+	// Pair paths are reconstructed in parallel windows ahead of the serial
+	// placement; the window buffers are reused across windows.
+	pathBufs := make([][]cdg.Channel, min(pairWindow, len(pairsList)))
+	for i := range pathBufs {
+		pathBufs[i] = make([]cdg.Channel, 0, 16)
+	}
+	pathErrs := make([]error, len(pathBufs))
+
+	for lo := 0; lo < len(pairsList); lo += pairWindow {
+		hi := min(lo+pairWindow, len(pairsList))
+		pool.run(hi-lo, func(k int, _ *bfsScratch) {
+			pr := pairsList[lo+k]
+			destSw := keys[pr.gi]
+			eg := egs[pr.gi]
+			buf := pathBufs[k][:0]
+			pathErrs[k] = nil
+			cur := pr.src
 			for cur != destSw {
-				k := eg[cur]
-				if k < 0 {
-					return nil, fmt.Errorf("routing: lash: no path from switch %d to %d", src, destSw)
+				kk := eg[cur]
+				if kk < 0 {
+					pathErrs[k] = fmt.Errorf("routing: lash: no path from switch %d to %d", pr.src, destSw)
+					break
 				}
-				pathBuf = append(pathBuf, cdg.Channel{
+				buf = append(buf, cdg.Channel{
 					Node: fv.switches[cur],
-					Port: fv.adj[cur][k].port,
+					Port: fv.adj[cur][kk].port,
 				})
-				cur = fv.adj[cur][k].peer
+				cur = fv.adj[cur][kk].peer
 			}
-			vl, err := placePath(layers, pathBuf, maxVLs)
+			pathBufs[k] = buf
+		})
+		for pi := lo; pi < hi; pi++ {
+			if err := pathErrs[pi-lo]; err != nil {
+				return nil, err
+			}
+			pr := pairsList[pi]
+			path := pathBufs[pi-lo]
+			vl, err := placePath(layers, path, maxVLs)
 			if err != nil {
 				return nil, err
 			}
 			if vl == len(layers) {
 				layers = append(layers, cdg.NewOrdered())
-				if vl2, err := placePath(layers, pathBuf, maxVLs); err != nil || vl2 != vl {
+				if vl2, err := placePath(layers, path, maxVLs); err != nil || vl2 != vl {
 					return nil, fmt.Errorf("routing: lash: fresh layer rejected a path (%v)", err)
 				}
 			}
-			pairVL[[2]topology.NodeID{fv.switches[src], fv.switches[destSw]}] = uint8(vl)
+			pairVL[[2]topology.NodeID{fv.switches[pr.src], fv.switches[keys[pr.gi]]}] = uint8(vl)
 		}
 	}
 
 	return &Result{
 		LFTs:   lfts,
 		PairVL: pairVL,
-		Stats:  Stats{Duration: time.Since(start), PathsComputed: pairs, VLsUsed: len(layers)},
+		Stats: Stats{Duration: time.Since(start), PathsComputed: len(pairsList),
+			VLsUsed: len(layers), Workers: workers},
 	}, nil
 }
 

@@ -12,6 +12,10 @@ import (
 // it), breaking remaining ties by port number. Min-Hop makes no
 // deadlock-freedom guarantee — on rings and tori its channel dependency
 // graph is cyclic, which the cdg package demonstrates.
+//
+// The per-destination-switch BFS and candidate-port discovery fan out over
+// the request's worker pool; the load-based egress choice folds serially in
+// ascending group order, so the result is byte-identical to a serial run.
 type MinHop struct{}
 
 // NewMinHop returns the minhop engine.
@@ -19,6 +23,21 @@ func NewMinHop() *MinHop { return &MinHop{} }
 
 // Name implements Engine.
 func (*MinHop) Name() string { return "minhop" }
+
+// candSet holds one destination group's candidate egress ports in flat
+// form: ports[off[i]:off[i+1]] are the ports of switch i that lead one hop
+// closer to the destination, in adjacency order. The window slots are
+// reused, so steady-state computation allocates nothing.
+type candSet struct {
+	off   []int32
+	ports []ib.PortNum
+}
+
+func newCandSet(nsw int) *candSet {
+	return &candSet{off: make([]int32, nsw+1), ports: make([]ib.PortNum, 0, 2*nsw)}
+}
+
+func (c *candSet) at(i int) []ib.PortNum { return c.ports[c.off[i]:c.off[i+1]] }
 
 // Compute implements Engine.
 func (*MinHop) Compute(req *Request) (*Result, error) {
@@ -31,60 +50,77 @@ func (*MinHop) Compute(req *Request) (*Result, error) {
 		return nil, err
 	}
 	lfts := fv.newLFTs(req.Targets)
+	nsw := len(fv.switches)
 
 	// load[i][p] counts LIDs already routed out of port p of switch i.
-	load := make([][]uint32, len(fv.switches))
+	load := make([][]uint32, nsw)
 	for i, id := range fv.switches {
 		load[i] = make([]uint32, len(fv.topo.Node(id).Ports))
 	}
 
-	dist := make([]int, len(fv.switches))
-	queue := make([]int, 0, len(fv.switches))
 	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	workers := req.workerCount()
+	pool := newWorkerPool(workers, func() *bfsScratch { return newBFSScratch(nsw) })
+	window := make([]*candSet, min(groupWindow, len(groups)))
+	for i := range window {
+		window[i] = newCandSet(nsw)
+	}
 	paths := 0
 
-	for gi, group := range groups {
-		destSw := keys[gi]
-		fv.bfsFromSwitch(destSw, dist, queue)
-		paths++
-
-		// candidates[i]: ports of switch i leading one hop closer to destSw.
-		candidates := make([][]ib.PortNum, len(fv.switches))
-		for i := range fv.switches {
-			if i == destSw || dist[i] < 0 {
-				continue
-			}
-			for _, e := range fv.adj[i] {
-				if dist[e.peer] == dist[i]-1 {
-					candidates[i] = append(candidates[i], e.port)
-				}
-			}
-		}
-
-		for _, ti := range group {
-			t := req.Targets[ti]
-			ap := fv.attach[ti]
-			// Destination switch entry: port 0 for the switch's own LID,
-			// or the access port toward the CA.
-			lfts[fv.switches[destSw]].Set(t.LID, ap.port)
-			for i := range fv.switches {
-				if i == destSw || len(candidates[i]) == 0 {
+	for lo := 0; lo < len(groups); lo += groupWindow {
+		hi := min(lo+groupWindow, len(groups))
+		// Parallel phase: BFS from each destination switch of the window
+		// and record the minimal-hop candidate ports per switch.
+		pool.run(hi-lo, func(k int, s *bfsScratch) {
+			destSw := keys[lo+k]
+			fv.bfs(destSw, s)
+			cs := window[k]
+			cs.ports = cs.ports[:0]
+			for i := 0; i < nsw; i++ {
+				cs.off[i] = int32(len(cs.ports))
+				if i == destSw || s.dist[i] < 0 {
 					continue
 				}
-				best := candidates[i][0]
-				for _, p := range candidates[i][1:] {
-					if load[i][p] < load[i][best] {
-						best = p
+				for _, e := range fv.adj[i] {
+					if s.dist[e.peer] == s.dist[i]-1 {
+						cs.ports = append(cs.ports, e.port)
 					}
 				}
-				load[i][best]++
-				lfts[fv.switches[i]].Set(t.LID, best)
+			}
+			cs.off[nsw] = int32(len(cs.ports))
+		})
+		// Serial fold in group order: pick the least-loaded candidate per
+		// switch per LID, exactly as the serial engine would.
+		for gi := lo; gi < hi; gi++ {
+			destSw := keys[gi]
+			cs := window[gi-lo]
+			paths++
+			for _, ti := range groups[gi] {
+				t := req.Targets[ti]
+				ap := fv.attach[ti]
+				// Destination switch entry: port 0 for the switch's own LID,
+				// or the access port toward the CA.
+				lfts[fv.switches[destSw]].Set(t.LID, ap.port)
+				for i := 0; i < nsw; i++ {
+					cands := cs.at(i)
+					if i == destSw || len(cands) == 0 {
+						continue
+					}
+					best := cands[0]
+					for _, p := range cands[1:] {
+						if load[i][p] < load[i][best] {
+							best = p
+						}
+					}
+					load[i][best]++
+					lfts[fv.switches[i]].Set(t.LID, best)
+				}
 			}
 		}
 	}
 
 	return &Result{
 		LFTs:  lfts,
-		Stats: Stats{Duration: time.Since(start), PathsComputed: paths},
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers},
 	}, nil
 }

@@ -1,0 +1,108 @@
+package routing
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The engines parallelize their per-destination SSSP/BFS loops over a
+// bounded worker pool while guaranteeing results bit-identical to a serial
+// run. The scheme is the same everywhere: destinations (or destination
+// groups, or path pairs) are split into fixed-size windows whose sizes do
+// NOT depend on the worker count; within a window every task reads only
+// state frozen before the window started and writes into task-indexed
+// buffers; the window is then folded into the shared LFT / load / weight /
+// VL state serially, in ascending destination order. Tie-breaking therefore
+// never depends on goroutine scheduling, only on the window constants below
+// — so Workers=1 and Workers=N produce byte-identical forwarding tables.
+const (
+	// dfssspEpoch is the number of destinations whose SSSPs run against one
+	// frozen copy of the link-weight state before the accumulated load of
+	// the whole epoch is applied (in destination order). Smaller epochs
+	// track the serial engine's per-destination balancing more closely;
+	// larger epochs expose more parallelism. The value is a constant of the
+	// algorithm, not of the machine, so every worker count converges on the
+	// same tables.
+	dfssspEpoch = 64
+
+	// groupWindow bounds how many destination-switch groups have their BFS
+	// and candidate-port state resident at once in MinHop/Up*/Down*/LASH.
+	groupWindow = 64
+
+	// targetWindow bounds how many per-destination port rows the fat-tree
+	// engine keeps in flight between its parallel compute phase and the
+	// serial LFT fold.
+	targetWindow = 256
+
+	// pairWindow bounds how many LASH (source, destination) pair paths are
+	// reconstructed ahead of the strictly serial VL placement.
+	pairWindow = 4096
+)
+
+// workerCount resolves Request.Workers: 0 or negative means one worker per
+// available CPU, 1 forces the serial path.
+func (r *Request) workerCount() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// workerPool runs task-indexed computations across a fixed set of workers,
+// each owning one reusable scratch value (dist/queue/heap buffers survive
+// across tasks and windows, so steady-state task execution allocates
+// nothing). Tasks are claimed from an atomic counter; the determinism
+// contract is that a task derives its output only from its index and from
+// state that is read-only for the duration of the run call, writing results
+// into storage indexed by task.
+type workerPool[S any] struct {
+	workers int
+	scratch []S
+}
+
+func newWorkerPool[S any](workers int, newScratch func() S) *workerPool[S] {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &workerPool[S]{workers: workers, scratch: make([]S, workers)}
+	for i := range p.scratch {
+		p.scratch[i] = newScratch()
+	}
+	return p
+}
+
+// run executes fn(task, scratch) for every task in [0, n), fanning out over
+// the pool's workers. With one worker (or one task) it degenerates to a
+// plain loop on the caller's goroutine.
+func (p *workerPool[S]) run(n int, fn func(task int, scratch S)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i, p.scratch[0])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(s S) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, s)
+			}
+		}(p.scratch[w])
+	}
+	wg.Wait()
+}

@@ -1,0 +1,170 @@
+package routing
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"ibvsim/internal/topology"
+)
+
+// The determinism suite: every engine must produce bit-identical results —
+// forwarding tables, VL assignments, layer counts — for every worker count.
+// This is the contract that lets the subnet manager default to one worker
+// per CPU without the fabric's routing depending on goroutine scheduling.
+// CI runs this package under -race, so the suite doubles as the data-race
+// check on the parallel computation layer.
+
+var determinismWorkerCounts = []int{2, 8}
+
+type determinismCase struct {
+	name  string
+	build func() (*topology.Topology, error)
+	ftree bool // fat-tree engine needs levelled switches
+}
+
+func determinismCases(t *testing.T) []determinismCase {
+	cases := []determinismCase{
+		{name: "fattree324", build: func() (*topology.Topology, error) { return topology.BuildPaperFatTree(324) }, ftree: true},
+		{name: "random-irregular", build: func() (*topology.Topology, error) { return topology.BuildRandom(12, 10, 8, 3, 42) }},
+	}
+	if !testing.Short() {
+		cases = append(cases, determinismCase{
+			name:  "fattree648",
+			build: func() (*topology.Topology, error) { return topology.BuildPaperFatTree(648) },
+			ftree: true,
+		})
+	}
+	return cases
+}
+
+// assertResultsEqual fails the test unless the two results are
+// bit-identical: same switch set, byte-equal LFTs, equal VL maps.
+func assertResultsEqual(t *testing.T, label string, base, got *Result) {
+	t.Helper()
+	if len(got.LFTs) != len(base.LFTs) {
+		t.Fatalf("%s: %d LFTs, serial produced %d", label, len(got.LFTs), len(base.LFTs))
+	}
+	for sw, want := range base.LFTs {
+		have := got.LFTs[sw]
+		if have == nil {
+			t.Fatalf("%s: switch %d has no LFT", label, sw)
+		}
+		if !bytes.Equal(have.Bytes(), want.Bytes()) {
+			for l, wb := range want.Bytes() {
+				if hb := have.Bytes()[l]; hb != wb {
+					t.Fatalf("%s: switch %d LFT diverges at LID %d: got port %d, serial %d",
+						label, sw, l, hb, wb)
+				}
+			}
+			t.Fatalf("%s: switch %d LFT diverges in length", label, sw)
+		}
+	}
+	if len(got.DestVL) != len(base.DestVL) {
+		t.Fatalf("%s: DestVL size %d, serial %d", label, len(got.DestVL), len(base.DestVL))
+	}
+	for lid, vl := range base.DestVL {
+		if got.DestVL[lid] != vl {
+			t.Fatalf("%s: DestVL[%d] = %d, serial %d", label, lid, got.DestVL[lid], vl)
+		}
+	}
+	if len(got.PairVL) != len(base.PairVL) {
+		t.Fatalf("%s: PairVL size %d, serial %d", label, len(got.PairVL), len(base.PairVL))
+	}
+	for pr, vl := range base.PairVL {
+		if got.PairVL[pr] != vl {
+			t.Fatalf("%s: PairVL[%v] = %d, serial %d", label, pr, got.PairVL[pr], vl)
+		}
+	}
+	if got.Stats.VLsUsed != base.Stats.VLsUsed {
+		t.Fatalf("%s: VLsUsed = %d, serial %d", label, got.Stats.VLsUsed, base.Stats.VLsUsed)
+	}
+	if got.Stats.PathsComputed != base.Stats.PathsComputed {
+		t.Fatalf("%s: PathsComputed = %d, serial %d", label, got.Stats.PathsComputed, base.Stats.PathsComputed)
+	}
+}
+
+func TestParallelEnginesAreDeterministic(t *testing.T) {
+	for _, tc := range determinismCases(t) {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := tc.build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			req := reqFor(t, topo)
+			for _, e := range engines() {
+				if e.Name() == "ftree" && !tc.ftree {
+					continue
+				}
+				e := e
+				t.Run(e.Name(), func(t *testing.T) {
+					req.Workers = 1
+					serial, err := e.Compute(req)
+					if err != nil {
+						t.Fatalf("serial: %v", err)
+					}
+					if serial.Stats.Workers != 1 {
+						t.Fatalf("serial run reports %d workers", serial.Stats.Workers)
+					}
+					for _, w := range determinismWorkerCounts {
+						req.Workers = w
+						par, err := e.Compute(req)
+						if err != nil {
+							t.Fatalf("workers=%d: %v", w, err)
+						}
+						assertResultsEqual(t, fmt.Sprintf("%s workers=%d", e.Name(), w), serial, par)
+					}
+					req.Workers = 0
+				})
+			}
+		})
+	}
+}
+
+// TestParallelDefaultWorkers checks that the GOMAXPROCS default also
+// matches the serial result (the subnet manager's default configuration).
+func TestParallelDefaultWorkers(t *testing.T) {
+	topo, err := topology.BuildRandom(10, 8, 6, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := reqFor(t, topo)
+	for _, e := range []Engine{NewMinHop(), NewDFSSSP()} {
+		req.Workers = 1
+		serial, err := e.Compute(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Workers = 0
+		def, err := e.Compute(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertResultsEqual(t, e.Name()+" default-workers", serial, def)
+	}
+}
+
+// TestParallelEnginesStillDeliver runs the full delivery verification on a
+// parallel computation, guarding against a merge that is internally
+// consistent but routes into the void.
+func TestParallelEnginesStillDeliver(t *testing.T) {
+	topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4}, W: []int{1, 4}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := reqFor(t, topo)
+	req.Workers = 4
+	for _, e := range engines() {
+		res, err := e.Compute(req)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if err := Verify(req, res); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+		if res.Stats.Workers != 4 {
+			t.Errorf("%s: Stats.Workers = %d, want 4", e.Name(), res.Stats.Workers)
+		}
+	}
+}

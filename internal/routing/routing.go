@@ -30,6 +30,12 @@ type Target struct {
 type Request struct {
 	Topo    *topology.Topology
 	Targets []Target
+	// Workers bounds the number of goroutines the engine may fan its
+	// per-destination SSSP/BFS computations over. 0 (the default) means one
+	// worker per available CPU; 1 forces a fully serial computation. Every
+	// engine guarantees the produced LFTs (and VL assignments) are
+	// bit-identical for every worker count.
+	Workers int
 }
 
 // Validate checks the request is routable at all.
@@ -62,6 +68,7 @@ type Stats struct {
 	Duration      time.Duration
 	PathsComputed int // destination trees or pairs, engine-dependent
 	VLsUsed       int
+	Workers       int // goroutines the computation fanned out over
 }
 
 // Result is the output of a routing engine.
@@ -115,6 +122,11 @@ type fabricView struct {
 
 	// adjacency between switches: for switch i, a list of (port, peer index)
 	adj [][]swEdge
+
+	// portSlot[i][p] is the adjacency slot of switch i whose egress port is
+	// p, or -1 when port p does not lead to another switch. Hot loops use it
+	// to map an LFT entry back into the switch graph without scanning adj.
+	portSlot [][]int32
 
 	// attach[t] for each target: the switch the LID hangs off and the port
 	// on that switch toward the node (0 when the target IS the switch).
@@ -172,6 +184,17 @@ func newFabricView(req *Request) (*fabricView, error) {
 			}
 		}
 	}
+	fv.portSlot = make([][]int32, len(fv.switches))
+	for i, id := range fv.switches {
+		slots := make([]int32, len(fv.topo.Node(id).Ports))
+		for p := range slots {
+			slots[p] = -1
+		}
+		for k, e := range fv.adj[i] {
+			slots[e.port] = int32(k)
+		}
+		fv.portSlot[i] = slots
+	}
 	fv.attach = make([]attachPoint, len(req.Targets))
 	for ti, t := range req.Targets {
 		n := req.Topo.Node(t.Node)
@@ -207,24 +230,38 @@ func (fv *fabricView) newLFTs(targets []Target) map[topology.NodeID]*ib.LFT {
 	return out
 }
 
-// bfsFromSwitch fills dist (len = #switches, -1 = unreachable) with hop
-// counts over the switch graph from the given dense index.
-func (fv *fabricView) bfsFromSwitch(src int, dist []int, queue []int) {
+// bfsScratch bundles the dist/queue buffers the BFS-based engines reuse
+// across destination groups: one allocation per engine run (one per worker
+// under parallel computation), not one per source switch.
+type bfsScratch struct {
+	dist  []int
+	queue []int
+}
+
+func newBFSScratch(nsw int) *bfsScratch {
+	return &bfsScratch{dist: make([]int, nsw), queue: make([]int, 0, nsw)}
+}
+
+// bfs fills s.dist (len = #switches, -1 = unreachable) with hop counts over
+// the switch graph from the given dense index. The queue buffer — including
+// any growth — is retained in the scratch for the next call.
+func (fv *fabricView) bfs(src int, s *bfsScratch) {
+	dist := s.dist
 	for i := range dist {
 		dist[i] = -1
 	}
 	dist[src] = 0
-	queue = append(queue[:0], src)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	q := append(s.queue[:0], src)
+	for qi := 0; qi < len(q); qi++ {
+		u := q[qi]
 		for _, e := range fv.adj[u] {
 			if dist[e.peer] < 0 {
 				dist[e.peer] = dist[u] + 1
-				queue = append(queue, e.peer)
+				q = append(q, e.peer)
 			}
 		}
 	}
+	s.queue = q[:0]
 }
 
 // groupTargetsBySwitch returns target indices grouped by attach switch, in

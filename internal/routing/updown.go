@@ -3,8 +3,6 @@ package routing
 import (
 	"fmt"
 	"time"
-
-	"ibvsim/internal/ib"
 )
 
 // UpDown implements Up*/Down* routing: switches are ranked by a BFS from a
@@ -15,6 +13,11 @@ import (
 // up. Down-preferred guarantees the up*/down* property holds hop by hop
 // with plain destination-based LFTs, at the cost of occasionally
 // non-minimal paths on irregular fabrics.
+//
+// Like MinHop, the per-destination distance/candidate computation fans out
+// over the worker pool against the fixed rank ordering, while the
+// load-balanced egress choice folds serially in group order — results are
+// byte-identical for every worker count.
 type UpDown struct {
 	// Root optionally pins the ranking root (dense switch index is chosen
 	// automatically when < 0).
@@ -28,6 +31,25 @@ func NewUpDown() *UpDown { return &UpDown{Root: -1} }
 // Name implements Engine.
 func (*UpDown) Name() string { return "updn" }
 
+// updownScratch is the per-worker state of one destination's distance
+// computation: all-down distances, legal-path distances, the BFS queue and
+// the monotone bucket scan, reused across destinations.
+type updownScratch struct {
+	distD   []int // shortest all-down path to dest
+	distU   []int // shortest legal (up* then down*) path
+	queue   []int
+	buckets [][]int
+}
+
+func newUpdownScratch(nsw int) *updownScratch {
+	return &updownScratch{
+		distD:   make([]int, nsw),
+		distU:   make([]int, nsw),
+		queue:   make([]int, 0, nsw),
+		buckets: make([][]int, 2*nsw+2),
+	}
+}
+
 // Compute implements Engine.
 func (e *UpDown) Compute(req *Request) (*Result, error) {
 	start := time.Now()
@@ -38,6 +60,7 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	nsw := len(fv.switches)
 	root := e.Root
 	if root < 0 {
 		// Prefer the topologically highest level when available (fat-tree
@@ -52,14 +75,14 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 		}
 		root = best
 	}
-	if root >= len(fv.switches) {
+	if root >= nsw {
 		return nil, fmt.Errorf("routing: updn root %d out of range", root)
 	}
 
 	// Rank switches by BFS depth from the root.
-	rank := make([]int, len(fv.switches))
-	queue := make([]int, 0, len(fv.switches))
-	fv.bfsFromSwitch(root, rank, queue)
+	rankScratch := newBFSScratch(nsw)
+	fv.bfs(root, rankScratch)
+	rank := rankScratch.dist
 	for i, r := range rank {
 		if r < 0 {
 			return nil, fmt.Errorf("routing: switch %q unreachable from updn root",
@@ -75,127 +98,130 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 	}
 
 	lfts := fv.newLFTs(req.Targets)
-	load := make([][]uint32, len(fv.switches))
+	load := make([][]uint32, nsw)
 	for i, id := range fv.switches {
 		load[i] = make([]uint32, len(fv.topo.Node(id).Ports))
 	}
 
-	distD := make([]int, len(fv.switches)) // shortest all-down path to dest
-	distU := make([]int, len(fv.switches)) // shortest legal (up* then down*) path
 	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	workers := req.workerCount()
+	pool := newWorkerPool(workers, func() *updownScratch { return newUpdownScratch(nsw) })
+	window := make([]*candSet, min(groupWindow, len(groups)))
+	for i := range window {
+		window[i] = newCandSet(nsw)
+	}
 	paths := 0
 
-	for gi, group := range groups {
-		destSw := keys[gi]
-		paths++
-		// distD: BFS over reversed down moves. A move s->n is "down" when
-		// up(n, s) holds (n is the up end). Walking backward from the
-		// destination we extend via predecessors s with s->n down.
-		for i := range distD {
-			distD[i] = -1
-			distU[i] = -1
-		}
-		distD[destSw] = 0
-		queue = append(queue[:0], destSw)
-		for len(queue) > 0 {
-			n := queue[0]
-			queue = queue[1:]
-			for _, e := range fv.adj[n] {
-				s := e.peer
-				// s -> n is a down move iff up(n, s)... careful: down means
-				// away from root, i.e. NOT an up move and specifically the
-				// reverse of one: s -> n is down iff up-direction of the
-				// link points from n to s, i.e. up(n, s) == false and
-				// up(s, n)? A link's up end is the lower-ranked side; the
-				// move s->n is down when n is the lower... no: up = toward
-				// root = toward lower rank. s->n is down when rank[n] >
-				// rank[s] (n farther from root), i.e. up(n, s).
-				if up(n, s) && distD[s] < 0 {
-					distD[s] = distD[n] + 1
-					queue = append(queue, s)
-				}
+	for lo := 0; lo < len(groups); lo += groupWindow {
+		hi := min(lo+groupWindow, len(groups))
+		pool.run(hi-lo, func(k int, s *updownScratch) {
+			destSw := keys[lo+k]
+			// distD: BFS over reversed down moves. A move s->n is "down"
+			// when up(n, s) holds (n is the up end); walking backward from
+			// the destination we extend via predecessors s with s->n down.
+			for i := 0; i < nsw; i++ {
+				s.distD[i] = -1
+				s.distU[i] = -1
 			}
-		}
-		// distU: seeded by distD, relaxed backward over up moves (s -> n is
-		// up). Seeds differ in value, so process with a monotone bucket
-		// scan instead of plain BFS.
-		maxSeed := 0
-		for i, d := range distD {
-			distU[i] = d
-			if d > maxSeed {
-				maxSeed = d
-			}
-		}
-		buckets := make([][]int, maxSeed+len(fv.switches)+2)
-		for i, d := range distU {
-			if d >= 0 {
-				buckets[d] = append(buckets[d], i)
-			}
-		}
-		for d := 0; d < len(buckets); d++ {
-			for qi := 0; qi < len(buckets[d]); qi++ {
-				n := buckets[d][qi]
-				if distU[n] != d {
-					continue // stale entry
-				}
-				for _, e := range fv.adj[n] {
-					s := e.peer
-					if !up(s, n) {
-						continue // only up moves extend the U phase
+			s.distD[destSw] = 0
+			q := append(s.queue[:0], destSw)
+			for qi := 0; qi < len(q); qi++ {
+				n := q[qi]
+				for _, ed := range fv.adj[n] {
+					sp := ed.peer
+					if up(n, sp) && s.distD[sp] < 0 {
+						s.distD[sp] = s.distD[n] + 1
+						q = append(q, sp)
 					}
-					if distU[s] < 0 || distU[s] > d+1 {
-						distU[s] = d + 1
-						if d+1 < len(buckets) {
-							buckets[d+1] = append(buckets[d+1], s)
+				}
+			}
+			s.queue = q[:0]
+			// distU: seeded by distD, relaxed backward over up moves (s -> n
+			// is up). Seeds differ in value, so process with a monotone
+			// bucket scan instead of plain BFS.
+			for i := range s.buckets {
+				s.buckets[i] = s.buckets[i][:0]
+			}
+			for i, d := range s.distD {
+				s.distU[i] = d
+				if d >= 0 {
+					s.buckets[d] = append(s.buckets[d], i)
+				}
+			}
+			for d := 0; d < len(s.buckets); d++ {
+				for qi := 0; qi < len(s.buckets[d]); qi++ {
+					n := s.buckets[d][qi]
+					if s.distU[n] != d {
+						continue // stale entry
+					}
+					for _, eu := range fv.adj[n] {
+						sp := eu.peer
+						if !up(sp, n) {
+							continue // only up moves extend the U phase
+						}
+						if s.distU[sp] < 0 || s.distU[sp] > d+1 {
+							s.distU[sp] = d + 1
+							if d+1 < len(s.buckets) {
+								s.buckets[d+1] = append(s.buckets[d+1], sp)
+							}
 						}
 					}
 				}
 			}
-		}
 
-		// Candidates per switch: down-preferred.
-		candidates := make([][]ib.PortNum, len(fv.switches))
-		for i := range fv.switches {
-			if i == destSw {
-				continue
-			}
-			if distD[i] > 0 {
-				for _, e := range fv.adj[i] {
-					if up(e.peer, i) && distD[e.peer] == distD[i]-1 {
-						candidates[i] = append(candidates[i], e.port)
-					}
-				}
-			} else if distU[i] > 0 {
-				for _, e := range fv.adj[i] {
-					if up(i, e.peer) && distU[e.peer] == distU[i]-1 {
-						candidates[i] = append(candidates[i], e.port)
-					}
-				}
-			}
-		}
-
-		for _, ti := range group {
-			t := req.Targets[ti]
-			ap := fv.attach[ti]
-			lfts[fv.switches[destSw]].Set(t.LID, ap.port)
-			for i := range fv.switches {
-				if i == destSw || len(candidates[i]) == 0 {
+			// Candidates per switch: down-preferred.
+			cs := window[k]
+			cs.ports = cs.ports[:0]
+			for i := 0; i < nsw; i++ {
+				cs.off[i] = int32(len(cs.ports))
+				if i == destSw {
 					continue
 				}
-				best := candidates[i][0]
-				for _, p := range candidates[i][1:] {
-					if load[i][p] < load[i][best] {
-						best = p
+				if s.distD[i] > 0 {
+					for _, eu := range fv.adj[i] {
+						if up(eu.peer, i) && s.distD[eu.peer] == s.distD[i]-1 {
+							cs.ports = append(cs.ports, eu.port)
+						}
+					}
+				} else if s.distU[i] > 0 {
+					for _, eu := range fv.adj[i] {
+						if up(i, eu.peer) && s.distU[eu.peer] == s.distU[i]-1 {
+							cs.ports = append(cs.ports, eu.port)
+						}
 					}
 				}
-				load[i][best]++
-				lfts[fv.switches[i]].Set(t.LID, best)
+			}
+			cs.off[nsw] = int32(len(cs.ports))
+		})
+
+		for gi := lo; gi < hi; gi++ {
+			destSw := keys[gi]
+			cs := window[gi-lo]
+			paths++
+			for _, ti := range groups[gi] {
+				t := req.Targets[ti]
+				ap := fv.attach[ti]
+				lfts[fv.switches[destSw]].Set(t.LID, ap.port)
+				for i := 0; i < nsw; i++ {
+					cands := cs.at(i)
+					if i == destSw || len(cands) == 0 {
+						continue
+					}
+					best := cands[0]
+					for _, p := range cands[1:] {
+						if load[i][p] < load[i][best] {
+							best = p
+						}
+					}
+					load[i][best]++
+					lfts[fv.switches[i]].Set(t.LID, best)
+				}
 			}
 		}
 	}
 
 	return &Result{
 		LFTs:  lfts,
-		Stats: Stats{Duration: time.Since(start), PathsComputed: paths},
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers},
 	}, nil
 }

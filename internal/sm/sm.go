@@ -31,6 +31,10 @@ type SubnetManager struct {
 	// Dist configures the concurrent LFT distribution engine (worker count
 	// and retry policy).
 	Dist DistributionConfig
+	// RouteWorkers bounds the routing engines' path-computation worker
+	// pool; 0 means one worker per CPU (GOMAXPROCS). Results are
+	// bit-identical for every value.
+	RouteWorkers int
 	// LMC is the LID Mask Control value applied to CAs at AssignLIDs time:
 	// each CA receives 2^LMC consecutive, aligned LIDs, every one routed
 	// independently (the multipathing the prepopulated vSwitch model
@@ -381,7 +385,7 @@ func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
 	if !s.swept {
 		return routing.Stats{}, fmt.Errorf("sm: ComputeRoutes before Sweep")
 	}
-	req := &routing.Request{Topo: s.Topo, Targets: s.Targets()}
+	req := &routing.Request{Topo: s.Topo, Targets: s.Targets(), Workers: s.RouteWorkers}
 	res, err := s.Engine.Compute(req)
 	if err != nil {
 		return routing.Stats{}, err
