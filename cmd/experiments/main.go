@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ibvsim/internal/experiments"
+	"ibvsim/internal/telemetry"
 )
 
 func main() {
@@ -36,7 +37,14 @@ func main() {
 	seed := flag.Int64("seed", 1, "faulty: fault-schedule seed")
 	workers := flag.Int("workers", 0, "routing-engine worker count (0 = one per CPU); results are identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
+	traceOut := flag.String("trace", "", "write the reconfiguration trace (spans + events) as JSON to this file (leaflocal)")
+	metricsOut := flag.String("metrics", "", "write the metrics registry as JSON to this file (leaflocal)")
 	flag.Parse()
+
+	var hub *telemetry.Hub
+	if *traceOut != "" || *metricsOut != "" {
+		hub = telemetry.NewHub()
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -102,7 +110,7 @@ func main() {
 				writeCSV(*csvOut, func(w io.Writer) error { return experiments.Table1CSV(rows, w) })
 			}
 		case "leaflocal":
-			rows, err := experiments.LeafLocal()
+			rows, err := experiments.LeafLocal(hub)
 			if err != nil {
 				fatal(err)
 			}
@@ -182,11 +190,34 @@ func main() {
 		for _, name := range []string{"table1", "capacity", "costmodel", "leaflocal", "migrations", "balance", "transition", "churn", "faulty", "deadlock", "fig7"} {
 			run(name)
 		}
-		return
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			run(strings.TrimSpace(name))
+		}
 	}
-	for _, name := range strings.Split(*exp, ",") {
-		run(strings.TrimSpace(name))
+
+	// Exports include wall durations and the event stream: the files are for
+	// humans and tooling, not for byte-stable goldens (those use the test
+	// harness with modelled time only).
+	opts := telemetry.Options{IncludeWall: true, IncludeEvents: true}
+	if *traceOut != "" {
+		writeJSON(*traceOut, func(w io.Writer) error { return hub.Trace.WriteJSON(w, opts) })
 	}
+	if *metricsOut != "" {
+		writeJSON(*metricsOut, func(w io.Writer) error { return hub.Metrics.WriteJSON(w, opts) })
+	}
+}
+
+func writeJSON(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := write(f); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", path)
 }
 
 func writeCSV(path string, write func(io.Writer) error) {

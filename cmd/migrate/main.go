@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ibvsim/internal/cloud"
 	"ibvsim/internal/core"
@@ -100,11 +101,24 @@ func main() {
 
 	fmt.Printf("\ntotal SMP traffic: %s\n", c.SM.Transport.Counters)
 	if *trace {
+		fmt.Println("\nreconfiguration trace:")
+		fmt.Print(indent(c.SM.Telemetry().Trace.RenderTree(), "  "))
 		fmt.Println("\nevent log:")
 		for _, e := range c.SM.Log().Events() {
 			fmt.Printf("  [%-10s] %s\n", e.Kind, e.Msg)
 		}
 	}
+}
+
+// indent prefixes every non-empty line of s.
+func indent(s, prefix string) string {
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		if l != "" {
+			lines[i] = prefix + l
+		}
+	}
+	return strings.Join(lines, "\n")
 }
 
 func fatal(err error) {

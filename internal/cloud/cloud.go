@@ -24,6 +24,7 @@ import (
 	"ibvsim/internal/sa"
 	"ibvsim/internal/sm"
 	"ibvsim/internal/sriov"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -47,6 +48,13 @@ type Config struct {
 	VFsPerHypervisor int
 	Engine           routing.Engine
 	Scheduler        Scheduler
+	// Telemetry, when non-nil, replaces the SM's private hub so the caller
+	// can export the metrics registry and reconfiguration trace (or share
+	// one hub across clouds).
+	Telemetry *telemetry.Hub
+	// RouteWorkers pins the routing worker-pool size (0 = one per CPU).
+	// Experiments that golden-test trace output set 1 for reproducibility.
+	RouteWorkers int
 }
 
 // Cloud is the orchestrator.
@@ -101,6 +109,10 @@ func New(topo *topology.Topology, smNode topology.NodeID, hypNodes []topology.No
 	if err != nil {
 		return nil, rep, err
 	}
+	if cfg.Telemetry != nil {
+		mgr.SetTelemetry(cfg.Telemetry)
+	}
+	mgr.RouteWorkers = cfg.RouteWorkers
 	c := &Cloud{
 		SM:       mgr,
 		RC:       core.NewReconfigurator(mgr),
@@ -296,6 +308,24 @@ func (c *Cloud) MigrateVM(name string, dst topology.NodeID) (MigrationReport, er
 		return rep, fmt.Errorf("cloud: destination %d has no free VF", dst)
 	}
 	rep.VM, rep.From, rep.To = name, vm.Hyp, dst
+
+	tr := c.SM.Telemetry().Tracer()
+	span := tr.Start(telemetry.SpanMigration, name)
+	tr.PushScope(span)
+	defer func() {
+		tr.PopScope()
+		span.SetAttr("vm", name)
+		span.SetAttr("from", int64(rep.From))
+		span.SetAttr("to", int64(rep.To))
+		span.SetAttr("model", c.Model)
+		span.SetAttr("switches", rep.Plan.SwitchesUpdated)
+		span.SetAttr("smps", rep.Plan.SMPs)
+		span.SetAttr("host_smps", rep.HostSMPs)
+		span.SetAttr("addresses_changed", rep.AddressesChanged)
+		span.SetModelled(rep.Downtime)
+		span.End()
+	}()
+	c.SM.Telemetry().Registry().Counter("cloud.migrations").Inc()
 
 	// Step 1: detach the VF; the (modelled) memory copy begins.
 	if err := srcH.HCA.Detach(vm.VF); err != nil {

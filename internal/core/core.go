@@ -28,6 +28,7 @@ import (
 	"ibvsim/internal/ib"
 	"ibvsim/internal/sm"
 	"ibvsim/internal/smp"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -358,6 +359,19 @@ func (r *Reconfigurator) ApplyEdits(plan *MigrationPlan) (PlanStats, error) {
 	start := time.Now()
 	var st PlanStats
 
+	tr := r.SM.Telemetry().Tracer()
+	span := tr.Start(telemetry.SpanLFTSwap, plan.Kind.String())
+	tr.PushScope(span)
+	defer func() {
+		tr.PopScope()
+		span.SetAttr("mode", r.Mode)
+		span.SetAttr("switches", st.SwitchesUpdated)
+		span.SetAttr("smps", st.SMPs)
+		span.SetAttr("invalidation_smps", st.InvalidationSMPs)
+		span.SetModelled(st.ModelledTime)
+		span.EndWithWall(st.Duration)
+	}()
+
 	switches := make([]topology.NodeID, 0, len(plan.Updates))
 	for sw := range plan.Updates {
 		switches = append(switches, sw)
@@ -405,6 +419,12 @@ func (r *Reconfigurator) ApplyEdits(plan *MigrationPlan) (PlanStats, error) {
 // to the destination (section V-C). Returns the number of host SMPs sent.
 func (r *Reconfigurator) MigrateAddresses(srcHyp, dstHyp topology.NodeID, vguid ib.GUID) (int, error) {
 	n := 0
+	span := r.SM.Telemetry().Tracer().Start(telemetry.SpanGUIDMigrate, "")
+	defer func() {
+		span.SetAttr("host_smps", n)
+		span.SetModelled(r.SM.Cost.SMPTime(smp.DestinationRouted) * time.Duration(n))
+		span.End()
+	}()
 	// Unset on the source hypervisor.
 	if err := r.SM.SetVGUID(srcHyp, 0); err != nil {
 		return n, err

@@ -101,7 +101,7 @@ func TestLeafLocalLadder(t *testing.T) {
 	if testing.Short() {
 		t.Skip("bootstraps a 64-node cloud eight times")
 	}
-	rows, err := LeafLocal()
+	rows, err := LeafLocal(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -6,6 +6,7 @@ import (
 	"ibvsim/internal/cloud"
 	"ibvsim/internal/core"
 	"ibvsim/internal/sriov"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -74,8 +75,10 @@ func migrationLadder(topo *topology.Topology, hyps []topology.NodeID) (src, same
 }
 
 // LeafLocal runs the distance ladder on a 3-level fat-tree
-// XGFT(3; 4,4,4; 1,4,4): 64 nodes, 48 switches.
-func LeafLocal() ([]LeafLocalRow, error) {
+// XGFT(3; 4,4,4; 1,4,4): 64 nodes, 48 switches. When hub is non-nil every
+// cloud shares it, so the caller gets one reconfiguration trace and metrics
+// registry covering all migrations (exported by cmd/experiments -trace).
+func LeafLocal(hub *telemetry.Hub) ([]LeafLocalRow, error) {
 	var rows []LeafLocalRow
 	for _, kind := range []core.PlanKind{core.PlanSwap, core.PlanCopy} {
 		for _, scope := range []core.Scope{core.ScopeAllSwitches, core.ScopeMinimal} {
@@ -83,7 +86,7 @@ func LeafLocal() ([]LeafLocalRow, error) {
 			if kind == core.PlanCopy {
 				model = sriov.VSwitchDynamic
 			}
-			r, err := leafLocalOne(kind, scope, model)
+			r, err := leafLocalOne(kind, scope, model, hub)
 			if err != nil {
 				return nil, err
 			}
@@ -97,7 +100,7 @@ func LeafLocal() ([]LeafLocalRow, error) {
 // combination, rebuilding the cloud per distance so every migration starts
 // from the pristine initial routing (earlier migrations would otherwise
 // perturb the LFT state and make the scopes incomparable).
-func leafLocalOne(kind core.PlanKind, scope core.Scope, model sriov.Model) ([]LeafLocalRow, error) {
+func leafLocalOne(kind core.PlanKind, scope core.Scope, model sriov.Model, hub *telemetry.Hub) ([]LeafLocalRow, error) {
 	var rows []LeafLocalRow
 	for _, distance := range []string{"same-leaf", "same-pod", "cross-pod"} {
 		topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4, 4}, W: []int{1, 4, 4}}, 8)
@@ -108,6 +111,7 @@ func leafLocalOne(kind core.PlanKind, scope core.Scope, model sriov.Model) ([]Le
 		c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
 			Model:            model,
 			VFsPerHypervisor: 2,
+			Telemetry:        hub,
 		})
 		if err != nil {
 			return nil, err

@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/telemetry"
+	"ibvsim/internal/topology"
+)
+
+// tracedLeafLocalMigration bootstraps the ladder fabric with a shared
+// telemetry hub, runs one same-leaf prepopulated-model migration, and
+// returns the hub plus the LFT SMP count the plan reported.
+func tracedLeafLocalMigration(t *testing.T) (*telemetry.Hub, int) {
+	t.Helper()
+	hub := telemetry.NewHub()
+	topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4, 4}, W: []int{1, 4, 4}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            sriov.VSwitchPrepopulated,
+		VFsPerHypervisor: 2,
+		Telemetry:        hub,
+		// One routing worker: the default is one per CPU, which is fine for
+		// results (bit-identical LFTs) but would leak machine-dependent
+		// worker attributes into the golden trace.
+		RouteWorkers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, sameLeaf, _, _, err := migrationLadder(topo, c.Hypervisors())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateVMOn("vm-golden", src); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.MigrateVM("vm-golden", sameLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Plan.SMPs == 0 {
+		t.Fatal("migration sent no LFT SMPs; the trace under test would be empty")
+	}
+	return hub, rep.Plan.SMPs
+}
+
+// goldenSpan mirrors the exported span schema for structural assertions.
+type goldenSpan struct {
+	ID         int            `json:"id"`
+	Parent     int            `json:"parent"`
+	Kind       string         `json:"kind"`
+	Name       string         `json:"name"`
+	Attrs      map[string]any `json:"attrs"`
+	ModelledNS int64          `json:"modelled_ns"`
+	WallNS     int64          `json:"wall_ns"`
+}
+
+// TestTelemetryTraceGolden pins the trace export schema byte for byte: span
+// order, field order, attribute names, modelled durations. Wall-clock
+// durations and the free-text event stream are excluded — they vary run to
+// run and machine to machine, so only modelled (cost-model) time may appear
+// in the golden. Regenerate with -update-golden after intentional changes.
+func TestTelemetryTraceGolden(t *testing.T) {
+	hub, planSMPs := tracedLeafLocalMigration(t)
+
+	var tb bytes.Buffer
+	if err := hub.Trace.WriteJSON(&tb, telemetry.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.json.golden", tb.String())
+
+	// Structural invariants, independent of the golden bytes: the migration
+	// root has an lft-swap child carrying one smp span per LFT block sent
+	// (the paper's n' x m'), plus a guid-migrate child for the two host SMPs.
+	var trace struct {
+		Spans []goldenSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(tb.Bytes(), &trace); err != nil {
+		t.Fatal(err)
+	}
+	byID := map[int]goldenSpan{}
+	var migration goldenSpan
+	for _, sp := range trace.Spans {
+		byID[sp.ID] = sp
+		if sp.Kind == string(telemetry.SpanMigration) {
+			migration = sp
+		}
+		if sp.WallNS != 0 {
+			t.Errorf("span %d leaked wall time %d into a wall-free export", sp.ID, sp.WallNS)
+		}
+	}
+	if migration.ID == 0 {
+		t.Fatal("no migration span in the trace")
+	}
+	var swapID, smpSpans, guidSpans int
+	for _, sp := range trace.Spans {
+		switch sp.Kind {
+		case string(telemetry.SpanLFTSwap):
+			if sp.Parent == migration.ID {
+				swapID = sp.ID
+				if got := sp.Attrs["smps"]; got != float64(planSMPs) {
+					t.Errorf("lft-swap smps attr = %v, want %d", got, planSMPs)
+				}
+			}
+		case string(telemetry.SpanGUIDMigrate):
+			if sp.Parent == migration.ID {
+				guidSpans++
+				if got := sp.Attrs["host_smps"]; got != float64(2) {
+					t.Errorf("guid-migrate host_smps = %v, want 2", got)
+				}
+			}
+		}
+	}
+	if swapID == 0 {
+		t.Fatal("no lft-swap child under the migration span")
+	}
+	for _, sp := range trace.Spans {
+		if sp.Kind == string(telemetry.SpanSMP) && sp.Parent == swapID {
+			smpSpans++
+			if sp.ModelledNS <= 0 {
+				t.Errorf("smp span %d has no modelled cost", sp.ID)
+			}
+		}
+	}
+	if smpSpans != planSMPs {
+		t.Errorf("%d smp spans under the lft-swap, want one per plan SMP (%d)", smpSpans, planSMPs)
+	}
+	if guidSpans != 1 {
+		t.Errorf("%d guid-migrate spans, want 1", guidSpans)
+	}
+}
+
+// TestTelemetryMetricsGolden pins the metrics export: sorted instrument
+// names, stable field order, and the wall-marked histograms filtered out.
+func TestTelemetryMetricsGolden(t *testing.T) {
+	hub, _ := tracedLeafLocalMigration(t)
+
+	var mb bytes.Buffer
+	if err := hub.Metrics.WriteJSON(&mb, telemetry.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.json.golden", mb.String())
+
+	var metrics struct {
+		Counters []struct {
+			Name  string `json:"name"`
+			Value int64  `json:"value"`
+		} `json:"counters"`
+		Histograms []struct {
+			Name string `json:"name"`
+			Wall bool   `json:"wall"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(mb.Bytes(), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for i, c := range metrics.Counters {
+		vals[c.Name] = c.Value
+		if i > 0 && metrics.Counters[i-1].Name >= c.Name {
+			t.Errorf("counters not sorted: %q before %q", metrics.Counters[i-1].Name, c.Name)
+		}
+	}
+	for name, want := range map[string]int64{"cloud.migrations": 1, "sm.sweeps": 1} {
+		if vals[name] != want {
+			t.Errorf("counter %s = %d, want %d", name, vals[name], want)
+		}
+	}
+	if vals["smp.sent"] == 0 || vals["sm.dist.smps"] == 0 {
+		t.Errorf("SMP counters empty after a bootstrap + migration: %v", vals)
+	}
+	for _, h := range metrics.Histograms {
+		if h.Wall {
+			t.Errorf("wall histogram %q leaked into a wall-free export", h.Name)
+		}
+	}
+}

@@ -31,6 +31,24 @@ func NewLFT(topLID LID) *LFT {
 	return t
 }
 
+// NewLFTBlocks returns an LFT backed by exactly nblocks 64-entry blocks
+// (minimum 1), all entries DropPort. Use it to mirror another table's
+// geometry exactly — e.g. the partial-failure fallback in the distribution
+// engine, which must shadow its target block for block.
+func NewLFTBlocks(nblocks int) *LFT {
+	if nblocks < 1 {
+		nblocks = 1
+	}
+	t := &LFT{
+		ports: make([]PortNum, nblocks*LFTBlockSize),
+		dirty: make([]uint64, (nblocks+63)/64),
+	}
+	for i := range t.ports {
+		t.ports[i] = DropPort
+	}
+	return t
+}
+
 // Clone returns a deep copy of the table, including dirty state.
 func (t *LFT) Clone() *LFT {
 	c := &LFT{

@@ -19,7 +19,12 @@ var ErrLIDSpaceExhausted = errors.New("ib: unicast LID space exhausted")
 type LIDPool struct {
 	used  []uint64 // bitmap over 0..MaxUnicastLID
 	inUse int
-	next  LID // lower bound hint for the next scan
+	// next is a strict lower bound on the lowest free LID: every unicast
+	// LID below it is in use. Alloc advances it only past LIDs it claims,
+	// Reserve advances it only when it claims exactly this LID, and
+	// Release rewinds it — so one upward scan from next always finds the
+	// lowest free LID.
+	next LID
 }
 
 // NewLIDPool returns an empty pool covering the full unicast range.
@@ -47,19 +52,11 @@ func (p *LIDPool) Count() int { return p.inUse }
 // Free returns the number of unallocated unicast LIDs.
 func (p *LIDPool) Free() int { return UnicastLIDCount - p.inUse }
 
-// Alloc returns the lowest free unicast LID.
+// Alloc returns the lowest free unicast LID. Because Release rewinds the
+// next hint, the single scan from next is exhaustive: no free LID can
+// exist below it.
 func (p *LIDPool) Alloc() (LID, error) {
 	for l := p.next; l <= MaxUnicastLID; l++ {
-		w, m := p.bit(l)
-		if p.used[w]&m == 0 {
-			p.used[w] |= m
-			p.inUse++
-			p.next = l + 1
-			return l, nil
-		}
-	}
-	// The hint may have skipped freed LIDs; rescan from the bottom once.
-	for l := MinUnicastLID; l < p.next; l++ {
 		w, m := p.bit(l)
 		if p.used[w]&m == 0 {
 			p.used[w] |= m
@@ -118,6 +115,9 @@ func (p *LIDPool) Reserve(l LID) error {
 	}
 	p.used[w] |= m
 	p.inUse++
+	if l == p.next {
+		p.next++ // keep the hint tight when the reservation claims it
+	}
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package ib
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naivePool is the obviously-correct lowest-free-first reference: a plain
+// bool set scanned from MinUnicastLID on every Alloc. The property test
+// drives it and LIDPool through identical operation sequences.
+type naivePool struct {
+	used map[LID]bool
+}
+
+func (n *naivePool) alloc(bound LID) (LID, bool) {
+	for l := MinUnicastLID; l <= bound; l++ {
+		if !n.used[l] {
+			n.used[l] = true
+			return l, true
+		}
+	}
+	return LIDUnassigned, false
+}
+
+func (n *naivePool) reserve(l LID) bool {
+	if !l.IsUnicast() || n.used[l] {
+		return false
+	}
+	n.used[l] = true
+	return true
+}
+
+func (n *naivePool) release(l LID) { delete(n.used, l) }
+
+// TestLIDPoolMatchesNaiveReference is the regression test for the Alloc/
+// Reserve hint maintenance: after any interleaving of Alloc, Reserve and
+// Release, Alloc must still return the lowest free LID — exactly what a
+// naive full scan returns. The seed's Alloc carried a dead bottom-rescan
+// loop and Reserve never advanced the hint; this pins the simplified
+// invariant (every LID below the hint is in use) behaviourally.
+func TestLIDPoolMatchesNaiveReference(t *testing.T) {
+	const bound = LID(512) // keep the naive scans cheap
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewLIDPool()
+		ref := &naivePool{used: map[LID]bool{}}
+		var live []LID
+
+		for op := 0; op < 2000; op++ {
+			switch r := rng.Intn(10); {
+			case r < 4: // Alloc
+				want, ok := ref.alloc(bound)
+				if !ok {
+					t.Fatalf("seed %d op %d: naive pool exhausted below %d", seed, op, bound)
+				}
+				got, err := p.Alloc()
+				if err != nil {
+					t.Fatalf("seed %d op %d: Alloc: %v", seed, op, err)
+				}
+				if got != want {
+					t.Fatalf("seed %d op %d: Alloc = %d, want lowest free %d", seed, op, got, want)
+				}
+				live = append(live, got)
+			case r < 7: // Reserve a random LID in range (may collide)
+				l := MinUnicastLID + LID(rng.Intn(int(bound)))
+				wantOK := ref.reserve(l)
+				err := p.Reserve(l)
+				if (err == nil) != wantOK {
+					t.Fatalf("seed %d op %d: Reserve(%d) err=%v, naive ok=%v", seed, op, l, err, wantOK)
+				}
+				if err == nil {
+					live = append(live, l)
+				}
+			default: // Release a random live LID
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				l := live[i]
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				ref.release(l)
+				p.Release(l)
+			}
+
+			if p.Count() != len(live) {
+				t.Fatalf("seed %d op %d: Count = %d, want %d", seed, op, p.Count(), len(live))
+			}
+		}
+
+		// Final agreement on membership.
+		for l := MinUnicastLID; l <= bound; l++ {
+			if p.InUse(l) != ref.used[l] {
+				t.Fatalf("seed %d: InUse(%d) = %v, naive %v", seed, l, p.InUse(l), ref.used[l])
+			}
+		}
+	}
+}
+
+// TestLIDPoolReserveAdvancesHint pins the Reserve fix directly: reserving
+// the exact next-free LID must not make the following Alloc rescan claim it
+// again or skip a lower hole.
+func TestLIDPoolReserveAdvancesHint(t *testing.T) {
+	p := NewLIDPool()
+	a, _ := p.Alloc() // 1
+	b, _ := p.Alloc() // 2
+	if a != 1 || b != 2 {
+		t.Fatalf("warm-up allocs = %d, %d", a, b)
+	}
+	if err := p.Reserve(3); err != nil { // claims exactly the hint
+		t.Fatal(err)
+	}
+	if got, _ := p.Alloc(); got != 4 {
+		t.Errorf("Alloc after Reserve(next) = %d, want 4", got)
+	}
+	p.Release(2)
+	if got, _ := p.Alloc(); got != 2 {
+		t.Errorf("Alloc after Release(2) = %d, want the rewound hole 2", got)
+	}
+}

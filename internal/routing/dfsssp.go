@@ -143,6 +143,8 @@ func (e *DFSSSP) Compute(req *Request) (*Result, error) {
 	}
 
 	paths := 0
+	clock := newPhaseClock()
+	clock.lap("setup")
 	for lo := 0; lo < len(req.Targets); lo += dfssspEpoch {
 		hi := min(lo+dfssspEpoch, len(req.Targets))
 		// Fan the epoch's SSSPs out; each reads the frozen weight state.
@@ -150,6 +152,7 @@ func (e *DFSSSP) Compute(req *Request) (*Result, error) {
 			fv.sssp(fv.attach[lo+k].sw, weight, st)
 			copy(epochEgress[k], st.egress)
 		})
+		clock.lap("sssp-fanout")
 		// Fold serially in destination order: write LFT entries and
 		// accumulate link load for the next epoch.
 		for ti := lo; ti < hi; ti++ {
@@ -168,17 +171,20 @@ func (e *DFSSSP) Compute(req *Request) (*Result, error) {
 				weight[i][k]++
 			}
 		}
+		clock.lap("fold")
 	}
 
 	destVL, vls, err := e.assignVLs(req, fv, lfts, maxVLs, pool)
 	if err != nil {
 		return nil, err
 	}
+	clock.lap("vl-assign")
 
 	return &Result{
 		LFTs:   lfts,
 		DestVL: destVL,
-		Stats:  Stats{Duration: time.Since(start), PathsComputed: paths, VLsUsed: vls, Workers: workers},
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, VLsUsed: vls, Workers: workers,
+			Phases: clock.phases(), WorkerBusy: pool.busyTimes()},
 	}, nil
 }
 

@@ -95,6 +95,8 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 	}
 	errs := make([]error, len(rows))
 	paths := 0
+	clock := newPhaseClock()
+	clock.lap("setup")
 
 	for lo := 0; lo < len(req.Targets); lo += targetWindow {
 		hi := min(lo+targetWindow, len(req.Targets))
@@ -171,6 +173,7 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 				row[i] = ups[i][int(t.LID)%len(ups[i])].port
 			}
 		})
+		clock.lap("cone-fanout")
 
 		for ti := lo; ti < hi; ti++ {
 			if err := errs[ti-lo]; err != nil {
@@ -185,10 +188,12 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 				}
 			}
 		}
+		clock.lap("fold")
 	}
 
 	return &Result{
-		LFTs:  lfts,
-		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers},
+		LFTs: lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers,
+			Phases: clock.phases(), WorkerBusy: pool.busyTimes()},
 	}, nil
 }

@@ -60,6 +60,8 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 	// egs[gi][s] = egress adjacency slot of switch s toward keys[gi], kept
 	// for the whole run to reconstruct pair paths without LFT lookups.
 	egs := make([][]int32, len(groups))
+	clock := newPhaseClock()
+	clock.lap("setup")
 	pool.run(len(groups), func(gi int, s *bfsScratch) {
 		destSw := keys[gi]
 		fv.bfs(destSw, s)
@@ -80,6 +82,7 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 		}
 		egs[gi] = eg
 	})
+	clock.lap("bfs-fanout")
 	for gi, group := range groups {
 		destSw := keys[gi]
 		eg := egs[gi]
@@ -93,6 +96,7 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 			}
 		}
 	}
+	clock.lap("fold")
 
 	// Layer assignment per (source switch, destination switch) pair.
 	// Sources are switches with attached CAs; destinations are switches
@@ -160,6 +164,7 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 			}
 			pathBufs[k] = buf
 		})
+		clock.lap("path-fanout")
 		for pi := lo; pi < hi; pi++ {
 			if err := pathErrs[pi-lo]; err != nil {
 				return nil, err
@@ -178,13 +183,15 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 			}
 			pairVL[[2]topology.NodeID{fv.switches[pr.src], fv.switches[keys[pr.gi]]}] = uint8(vl)
 		}
+		clock.lap("vl-assign")
 	}
 
 	return &Result{
 		LFTs:   lfts,
 		PairVL: pairVL,
 		Stats: Stats{Duration: time.Since(start), PathsComputed: len(pairsList),
-			VLsUsed: len(layers), Workers: workers},
+			VLsUsed: len(layers), Workers: workers,
+			Phases: clock.phases(), WorkerBusy: pool.busyTimes()},
 	}, nil
 }
 

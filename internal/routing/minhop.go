@@ -66,6 +66,8 @@ func (*MinHop) Compute(req *Request) (*Result, error) {
 		window[i] = newCandSet(nsw)
 	}
 	paths := 0
+	clock := newPhaseClock()
+	clock.lap("setup")
 
 	for lo := 0; lo < len(groups); lo += groupWindow {
 		hi := min(lo+groupWindow, len(groups))
@@ -89,6 +91,7 @@ func (*MinHop) Compute(req *Request) (*Result, error) {
 			}
 			cs.off[nsw] = int32(len(cs.ports))
 		})
+		clock.lap("bfs-fanout")
 		// Serial fold in group order: pick the least-loaded candidate per
 		// switch per LID, exactly as the serial engine would.
 		for gi := lo; gi < hi; gi++ {
@@ -117,10 +120,12 @@ func (*MinHop) Compute(req *Request) (*Result, error) {
 				}
 			}
 		}
+		clock.lap("fold")
 	}
 
 	return &Result{
-		LFTs:  lfts,
-		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers},
+		LFTs: lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers,
+			Phases: clock.phases(), WorkerBusy: pool.busyTimes()},
 	}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // The engines parallelize their per-destination SSSP/BFS loops over a
@@ -40,6 +41,37 @@ const (
 	pairWindow = 4096
 )
 
+// phaseClock splits an engine run's wall time into named phases for
+// Stats.Phases. lap(name) charges the time since the previous lap to the
+// named bucket; repeated laps of one name (windowed loops) accumulate, so
+// the phase list stays small and its order deterministic.
+type phaseClock struct {
+	names []string
+	acc   map[string]time.Duration
+	last  time.Time
+}
+
+func newPhaseClock() *phaseClock {
+	return &phaseClock{acc: map[string]time.Duration{}, last: time.Now()}
+}
+
+func (c *phaseClock) lap(name string) {
+	now := time.Now()
+	if _, ok := c.acc[name]; !ok {
+		c.names = append(c.names, name)
+	}
+	c.acc[name] += now.Sub(c.last)
+	c.last = now
+}
+
+func (c *phaseClock) phases() []PhaseTiming {
+	out := make([]PhaseTiming, len(c.names))
+	for i, n := range c.names {
+		out[i] = PhaseTiming{Name: n, Duration: c.acc[n]}
+	}
+	return out
+}
+
 // workerCount resolves Request.Workers: 0 or negative means one worker per
 // available CPU, 1 forces the serial path.
 func (r *Request) workerCount() int {
@@ -59,17 +91,27 @@ func (r *Request) workerCount() int {
 type workerPool[S any] struct {
 	workers int
 	scratch []S
+	// busy accumulates per-worker-slot wall time across run calls. Each
+	// goroutine writes only its own slot while running; reads happen after
+	// Wait, so no lock is needed. Feeds Stats.WorkerBusy.
+	busy []time.Duration
 }
 
 func newWorkerPool[S any](workers int, newScratch func() S) *workerPool[S] {
 	if workers < 1 {
 		workers = 1
 	}
-	p := &workerPool[S]{workers: workers, scratch: make([]S, workers)}
+	p := &workerPool[S]{workers: workers, scratch: make([]S, workers), busy: make([]time.Duration, workers)}
 	for i := range p.scratch {
 		p.scratch[i] = newScratch()
 	}
 	return p
+}
+
+// busyTimes returns a copy of the per-worker busy accumulators. Call only
+// between run calls (the workers must have been joined).
+func (p *workerPool[S]) busyTimes() []time.Duration {
+	return append([]time.Duration(nil), p.busy...)
 }
 
 // run executes fn(task, scratch) for every task in [0, n), fanning out over
@@ -84,25 +126,30 @@ func (p *workerPool[S]) run(n int, fn func(task int, scratch S)) {
 		workers = n
 	}
 	if workers == 1 {
+		t0 := time.Now()
 		for i := 0; i < n; i++ {
 			fn(i, p.scratch[0])
 		}
+		p.busy[0] += time.Since(t0)
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func(s S) {
+		go func(w int) {
 			defer wg.Done()
+			t0 := time.Now()
+			s := p.scratch[w]
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
+					p.busy[w] += time.Since(t0)
 					return
 				}
 				fn(i, s)
 			}
-		}(p.scratch[w])
+		}(w)
 	}
 	wg.Wait()
 }

@@ -62,6 +62,14 @@ func (r *Request) Validate() error {
 	return nil
 }
 
+// PhaseTiming is the wall time one named phase of an engine run consumed.
+// Phase names are stable per engine (e.g. "setup", "bfs-fanout", "fold");
+// windowed engines accumulate all windows of a phase into one entry.
+type PhaseTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
 // Stats reports the cost of a routing computation; the Fig. 7 experiment is
 // built from Stats.Duration.
 type Stats struct {
@@ -69,6 +77,13 @@ type Stats struct {
 	PathsComputed int // destination trees or pairs, engine-dependent
 	VLsUsed       int
 	Workers       int // goroutines the computation fanned out over
+	// Phases breaks Duration into the engine's named phases, in first-use
+	// order. Wall-clock: reproducible in shape, not in magnitude.
+	Phases []PhaseTiming
+	// WorkerBusy is the wall time each worker slot spent inside parallel
+	// fan-out phases (indexed by worker). Busy-time imbalance across slots
+	// is the window-scheduling overhead Fig. 7's parallel PCt pays.
+	WorkerBusy []time.Duration
 }
 
 // Result is the output of a routing engine.

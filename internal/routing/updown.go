@@ -111,6 +111,8 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 		window[i] = newCandSet(nsw)
 	}
 	paths := 0
+	clock := newPhaseClock()
+	clock.lap("setup")
 
 	for lo := 0; lo < len(groups); lo += groupWindow {
 		hi := min(lo+groupWindow, len(groups))
@@ -193,6 +195,7 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 			}
 			cs.off[nsw] = int32(len(cs.ports))
 		})
+		clock.lap("bfs-fanout")
 
 		for gi := lo; gi < hi; gi++ {
 			destSw := keys[gi]
@@ -218,10 +221,12 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 				}
 			}
 		}
+		clock.lap("fold")
 	}
 
 	return &Result{
-		LFTs:  lfts,
-		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers},
+		LFTs: lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: paths, Workers: workers,
+			Phases: clock.phases(), WorkerBusy: pool.busyTimes()},
 	}, nil
 }

@@ -10,6 +10,7 @@ import (
 
 	"ibvsim/internal/ib"
 	"ibvsim/internal/smp"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -83,7 +84,10 @@ type DistributionStats struct {
 	SMPs          int
 	SMPsRetried   int
 	SMPsAbandoned int
-	// Workers is the parallelism the engine actually used.
+	// Workers is the configured pool size (clamped to at least 1): the
+	// parallelism available to the engine. The actual fan-out never exceeds
+	// the job count, but an up-to-date fabric still reports the configured
+	// size rather than a misleading zero.
 	Workers int
 	// ModelledTime applies the SM's cost model (eq. 2/4/5) plus the retry
 	// policy's timeout/backoff costs to the attempts actually made, with
@@ -172,21 +176,55 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		jobs = append(jobs, distJob{sw: swID, tgt: tgt, blocks: blocks})
 	}
 
+	// Report the configured pool size; the fan-out below is separately
+	// clamped to the job count so an up-to-date fabric (zero jobs) never
+	// reads as "workers=0".
 	workers := s.Dist.Workers
 	if workers < 1 {
 		workers = 1
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	st.Workers = workers
+
+	mode2 := "diff"
+	if full {
+		mode2 = "full"
+	}
+	span := s.tel.Tracer().Start(telemetry.SpanLFTDistribute, mode2)
+	defer func() {
+		span.SetAttr("workers", st.Workers)
+		span.SetAttr("smps", st.SMPs)
+		span.SetAttr("retried", st.SMPsRetried)
+		span.SetAttr("abandoned", st.SMPsAbandoned)
+		span.SetAttr("switches_updated", st.SwitchesUpdated)
+		span.SetAttr("switches_skipped", st.SwitchesSkipped)
+		span.SetAttr("switches_failed", st.SwitchesFailed)
+		span.SetModelled(st.ModelledTime)
+		span.End()
+	}()
+
+	if len(jobs) == 0 {
+		// Nothing to reconcile: no goroutines, no distribute(workers=0)
+		// noise — just an explicit up-to-date event.
+		st.Duration = time.Since(start)
+		s.log.Addf(EvDistribute, "distribute(full=%v): all reachable switches up to date", full)
+		if len(skipped) > 0 {
+			s.log.Addf(EvDistribute, "distribute: skipped %d unreachable switches: %s",
+				len(skipped), strings.Join(skipped, ", "))
+		}
+		return st, nil
+	}
+
+	fanout := workers
+	if fanout > len(jobs) {
+		fanout = len(jobs)
+	}
 
 	// Fan out: workers claim jobs by atomic index and write results into
 	// their own slots; the transport guards its own counters.
 	results := make([]distResult, len(jobs))
 	var next int64
 	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
+	for w := 0; w < fanout; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -204,7 +242,7 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 	// Join: fold results into the stats, commit programmed state, and model
 	// the makespan of scheduling the per-switch channels over the workers.
 	var firstErr error
-	clocks := make([]time.Duration, workers)
+	clocks := make([]time.Duration, fanout)
 	for i, r := range results {
 		job := jobs[i]
 		st.SMPs += len(r.delivered)
@@ -222,7 +260,10 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 			// Only the acknowledged blocks are known to be on the switch.
 			prog := s.programmed[job.sw]
 			if prog == nil {
-				prog = ib.NewLFT(ib.LID(job.tgt.NumBlocks()*ib.LFTBlockSize - 1))
+				// Size the fallback table from the target's geometry, not a
+				// reconstructed top LID, so the programmed view can never
+				// drift from the table it is shadowing.
+				prog = ib.NewLFTBlocks(job.tgt.NumBlocks())
 				s.programmed[job.sw] = prog
 			}
 			for _, b := range r.delivered {
@@ -239,7 +280,7 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		// Greedy list scheduling: each switch goes to the earliest-free
 		// worker, so the modelled time is the makespan across channels.
 		min := 0
-		for w := 1; w < workers; w++ {
+		for w := 1; w < fanout; w++ {
 			if clocks[w] < clocks[min] {
 				min = w
 			}
@@ -253,6 +294,11 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 	}
 
 	st.Duration = time.Since(start)
+	reg := s.tel.Registry()
+	reg.Counter("sm.dist.smps").Add(int64(st.SMPs))
+	reg.Counter("sm.dist.retried").Add(int64(st.SMPsRetried))
+	reg.Counter("sm.dist.abandoned").Add(int64(st.SMPsAbandoned))
+	reg.Histogram("sm.dist.makespan_modelled_us", nil).ObserveDuration(st.ModelledTime)
 	s.log.Addf(EvDistribute, "distribute(full=%v, workers=%d): %d SMPs to %d switches (%d retried, %d abandoned), modelled %v",
 		full, workers, st.SMPs, st.SwitchesUpdated, st.SMPsRetried, st.SMPsAbandoned, st.ModelledTime)
 	if len(skipped) > 0 {
@@ -262,27 +308,41 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 	return st, firstErr
 }
 
+// attemptCost models the serial-channel time one block spent after the
+// given number of send attempts: an acknowledged attempt costs one SMP
+// round trip, a lost one costs the response timeout, and every retry pays
+// the (doubling) backoff preceding it.
+func (s *SubnetManager) attemptCost(mode smp.Mode, attempts int, err error) time.Duration {
+	pol := s.Dist.Retry
+	timeouts := attempts - 1
+	if err != nil && errors.Is(err, smp.ErrTimeout) {
+		timeouts = attempts // the final attempt timed out too
+	}
+	d := time.Duration(timeouts) * pol.Timeout
+	for retry := 1; retry < attempts; retry++ {
+		d += pol.backoffBefore(retry)
+	}
+	if err == nil {
+		d += s.Cost.SMPTime(mode)
+	}
+	return d
+}
+
 // runDistJob pushes one switch's blocks in order, retrying timeouts, and
 // accounts the modelled time of every attempt on this switch's serial
-// channel: an acknowledged attempt costs one SMP round trip, a lost one
-// costs the response timeout plus the pre-retry backoff.
+// channel.
 func (s *SubnetManager) runDistJob(job distJob, mode smp.Mode) distResult {
 	var res distResult
 	pol := s.Dist.Retry
+	smpHist := s.tel.Registry().Histogram("sm.dist.smp_modelled_us", nil)
 	for _, b := range job.blocks {
 		attempts, err := s.sendBlockReliably(job.sw, b, mode, pol)
-		timeouts := attempts - 1
-		if err != nil && errors.Is(err, smp.ErrTimeout) {
-			timeouts = attempts // the final attempt timed out too
-		}
-		res.modelled += time.Duration(timeouts) * pol.Timeout
-		for retry := 1; retry < attempts; retry++ {
-			res.modelled += pol.backoffBefore(retry)
-		}
+		cost := s.attemptCost(mode, attempts, err)
+		res.modelled += cost
+		smpHist.ObserveDuration(cost)
 		res.retried += attempts - 1
 		switch {
 		case err == nil:
-			res.modelled += s.Cost.SMPTime(mode)
 			res.delivered = append(res.delivered, b)
 		case errors.Is(err, smp.ErrTimeout):
 			res.abandoned++
@@ -369,7 +429,17 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 	}
 	blocks := prog.DirtyBlocks()
 	for _, b := range blocks {
-		if _, err := s.sendBlockReliably(sw, b, mode, s.Dist.Retry); err != nil {
+		// One SpanSMP per block: under an active migration scope these are
+		// the n' x m' spans of the paper's equations 4/5.
+		bs := s.tel.Tracer().Start(telemetry.SpanSMP, fmt.Sprintf("%s block %d", s.Topo.Node(sw).Desc, b))
+		attempts, err := s.sendBlockReliably(sw, b, mode, s.Dist.Retry)
+		bs.SetAttr("switch", s.Topo.Node(sw).Desc)
+		bs.SetAttr("block", b)
+		bs.SetAttr("mode", mode.String())
+		bs.SetAttr("attempts", attempts)
+		bs.SetModelled(s.attemptCost(mode, attempts, err))
+		bs.End()
+		if err != nil {
 			return 0, err
 		}
 	}

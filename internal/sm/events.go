@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ibvsim/internal/routing"
+	"ibvsim/internal/telemetry"
 )
 
 // RouteStats wraps the routing engine's stats (kept distinct so callers can
@@ -61,6 +62,33 @@ func (k EventKind) String() string {
 	}
 }
 
+// eventKindOf maps an event category string back to its kind. Unknown
+// categories (trace events written by other components) read as EvNote.
+func eventKindOf(category string) EventKind {
+	switch category {
+	case "sweep":
+		return EvSweep
+	case "lids":
+		return EvLIDs
+	case "route":
+		return EvRoute
+	case "distribute":
+		return EvDistribute
+	case "guid":
+		return EvGUID
+	case "migration":
+		return EvMigration
+	case "vm":
+		return EvVM
+	case "retry":
+		return EvRetry
+	case "failure":
+		return EvFailure
+	default:
+		return EvNote
+	}
+}
+
 // Event is one log entry.
 type Event struct {
 	At   time.Time
@@ -68,37 +96,58 @@ type Event struct {
 	Msg  string
 }
 
-// EventLog is a bounded in-memory event trace used by the examples and the
-// emulation tests to show the migration workflow step by step.
+// EventLog is a bounded view over a telemetry tracer's event stream, kept
+// for the examples and emulation tests that show the migration workflow
+// step by step. Appends go to the tracer (whose mutex makes the log safe
+// for concurrent use) and reads return fresh copies, never internal state.
 type EventLog struct {
-	cap    int
-	events []Event
+	cap int
+	tr  *telemetry.Tracer
 }
 
-// NewEventLog returns a log holding at most capacity entries (oldest
-// dropped first).
+// NewEventLog returns a standalone log holding at most capacity entries
+// (oldest dropped first), backed by a private tracer.
 func NewEventLog(capacity int) *EventLog {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &EventLog{cap: capacity}
+	tr := telemetry.NewTracer()
+	tr.SetEventCap(capacity)
+	return &EventLog{cap: capacity, tr: tr}
+}
+
+// newEventLogOver returns a log view onto an existing tracer's event
+// stream, retaining at most capacity entries on read (the tracer keeps its
+// own, typically larger, cap).
+func newEventLogOver(tr *telemetry.Tracer, capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{cap: capacity, tr: tr}
 }
 
 // Addf appends a formatted entry.
 func (l *EventLog) Addf(kind EventKind, format string, args ...interface{}) {
-	l.events = append(l.events, Event{At: time.Now(), Kind: kind, Msg: fmt.Sprintf(format, args...)})
-	if len(l.events) > l.cap {
-		l.events = l.events[len(l.events)-l.cap:]
-	}
+	l.tr.Eventf(kind.String(), format, args...)
 }
 
-// Events returns the retained entries, oldest first.
-func (l *EventLog) Events() []Event { return l.events }
+// Events returns a copy of the retained entries, oldest first.
+func (l *EventLog) Events() []Event {
+	evs := l.tr.Events()
+	if len(evs) > l.cap {
+		evs = evs[len(evs)-l.cap:]
+	}
+	out := make([]Event, len(evs))
+	for i, e := range evs {
+		out[i] = Event{At: e.At, Kind: eventKindOf(e.Category), Msg: e.Msg}
+	}
+	return out
+}
 
-// Filter returns the retained entries of one kind.
+// Filter returns a copy of the retained entries of one kind.
 func (l *EventLog) Filter(kind EventKind) []Event {
 	var out []Event
-	for _, e := range l.events {
+	for _, e := range l.Events() {
 		if e.Kind == kind {
 			out = append(out, e)
 		}
@@ -107,4 +156,4 @@ func (l *EventLog) Filter(kind EventKind) []Event {
 }
 
 // Len returns the number of retained entries.
-func (l *EventLog) Len() int { return len(l.events) }
+func (l *EventLog) Len() int { return len(l.Events()) }

@@ -1,0 +1,68 @@
+package sm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestEventLogConcurrentUse is the regression test for the seed's unguarded
+// EventLog: concurrent Addf from the distribution workers raced with
+// Events/Filter readers. Run under -race (CI does) this fails on any relapse.
+func TestEventLogConcurrentUse(t *testing.T) {
+	l := NewEventLog(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch g % 4 {
+				case 0:
+					l.Addf(EvRetry, "writer %d entry %d", g, i)
+				case 1:
+					l.Addf(EvDistribute, "writer %d entry %d", g, i)
+				case 2:
+					_ = l.Events()
+				default:
+					_ = l.Filter(EvRetry)
+					_ = l.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if l.Len() != 256 {
+		t.Errorf("Len = %d, want the 256-entry cap after 800 appends", l.Len())
+	}
+}
+
+// TestEventLogReturnsCopies pins the other half of the fix: Events and
+// Filter hand out fresh slices, so a caller mutating its result can never
+// corrupt the log's internal state.
+func TestEventLogReturnsCopies(t *testing.T) {
+	l := NewEventLog(8)
+	for i := 0; i < 4; i++ {
+		l.Addf(EvNote, "n%d", i)
+	}
+	evs := l.Events()
+	evs[0].Msg = "clobbered"
+	evs[0].Kind = EvFailure
+	if got := l.Events()[0]; got.Msg != "n0" || got.Kind != EvNote {
+		t.Errorf("mutating the returned slice leaked into the log: %+v", got)
+	}
+	fl := l.Filter(EvNote)
+	fl[1].Msg = "clobbered too"
+	if got := l.Filter(EvNote)[1]; got.Msg != "n1" {
+		t.Errorf("mutating a Filter result leaked into the log: %+v", got)
+	}
+	// Appending through one snapshot's backing array must not show up in
+	// later snapshots either.
+	before := l.Events()
+	l.Addf(EvNote, "n4")
+	if len(before) != 4 {
+		t.Errorf("earlier snapshot grew to %d entries", len(before))
+	}
+	if before[3].Msg != "n3" {
+		t.Errorf("earlier snapshot rewritten: %q", before[3].Msg)
+	}
+}

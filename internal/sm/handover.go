@@ -6,6 +6,7 @@ import (
 
 	"ibvsim/internal/ib"
 	"ibvsim/internal/smp"
+	"ibvsim/internal/telemetry"
 )
 
 // SMState is the subnet-manager role state (a subset of the IBA SM state
@@ -97,6 +98,19 @@ func (s *SubnetManager) AdoptFabricState(prev *SubnetManager) (AdoptStats, error
 	if prev.Topo != s.Topo {
 		return st, fmt.Errorf("sm: cannot adopt state from a different fabric")
 	}
+	tr := s.tel.Tracer()
+	span := tr.Start(telemetry.SpanHandover, "adopt")
+	tr.PushScope(span)
+	defer func() {
+		tr.PopScope()
+		span.SetAttr("portinfo_reads", st.PortInfoReads)
+		span.SetAttr("lft_block_reads", st.LFTBlockReads)
+		span.SetAttr("reconciliation_smps", st.DistributionSMPs)
+		span.SetModelled(s.Cost.SMPTime(smp.DirectedRoute) *
+			time.Duration(st.PortInfoReads+st.LFTBlockReads))
+		span.EndWithWall(st.Duration)
+	}()
+	s.tel.Registry().Counter("sm.handovers").Inc()
 	if _, err := s.Sweep(); err != nil {
 		return st, err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"ibvsim/internal/ib"
 	"ibvsim/internal/smp"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -48,6 +49,14 @@ func (s *SubnetManager) LightSweep() (LightSweepStats, error) {
 	if !s.swept {
 		return st, fmt.Errorf("sm: LightSweep before Sweep")
 	}
+	span := s.tel.Tracer().Start(telemetry.SpanSweep, "light")
+	defer func() {
+		span.SetAttr("smps", st.SMPs)
+		span.SetAttr("changes", len(st.Changes))
+		span.SetModelled(s.Cost.SMPTime(smp.DirectedRoute) * time.Duration(st.SMPs))
+		span.EndWithWall(st.Duration)
+	}()
+	s.tel.Registry().Counter("sm.light_sweeps").Inc()
 	if len(s.portState) == 0 {
 		s.snapshotPortState()
 	}

@@ -18,6 +18,7 @@ import (
 	"ibvsim/internal/ib"
 	"ibvsim/internal/routing"
 	"ibvsim/internal/smp"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -61,6 +62,7 @@ type SubnetManager struct {
 	// and vGUID programming keep perfect delivery: they have no retry loop.
 	sender smp.Sender
 
+	tel *telemetry.Hub
 	log *EventLog
 }
 
@@ -75,7 +77,8 @@ func New(topo *topology.Topology, smNode topology.NodeID, engine routing.Engine)
 	if n.IsSwitch() {
 		return nil, fmt.Errorf("sm: the SM must run on a CA (OpenSM style), got switch %q", n.Desc)
 	}
-	return &SubnetManager{
+	hub := telemetry.NewHub()
+	mgr := &SubnetManager{
 		Topo:       topo,
 		SMNode:     smNode,
 		Transport:  smp.NewTransport(topo),
@@ -91,12 +94,31 @@ func New(topo *topology.Topology, smNode topology.NodeID, engine routing.Engine)
 		programmed: map[topology.NodeID]*ib.LFT{},
 		reachable:  map[topology.NodeID]bool{},
 		portState:  map[topology.NodeID][]bool{},
-		log:        NewEventLog(4096),
-	}, nil
+		tel:        hub,
+		log:        newEventLogOver(hub.Trace, 4096),
+	}
+	mgr.Transport.Counters.AttachRegistry(hub.Metrics)
+	return mgr, nil
 }
 
 // Log exposes the event log.
 func (s *SubnetManager) Log() *EventLog { return s.log }
+
+// Telemetry exposes the SM's telemetry hub (metrics registry + trace). It
+// is never nil: every SM starts with a private hub.
+func (s *SubnetManager) Telemetry() *telemetry.Hub { return s.tel }
+
+// SetTelemetry replaces the SM's telemetry hub, re-pointing the SMP
+// counters and the event-log view at it. The orchestration layer uses this
+// to share one hub (and so one trace/metrics export) across a whole run.
+func (s *SubnetManager) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		h = telemetry.NewHub()
+	}
+	s.tel = h
+	s.log = newEventLogOver(h.Trace, 4096)
+	s.Transport.Counters.AttachRegistry(h.Metrics)
+}
 
 // InjectFaults routes LFT distribution SMPs through a fault-injecting
 // transport with the given drop/delay/duplicate probabilities, returning it
@@ -164,6 +186,15 @@ func (s *SubnetManager) sweep() (SweepStats, error) {
 	start := time.Now()
 	before := s.Transport.Counters.Sent
 	var st SweepStats
+	span := s.tel.Tracer().Start(telemetry.SpanSweep, "full")
+	defer func() {
+		span.SetAttr("nodes", st.Nodes)
+		span.SetAttr("switches", st.Switches)
+		span.SetAttr("cas", st.CAs)
+		span.SetAttr("smps", st.SMPs)
+		span.End()
+	}()
+	s.tel.Registry().Counter("sm.sweeps").Inc()
 
 	type qe struct {
 		node topology.NodeID
@@ -266,6 +297,7 @@ func (s *SubnetManager) AssignLIDs() error {
 			return err
 		}
 	}
+	s.tel.Registry().Gauge("sm.lids_assigned").Set(int64(s.pool.Count()))
 	s.log.Addf(EvLIDs, "assigned %d LIDs (top %d, LMC %d)", s.pool.Count(), s.pool.TopUsed(), s.LMC)
 	return nil
 }
@@ -386,10 +418,32 @@ func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
 		return routing.Stats{}, fmt.Errorf("sm: ComputeRoutes before Sweep")
 	}
 	req := &routing.Request{Topo: s.Topo, Targets: s.Targets(), Workers: s.RouteWorkers}
+	span := s.tel.Tracer().Start(telemetry.SpanPathCompute, s.Engine.Name())
 	res, err := s.Engine.Compute(req)
 	if err != nil {
+		span.SetAttr("error", err.Error())
+		span.End()
 		return routing.Stats{}, err
 	}
+	span.SetAttr("engine", s.Engine.Name())
+	span.SetAttr("workers", res.Stats.Workers)
+	span.SetAttr("paths", res.Stats.PathsComputed)
+	span.SetAttr("vls", res.Stats.VLsUsed)
+	// Engine phases and per-worker busy time become wall-only child spans;
+	// the phase wall durations also feed a wall-marked histogram so the
+	// distribution of phase costs is queryable across many runs.
+	phaseHist := s.tel.Registry().WallHistogram("routing.phase_wall_us", nil)
+	for _, ph := range res.Stats.Phases {
+		c := span.Child(telemetry.SpanPhase, ph.Name)
+		c.EndWithWall(ph.Duration)
+		phaseHist.ObserveDuration(ph.Duration)
+	}
+	for w, busy := range res.Stats.WorkerBusy {
+		c := span.Child(telemetry.SpanPhase, fmt.Sprintf("worker-%d", w))
+		c.EndWithWall(busy)
+	}
+	span.EndWithWall(res.Stats.Duration)
+	s.tel.Registry().Counter("sm.route_computes").Inc()
 	s.target = res.LFTs
 	s.routed = true
 	s.log.Addf(EvRoute, "routing (%s): %d paths in %v", s.Engine.Name(),

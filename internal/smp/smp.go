@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"ibvsim/internal/ib"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -108,11 +109,40 @@ type Counters struct {
 	ByAttr    map[Attr]int
 	ByMode    map[Mode]int
 	TotalHops int
+
+	// Mirrors into an attached telemetry registry (nil when detached).
+	// Handles are cached so the hot observe path takes no registry locks.
+	reg     *telemetry.Registry
+	mSent   *telemetry.Counter
+	mSet    *telemetry.Counter
+	mGet    *telemetry.Counter
+	mHops   *telemetry.Counter
+	attrCtr map[Attr]*telemetry.Counter
+	modeCtr map[Mode]*telemetry.Counter
 }
 
 // NewCounters returns zeroed counters.
 func NewCounters() *Counters {
 	return &Counters{ByAttr: map[Attr]int{}, ByMode: map[Mode]int{}}
+}
+
+// AttachRegistry mirrors every future observation into the registry under
+// the smp.* namespace (smp.sent, smp.set, smp.get, smp.hops, plus
+// smp.attr.<Attr> and smp.mode.<mode> breakdowns). Attaching nil detaches.
+func (c *Counters) AttachRegistry(r *telemetry.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reg = r
+	c.attrCtr = map[Attr]*telemetry.Counter{}
+	c.modeCtr = map[Mode]*telemetry.Counter{}
+	if r == nil {
+		c.mSent, c.mSet, c.mGet, c.mHops = nil, nil, nil, nil
+		return
+	}
+	c.mSent = r.Counter("smp.sent")
+	c.mSet = r.Counter("smp.set")
+	c.mGet = r.Counter("smp.get")
+	c.mHops = r.Counter("smp.hops")
 }
 
 func (c *Counters) observe(p *SMP) {
@@ -127,6 +157,27 @@ func (c *Counters) observe(p *SMP) {
 	c.ByAttr[p.Attr]++
 	c.ByMode[p.Mode]++
 	c.TotalHops += p.Hops
+	if c.reg != nil {
+		c.mSent.Inc()
+		if p.IsSet {
+			c.mSet.Inc()
+		} else {
+			c.mGet.Inc()
+		}
+		c.mHops.Add(int64(p.Hops))
+		ac := c.attrCtr[p.Attr]
+		if ac == nil {
+			ac = c.reg.Counter("smp.attr." + p.Attr.String())
+			c.attrCtr[p.Attr] = ac
+		}
+		ac.Inc()
+		mc := c.modeCtr[p.Mode]
+		if mc == nil {
+			mc = c.reg.Counter("smp.mode." + p.Mode.String())
+			c.modeCtr[p.Mode] = mc
+		}
+		mc.Inc()
+	}
 }
 
 // Add accumulates other into c.

@@ -1,0 +1,34 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/telemetry"
+)
+
+// Example shows the hub end to end: count a migration, trace it as a span
+// tree (scope stack parenting the lft-swap under the migration), and render
+// the deterministic human summary.
+func Example() {
+	hub := telemetry.NewHub()
+	hub.Registry().Counter("cloud.migrations").Inc()
+
+	tr := hub.Tracer()
+	mig := tr.Start(telemetry.SpanMigration, "vm-a")
+	tr.PushScope(mig)
+	swap := tr.Start(telemetry.SpanLFTSwap, "swap")
+	swap.SetAttr("smps", 2)
+	swap.SetModelled(2 * 2500 * time.Nanosecond) // n' x m' destination-routed SMPs
+	swap.End()
+	tr.PopScope()
+	mig.SetModelled(7500 * time.Nanosecond)
+	mig.End()
+
+	fmt.Print(tr.RenderTree())
+	fmt.Printf("migrations=%d\n", hub.Registry().Counter("cloud.migrations").Value())
+	// Output:
+	// migration vm-a [modelled 7.5µs]
+	//   lft-swap swap smps=2 [modelled 5µs]
+	// migrations=1
+}

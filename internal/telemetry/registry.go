@@ -1,0 +1,289 @@
+// Package telemetry is the repo's dependency-free observability layer: a
+// metrics registry (counters, gauges, histograms) plus a structured
+// reconfiguration trace of typed spans with parent/child links.
+//
+// The paper's argument is quantitative — RCt = PCt + n*m*(k+r) versus
+// vSwitchRCt = n'*m'*k (section VI) — so every layer of the reproduction
+// reports into this package: the SMP transport feeds packet counters, the
+// routing engines report per-phase and per-worker timings, the distribution
+// engine and the reconfigurator emit spans carrying n', m', retry and
+// abandonment counts, and each live migration becomes one trace tree.
+//
+// Two clocks coexist deliberately. Modelled durations come from the cost
+// model (k, r, timeouts, backoffs) and are bit-for-bit reproducible; wall
+// durations measure the simulator itself and vary run to run. Exporters can
+// exclude wall-clock values (Options.IncludeWall), which is what makes JSON
+// golden tests of the schema possible.
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The zero of a nil *Counter
+// is inert: every method is safe to call on nil, so instrumented code never
+// has to guard against a missing registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable int64 value. Nil-safe like Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// DurationBucketsUS is the default microsecond bucket layout for SMP
+// latencies and reconfiguration phase durations: roughly exponential from
+// one SMP round trip (k = 5us) up past a full-table distribution on the
+// paper's largest fabrics.
+var DurationBucketsUS = []int64{1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000, 250000, 500000, 1000000}
+
+// Histogram counts observations into fixed buckets. Bounds are inclusive
+// upper bounds in ascending order; one implicit overflow bucket catches
+// everything above the last bound. Nil-safe like Counter.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64
+	counts []int64
+	count  int64
+	sum    int64
+	wall   bool
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// ObserveDuration records a duration in microseconds (the registry's
+// canonical latency unit, matching the paper's k/r magnitudes).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(int64(d / time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Registry holds named instruments. The zero value is not usable; call
+// NewRegistry. All methods are safe for concurrent use, and every accessor
+// is nil-safe (a nil *Registry hands out nil instruments, which swallow
+// writes), so telemetry can be disabled by simply not wiring a registry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named modelled-time histogram, creating it with the
+// given bucket bounds on first use (nil bounds use DurationBucketsUS).
+// Bounds are fixed at creation; later calls return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	return r.histogram(name, bounds, false)
+}
+
+// WallHistogram is Histogram for wall-clock observations. Wall-marked
+// histograms are excluded from exports with IncludeWall false, keeping
+// golden files free of machine-dependent timings.
+func (r *Registry) WallHistogram(name string, bounds []int64) *Histogram {
+	return r.histogram(name, bounds, true)
+}
+
+func (r *Registry) histogram(name string, bounds []int64, wall bool) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		if bounds == nil {
+			bounds = DurationBucketsUS
+		}
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+			wall:   wall,
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Options selects what an export includes.
+type Options struct {
+	// IncludeWall keeps wall-clock values (wall-marked histograms, span
+	// wall durations, event timestamps). Leave false for golden files:
+	// modelled time only.
+	IncludeWall bool
+	// IncludeEvents keeps the free-text event stream in trace exports.
+	// Event messages embed wall-clock durations, so goldens leave it false.
+	IncludeEvents bool
+}
+
+// counterJSON / gaugeJSON / histJSON fix the exported field order; the
+// schema goldens pin it.
+type counterJSON struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type histJSON struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit"`
+	Wall   bool    `json:"wall,omitempty"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"`
+}
+
+type metricsJSON struct {
+	Counters   []counterJSON `json:"counters"`
+	Gauges     []counterJSON `json:"gauges"`
+	Histograms []histJSON    `json:"histograms"`
+}
+
+// WriteJSON exports the registry deterministically: instruments sorted by
+// name, struct-defined field order, a trailing newline. With
+// opts.IncludeWall false, wall-marked histograms are dropped entirely.
+func (r *Registry) WriteJSON(w io.Writer, opts Options) error {
+	out := metricsJSON{Counters: []counterJSON{}, Gauges: []counterJSON{}, Histograms: []histJSON{}}
+	if r != nil {
+		r.mu.Lock()
+		for name, c := range r.counters {
+			out.Counters = append(out.Counters, counterJSON{Name: name, Value: c.Value()})
+		}
+		for name, g := range r.gauges {
+			out.Gauges = append(out.Gauges, counterJSON{Name: name, Value: g.Value()})
+		}
+		for name, h := range r.hists {
+			if h.wall && !opts.IncludeWall {
+				continue
+			}
+			h.mu.Lock()
+			out.Histograms = append(out.Histograms, histJSON{
+				Name:   name,
+				Unit:   "us",
+				Wall:   h.wall,
+				Count:  h.count,
+				Sum:    h.sum,
+				Bounds: append([]int64(nil), h.bounds...),
+				Counts: append([]int64(nil), h.counts...),
+			})
+			h.mu.Unlock()
+		}
+		r.mu.Unlock()
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,31 @@
+package telemetry
+
+// Hub bundles the two halves of the telemetry layer: the metrics registry
+// and the reconfiguration trace. A subnet manager owns one hub; the
+// orchestration layers (cloud, experiments, commands) can hand it a shared
+// hub instead so one JSON export covers the whole run.
+type Hub struct {
+	Metrics *Registry
+	Trace   *Tracer
+}
+
+// NewHub returns a hub with a fresh registry and tracer.
+func NewHub() *Hub {
+	return &Hub{Metrics: NewRegistry(), Trace: NewTracer()}
+}
+
+// Registry returns the hub's metrics registry (nil-safe).
+func (h *Hub) Registry() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics
+}
+
+// Tracer returns the hub's tracer (nil-safe).
+func (h *Hub) Tracer() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.Trace
+}

@@ -1,0 +1,371 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpanKind types a trace span after the reconfiguration step it covers.
+type SpanKind string
+
+// The reconfiguration span vocabulary. One live migration produces a
+// SpanMigration root whose children are the SpanLFTSwap (LFT edit pass,
+// with one SpanSMP child per LFT block actually sent — the paper's n' x m')
+// and the SpanGUIDMigrate address transfer. Subnet bring-up produces
+// SpanSweep, SpanPathCompute (with SpanPhase children for engine phases and
+// worker busy time) and SpanLFTDistribute roots.
+const (
+	SpanSweep         SpanKind = "sweep"
+	SpanPathCompute   SpanKind = "path-compute"
+	SpanLFTDistribute SpanKind = "lft-distribute"
+	SpanGUIDMigrate   SpanKind = "guid-migrate"
+	SpanLFTSwap       SpanKind = "lft-swap"
+	SpanMigration     SpanKind = "migration"
+	SpanSMP           SpanKind = "smp"
+	SpanPhase         SpanKind = "phase"
+	SpanHandover      SpanKind = "sm-handover"
+)
+
+// Span is one timed, attributed step of a trace. IDs are sequential per
+// tracer (allocation order), which keeps exports deterministic without any
+// wall-clock or random identifier. All methods are nil-safe.
+type Span struct {
+	tr     *Tracer
+	id     int
+	parent int // 0 = root
+
+	kind SpanKind
+	name string
+
+	mu       sync.Mutex
+	attrs    map[string]any
+	started  time.Time
+	wall     time.Duration
+	modelled time.Duration
+	ended    bool
+}
+
+// ID returns the span's sequential identifier (1-based; 0 for nil).
+func (s *Span) ID() int {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetAttr records one attribute. Ints are widened to int64 and durations
+// become nanosecond int64s so the JSON export is type-stable.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	switch v := value.(type) {
+	case int:
+		value = int64(v)
+	case time.Duration:
+		value = int64(v)
+	case fmt.Stringer:
+		value = v.String()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+}
+
+// SetModelled sets the span's modelled duration (cost-model time, exactly
+// reproducible run to run).
+func (s *Span) SetModelled(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modelled = d
+}
+
+// AddModelled accumulates modelled time onto the span.
+func (s *Span) AddModelled(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.modelled += d
+}
+
+// Child starts a span parented to s. It must still be ended.
+func (s *Span) Child(kind SpanKind, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.tr.start(kind, name, s.id)
+}
+
+// End stamps the span's wall duration from its start time. Ending twice is
+// a no-op.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.wall = time.Since(s.started)
+}
+
+// EndWithWall ends the span with an externally measured wall duration
+// (e.g. a per-phase timing captured by a routing engine).
+func (s *Span) EndWithWall(d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.wall = d
+}
+
+// Event is one free-text entry of the trace's event stream — the backing
+// store of sm.EventLog.
+type Event struct {
+	Seq      int
+	At       time.Time
+	Category string
+	Msg      string
+}
+
+// Tracer collects spans and events. All methods are safe for concurrent
+// use and nil-safe, so a component without a tracer simply records nothing.
+type Tracer struct {
+	mu       sync.Mutex
+	spans    []*Span
+	events   []Event
+	eventCap int
+	nextSeq  int
+	nextID   int
+	scope    []int // span-ID stack; Start parents new spans to the top
+}
+
+// DefaultEventCap bounds the event stream when no cap is set explicitly.
+const DefaultEventCap = 65536
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{eventCap: DefaultEventCap}
+}
+
+// SetEventCap bounds the retained event stream (oldest dropped first).
+// Values below 1 clamp to 1.
+func (t *Tracer) SetEventCap(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.eventCap = n
+	if len(t.events) > n {
+		t.events = append([]Event(nil), t.events[len(t.events)-n:]...)
+	}
+}
+
+// Start begins a span. If a scope is pushed (PushScope), the new span is
+// parented to it; otherwise it is a root.
+func (t *Tracer) Start(kind SpanKind, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	parent := 0
+	if len(t.scope) > 0 {
+		parent = t.scope[len(t.scope)-1]
+	}
+	t.mu.Unlock()
+	return t.start(kind, name, parent)
+}
+
+func (t *Tracer) start(kind SpanKind, name string, parent int) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, kind: kind, name: name, parent: parent, started: time.Now()}
+	t.mu.Lock()
+	t.nextID++
+	sp.id = t.nextID
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// PushScope makes sp the implicit parent of spans started until the
+// matching PopScope. Scopes are only pushed on serial control paths (the
+// SM's operations are single-threaded); worker goroutines never push.
+func (t *Tracer) PushScope(sp *Span) {
+	if t == nil || sp == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.scope = append(t.scope, sp.id)
+}
+
+// PopScope removes the innermost scope.
+func (t *Tracer) PopScope() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.scope) > 0 {
+		t.scope = t.scope[:len(t.scope)-1]
+	}
+}
+
+// Eventf appends a formatted entry to the event stream.
+func (t *Tracer) Eventf(category, format string, args ...interface{}) {
+	if t == nil {
+		return
+	}
+	msg := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextSeq++
+	t.events = append(t.events, Event{Seq: t.nextSeq, At: time.Now(), Category: category, Msg: msg})
+	if len(t.events) > t.eventCap {
+		t.events = append([]Event(nil), t.events[len(t.events)-t.eventCap:]...)
+	}
+}
+
+// Events returns a copy of the retained event stream, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Event(nil), t.events...)
+}
+
+// snapshot copies the span list under the lock; span fields are then read
+// under each span's own mutex.
+func (t *Tracer) snapshot() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]*Span(nil), t.spans...)
+}
+
+// spanJSON fixes the trace export schema and its field order.
+type spanJSON struct {
+	ID         int            `json:"id"`
+	Parent     int            `json:"parent,omitempty"`
+	Kind       string         `json:"kind"`
+	Name       string         `json:"name,omitempty"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	ModelledNS int64          `json:"modelled_ns"`
+	WallNS     int64          `json:"wall_ns,omitempty"`
+}
+
+type eventJSON struct {
+	Seq      int    `json:"seq"`
+	Category string `json:"category"`
+	Msg      string `json:"msg"`
+}
+
+type traceJSON struct {
+	Spans  []spanJSON  `json:"spans"`
+	Events []eventJSON `json:"events,omitempty"`
+}
+
+// WriteJSON exports the trace deterministically: spans in ID order, attrs
+// with sorted keys (encoding/json map behaviour), modelled durations in
+// nanoseconds. Wall durations appear only with opts.IncludeWall, and the
+// event stream only with opts.IncludeEvents.
+func (t *Tracer) WriteJSON(w io.Writer, opts Options) error {
+	out := traceJSON{Spans: []spanJSON{}}
+	for _, sp := range t.snapshot() {
+		sp.mu.Lock()
+		sj := spanJSON{
+			ID:         sp.id,
+			Parent:     sp.parent,
+			Kind:       string(sp.kind),
+			Name:       sp.name,
+			ModelledNS: int64(sp.modelled),
+		}
+		if len(sp.attrs) > 0 {
+			attrs := make(map[string]any, len(sp.attrs))
+			for k, v := range sp.attrs {
+				attrs[k] = v
+			}
+			sj.Attrs = attrs
+		}
+		if opts.IncludeWall {
+			sj.WallNS = int64(sp.wall)
+		}
+		sp.mu.Unlock()
+		out.Spans = append(out.Spans, sj)
+	}
+	if opts.IncludeEvents {
+		for _, e := range t.Events() {
+			out.Events = append(out.Events, eventJSON{Seq: e.Seq, Category: e.Category, Msg: e.Msg})
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// RenderTree formats the span forest as an indented human summary: kind,
+// name, sorted attributes and the modelled duration of every span.
+func (t *Tracer) RenderTree() string {
+	spans := t.snapshot()
+	children := map[int][]*Span{}
+	for _, sp := range spans {
+		children[sp.parent] = append(children[sp.parent], sp)
+	}
+	var sb strings.Builder
+	var walk func(parent, depth int)
+	walk = func(parent, depth int) {
+		for _, sp := range children[parent] {
+			sp.mu.Lock()
+			fmt.Fprintf(&sb, "%s%s", strings.Repeat("  ", depth), sp.kind)
+			if sp.name != "" {
+				fmt.Fprintf(&sb, " %s", sp.name)
+			}
+			keys := make([]string, 0, len(sp.attrs))
+			for k := range sp.attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %s=%v", k, sp.attrs[k])
+			}
+			if sp.modelled > 0 {
+				fmt.Fprintf(&sb, " [modelled %v]", sp.modelled)
+			}
+			sp.mu.Unlock()
+			sb.WriteByte('\n')
+			walk(sp.id, depth+1)
+		}
+	}
+	walk(0, 0)
+	return sb.String()
+}
