@@ -38,8 +38,13 @@ func main() {
 	workers := flag.Int("workers", 0, "routing-engine worker count (0 = one per CPU); results are identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
 	traceOut := flag.String("trace", "", "write the reconfiguration trace (spans + events) as JSON to this file (leaflocal)")
-	metricsOut := flag.String("metrics", "", "write the metrics registry as JSON to this file (leaflocal)")
+	metricsOut := flag.String("metrics", "", "write the metrics registry to this file (leaflocal)")
+	metricsFormat := flag.String("metrics-format", "json", "metrics file format: json|prom (prom = Prometheus text exposition)")
 	flag.Parse()
+
+	if *metricsFormat != "json" && *metricsFormat != "prom" {
+		fatal(fmt.Errorf("unknown -metrics-format %q (want json or prom)", *metricsFormat))
+	}
 
 	var hub *telemetry.Hub
 	if *traceOut != "" || *metricsOut != "" {
@@ -204,7 +209,11 @@ func main() {
 		writeJSON(*traceOut, func(w io.Writer) error { return hub.Trace.WriteJSON(w, opts) })
 	}
 	if *metricsOut != "" {
-		writeJSON(*metricsOut, func(w io.Writer) error { return hub.Metrics.WriteJSON(w, opts) })
+		if *metricsFormat == "prom" {
+			writeJSON(*metricsOut, func(w io.Writer) error { return hub.Metrics.WritePrometheus(w) })
+		} else {
+			writeJSON(*metricsOut, func(w io.Writer) error { return hub.Metrics.WriteJSON(w, opts) })
+		}
 	}
 }
 

@@ -1,0 +1,173 @@
+// Command ibsimd serves a simulated vSwitch cloud over HTTP: it boots a
+// fabric, bootstraps the subnet manager, wraps the orchestrator in the
+// internal/api control-plane daemon and listens until SIGINT/SIGTERM.
+// Shutdown is graceful: intake stops, the admission queue drains, and if
+// the drain deadline passes any in-flight LFT distribution is aborted
+// through its context.
+//
+// Usage:
+//
+//	ibsimd -addr :8080 -topo fattree -nodes 324 -model dynamic
+//	ibsimd -topo torus -rows 4 -cols 4 -cas 2 -engine dfsssp -sched pack
+//	ibsimd -topo ring -switches 8 -cas 2 -model prepopulated -vfs 8
+//
+// Then:
+//
+//	curl -X POST localhost:8080/v1/vms -d '{"name":"vm0"}'
+//	curl -X POST localhost:8080/v1/vms/vm0/migrate -d '{"destination":42}'
+//	curl localhost:8080/v1/paths/vm0/1 ; curl localhost:8080/metrics
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ibvsim/internal/api"
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	topoKind := flag.String("topo", "fattree", "topology: fattree|ring|mesh|torus|random|dragonfly|testbed")
+	nodes := flag.Int("nodes", 324, "fattree: node count (324|648|5832|11664)")
+	switches := flag.Int("switches", 8, "ring/random: switch count")
+	rows := flag.Int("rows", 4, "mesh/torus: rows")
+	cols := flag.Int("cols", 4, "mesh/torus: columns")
+	cas := flag.Int("cas", 1, "CAs per switch (ring/mesh/torus/random)")
+	radix := flag.Int("radix", 12, "random: switch radix")
+	extra := flag.Int("extra", 8, "random: extra links beyond the spanning tree")
+	seed := flag.Int64("seed", 1, "random: seed")
+	engine := flag.String("engine", "minhop", "routing engine: "+fmt.Sprint(routing.Names()))
+	model := flag.String("model", "dynamic", "SR-IOV model: shared|prepopulated|dynamic")
+	vfs := flag.Int("vfs", 4, "VFs per hypervisor")
+	sched := flag.String("sched", "spread", "VM scheduler: firstfit|spread|pack")
+	queue := flag.Int("queue", api.DefaultQueueDepth, "admission queue depth (429 past this)")
+	workers := flag.Int("workers", 0, "routing worker pool size (0 = one per CPU)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	topo, err := buildTopo(*topoKind, *nodes, *switches, *rows, *cols, *cas, *radix, *extra, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := routing.New(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := parseModel(*model)
+	if err != nil {
+		fatal(err)
+	}
+	scheduler, err := parseSched(*sched)
+	if err != nil {
+		fatal(err)
+	}
+
+	caNodes := topo.CAs()
+	if len(caNodes) < 2 {
+		fatal(fmt.Errorf("topology has %d CAs; need at least an SM and one hypervisor", len(caNodes)))
+	}
+	c, boot, err := cloud.New(topo, caNodes[0], caNodes[1:], cloud.Config{
+		Model:            m,
+		VFsPerHypervisor: *vfs,
+		Engine:           eng,
+		Scheduler:        scheduler,
+		RouteWorkers:     *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fabric:       %s (%s)\n", topo, topo.DegreeSummary())
+	fmt.Printf("cloud:        model=%s, %d hypervisors x %d VFs, scheduler=%s, %d VF LIDs prepopulated\n",
+		m, len(c.Hypervisors()), *vfs, *sched, boot.PrepopulatedLIDs)
+	fmt.Printf("bootstrap:    PCt=%v, %d distribution SMPs to %d switches\n",
+		boot.Routing.Duration, boot.Distribution.SMPs, boot.Distribution.SwitchesUpdated)
+
+	apiSrv := api.NewServer(c, api.Config{QueueDepth: *queue})
+	httpSrv := &http.Server{Addr: *addr, Handler: apiSrv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.ListenAndServe() }()
+	fmt.Printf("listening:    %s\n", *addr)
+
+	select {
+	case err := <-serveErr:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Printf("shutting down: draining admission queue (budget %v)\n", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain the command loop first — its final opCancel also terminates
+	// event streams, so the listener shutdown below completes promptly.
+	if err := apiSrv.Shutdown(shCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "ibsimd: drain deadline passed; in-flight distribution aborted")
+	}
+	if err := httpSrv.Shutdown(shCtx); err != nil {
+		httpSrv.Close()
+	}
+	fmt.Println("bye")
+}
+
+func parseModel(s string) (sriov.Model, error) {
+	switch s {
+	case "shared":
+		return sriov.SharedPort, nil
+	case "prepopulated":
+		return sriov.VSwitchPrepopulated, nil
+	case "dynamic":
+		return sriov.VSwitchDynamic, nil
+	default:
+		return 0, fmt.Errorf("unknown SR-IOV model %q", s)
+	}
+}
+
+func parseSched(s string) (cloud.Scheduler, error) {
+	switch s {
+	case "firstfit":
+		return cloud.FirstFit{}, nil
+	case "spread":
+		return cloud.Spread{}, nil
+	case "pack":
+		return cloud.Pack{}, nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", s)
+	}
+}
+
+func buildTopo(kind string, nodes, switches, rows, cols, cas, radix, extra int, seed int64) (*topology.Topology, error) {
+	switch kind {
+	case "fattree":
+		return topology.BuildPaperFatTree(nodes)
+	case "ring":
+		return topology.BuildRing(switches, cas)
+	case "mesh":
+		return topology.BuildMesh2D(rows, cols, cas)
+	case "torus":
+		return topology.BuildTorus2D(rows, cols, cas)
+	case "random":
+		return topology.BuildRandom(switches, radix, extra, cas, seed)
+	case "dragonfly":
+		return topology.BuildDragonfly(rows, switches, cas) // rows=groups, switches=per group
+	case "testbed":
+		return topology.BuildTestbed()
+	default:
+		return nil, fmt.Errorf("unknown topology %q", kind)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibsimd:", err)
+	os.Exit(1)
+}

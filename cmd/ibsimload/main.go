@@ -1,0 +1,410 @@
+// Command ibsimload drives an ibsimd daemon with a closed-loop, seeded
+// VM-lifecycle workload: -c workers each run create -> migrate -> destroy
+// mixes against the HTTP API for -duration, then the tool prints throughput
+// and client-observed latency percentiles per operation.
+//
+// The client is capacity-aware: a coordinator checks VMs out exclusively
+// and reserves destination VFs before issuing requests, so no request ever
+// fails for lack of capacity or a concurrent operation on the same VM —
+// any non-2xx response is a real server bug. Backpressure (429) is not a
+// failure: the worker honours it, retries, and the retry is counted.
+//
+// Usage:
+//
+//	ibsimd -topo fattree -nodes 324 &
+//	ibsimload -addr http://127.0.0.1:8080 -c 32 -duration 5s
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"ibvsim/internal/api"
+	"ibvsim/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	workers := flag.Int("c", 32, "concurrent workers")
+	duration := flag.Duration("duration", 5*time.Second, "how long to run")
+	seed := flag.Int64("seed", 1, "workload seed")
+	wCreate := flag.Int("create", 1, "create weight in the op mix")
+	wMigrate := flag.Int("migrate", 2, "migrate weight in the op mix")
+	wDestroy := flag.Int("destroy", 1, "destroy weight in the op mix")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	topo, err := fetchTopology(client, *addr)
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach daemon at %s: %w", *addr, err))
+	}
+	fmt.Printf("target: %s — %s, model=%s, %d hypervisors\n",
+		*addr, topo.Fabric, topo.Model, len(topo.Hypervisors))
+
+	coord := newCoordinator(topo.Hypervisors)
+	mix := opMix{create: *wCreate, migrate: *wMigrate, destroy: *wDestroy}
+	if mix.total() <= 0 {
+		fatal(fmt.Errorf("op mix weights sum to zero"))
+	}
+
+	deadline := time.Now().Add(*duration)
+	results := make([]workerStats, *workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < *workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &worker{
+				client: client,
+				addr:   *addr,
+				coord:  coord,
+				rng:    rand.New(rand.NewSource(*seed + int64(i))),
+				mix:    mix,
+				stats:  &results[i],
+			}
+			w.run(deadline)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total workerStats
+	for i := range results {
+		total.merge(&results[i])
+	}
+	ops := len(total.lat[opCreate]) + len(total.lat[opMigrate]) + len(total.lat[opDestroy])
+	fmt.Printf("\nran %v with %d workers\n", elapsed.Round(time.Millisecond), *workers)
+	fmt.Printf("ops: %d total, %.1f ops/s (%d failed, %d backpressure retries)\n",
+		ops, float64(ops)/elapsed.Seconds(), total.failures, total.retries)
+	for _, op := range []opKind{opCreate, opMigrate, opDestroy} {
+		printLatencies(op.String(), total.lat[op])
+	}
+	for _, msg := range total.failureMsgs {
+		fmt.Fprintln(os.Stderr, "failure:", msg)
+	}
+	if total.failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func fetchTopology(client *http.Client, addr string) (api.TopologyResponse, error) {
+	var topo api.TopologyResponse
+	resp, err := client.Get(addr + "/v1/topology")
+	if err != nil {
+		return topo, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return topo, fmt.Errorf("GET /v1/topology: status %d", resp.StatusCode)
+	}
+	return topo, json.NewDecoder(resp.Body).Decode(&topo)
+}
+
+// --- workload bookkeeping -------------------------------------------------
+
+type opKind int
+
+const (
+	opCreate opKind = iota
+	opMigrate
+	opDestroy
+	numOps
+)
+
+func (o opKind) String() string {
+	switch o {
+	case opCreate:
+		return "create"
+	case opMigrate:
+		return "migrate"
+	default:
+		return "destroy"
+	}
+}
+
+type opMix struct{ create, migrate, destroy int }
+
+func (m opMix) total() int { return m.create + m.migrate + m.destroy }
+
+func (m opMix) pick(rng *rand.Rand) opKind {
+	n := rng.Intn(m.total())
+	if n < m.create {
+		return opCreate
+	}
+	if n < m.create+m.migrate {
+		return opMigrate
+	}
+	return opDestroy
+}
+
+// coordinator is the client-side capacity model: it hands out VM names,
+// checks VMs out exclusively (so two workers never race on one VM) and
+// reserves VF slots before a request is sent, mirroring the server's
+// accounting so nothing the daemon could refuse is ever asked.
+type coordinator struct {
+	mu     sync.Mutex
+	freeVF map[topology.NodeID]int
+	idle   map[string]topology.NodeID
+	nextID int
+}
+
+func newCoordinator(hyps []api.HypInfo) *coordinator {
+	c := &coordinator{
+		freeVF: map[topology.NodeID]int{},
+		idle:   map[string]topology.NodeID{},
+	}
+	for _, h := range hyps {
+		c.freeVF[h.Node] = h.VFs - h.Attached
+	}
+	return c
+}
+
+// reserveCreate picks a hypervisor with a free VF (map iteration order is
+// the randomness) and reserves one slot.
+func (c *coordinator) reserveCreate() (string, topology.NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for node, free := range c.freeVF {
+		if free > 0 {
+			c.freeVF[node]--
+			c.nextID++
+			return fmt.Sprintf("load-%06d", c.nextID), node, true
+		}
+	}
+	return "", 0, false
+}
+
+func (c *coordinator) commitCreate(name string, node topology.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idle[name] = node
+}
+
+func (c *coordinator) releaseVF(node topology.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.freeVF[node]++
+}
+
+// checkoutMigrate removes an idle VM from circulation and reserves a VF on
+// a different hypervisor.
+func (c *coordinator) checkoutMigrate() (name string, src, dst topology.NodeID, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, s := range c.idle {
+		for d, free := range c.freeVF {
+			if d == s || free == 0 {
+				continue
+			}
+			delete(c.idle, n)
+			c.freeVF[d]--
+			return n, s, d, true
+		}
+		break // one VM tried, no destination: capacity is tight everywhere
+	}
+	return "", 0, 0, false
+}
+
+func (c *coordinator) finishMigrate(name string, src, dst topology.NodeID, succeeded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if succeeded {
+		c.freeVF[src]++
+		c.idle[name] = dst
+	} else {
+		c.freeVF[dst]++
+		c.idle[name] = src
+	}
+}
+
+func (c *coordinator) checkoutDestroy() (string, topology.NodeID, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for n, s := range c.idle {
+		delete(c.idle, n)
+		return n, s, true
+	}
+	return "", 0, false
+}
+
+func (c *coordinator) undoDestroy(name string, node topology.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.idle[name] = node
+}
+
+// --- workers --------------------------------------------------------------
+
+type workerStats struct {
+	lat         [numOps][]time.Duration
+	retries     int
+	failures    int
+	failureMsgs []string
+}
+
+func (s *workerStats) merge(o *workerStats) {
+	for i := range s.lat {
+		s.lat[i] = append(s.lat[i], o.lat[i]...)
+	}
+	s.retries += o.retries
+	s.failures += o.failures
+	for _, m := range o.failureMsgs {
+		if len(s.failureMsgs) < 10 {
+			s.failureMsgs = append(s.failureMsgs, m)
+		}
+	}
+}
+
+func (s *workerStats) fail(format string, args ...any) {
+	s.failures++
+	if len(s.failureMsgs) < 10 {
+		s.failureMsgs = append(s.failureMsgs, fmt.Sprintf(format, args...))
+	}
+}
+
+type worker struct {
+	client *http.Client
+	addr   string
+	coord  *coordinator
+	rng    *rand.Rand
+	mix    opMix
+	stats  *workerStats
+}
+
+func (w *worker) run(deadline time.Time) {
+	for time.Now().Before(deadline) {
+		op := w.mix.pick(w.rng)
+		if !w.attempt(op) {
+			// The preferred op had nothing to work on (no idle VM, or no
+			// free VF anywhere). Try the others before idling briefly.
+			done := false
+			for o := opKind(0); o < numOps && !done; o++ {
+				if o != op {
+					done = w.attempt(o)
+				}
+			}
+			if !done {
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+}
+
+// attempt runs one operation end to end. It returns false only when the
+// coordinator had nothing to check out — request failures are recorded in
+// stats, not signalled to the mix loop.
+func (w *worker) attempt(op opKind) bool {
+	switch op {
+	case opCreate:
+		name, node, ok := w.coord.reserveCreate()
+		if !ok {
+			return false
+		}
+		st, body, d := w.do("POST", "/v1/vms", api.CreateVMRequest{Name: name, Hypervisor: &node})
+		if st == http.StatusCreated {
+			w.coord.commitCreate(name, node)
+			w.stats.lat[opCreate] = append(w.stats.lat[opCreate], d)
+		} else {
+			w.coord.releaseVF(node)
+			w.stats.fail("create %s on %d: status %d: %s", name, node, st, body)
+		}
+	case opMigrate:
+		name, src, dst, ok := w.coord.checkoutMigrate()
+		if !ok {
+			return false
+		}
+		st, body, d := w.do("POST", "/v1/vms/"+name+"/migrate", api.MigrateVMRequest{Destination: dst})
+		if st == http.StatusOK {
+			w.stats.lat[opMigrate] = append(w.stats.lat[opMigrate], d)
+		} else {
+			w.stats.fail("migrate %s %d->%d: status %d: %s", name, src, dst, st, body)
+		}
+		w.coord.finishMigrate(name, src, dst, st == http.StatusOK)
+	case opDestroy:
+		name, node, ok := w.coord.checkoutDestroy()
+		if !ok {
+			return false
+		}
+		st, body, d := w.do("DELETE", "/v1/vms/"+name, nil)
+		if st == http.StatusOK {
+			w.coord.releaseVF(node)
+			w.stats.lat[opDestroy] = append(w.stats.lat[opDestroy], d)
+		} else {
+			w.coord.undoDestroy(name, node)
+			w.stats.fail("destroy %s: status %d: %s", name, st, body)
+		}
+	}
+	return true
+}
+
+// do issues one request, transparently retrying on 429 backpressure with a
+// small bounded backoff. The returned duration is the client-observed
+// time to completion, retries included.
+func (w *worker) do(method, path string, body any) (int, string, time.Duration) {
+	var payload []byte
+	if body != nil {
+		payload, _ = json.Marshal(body)
+	}
+	start := time.Now()
+	for attempt := 1; ; attempt++ {
+		var rd io.Reader
+		if payload != nil {
+			rd = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequest(method, w.addr+path, rd)
+		if err != nil {
+			return 0, err.Error(), time.Since(start)
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return 0, err.Error(), time.Since(start)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			w.stats.retries++
+			backoff := time.Duration(attempt) * 2 * time.Millisecond
+			if backoff > 50*time.Millisecond {
+				backoff = 50 * time.Millisecond
+			}
+			time.Sleep(backoff)
+			continue
+		}
+		return resp.StatusCode, string(bytes.TrimSpace(b)), time.Since(start)
+	}
+}
+
+// --- reporting ------------------------------------------------------------
+
+func printLatencies(name string, lat []time.Duration) {
+	if len(lat) == 0 {
+		fmt.Printf("%-8s 0 ops\n", name+":")
+		return
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	pct := func(p int) time.Duration {
+		idx := p * (len(sorted) - 1) / 100
+		return sorted[idx]
+	}
+	fmt.Printf("%-8s %6d ops  p50 %v  p90 %v  p99 %v  max %v\n",
+		name+":", len(sorted),
+		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond),
+		pct(99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ibsimload:", err)
+	os.Exit(1)
+}

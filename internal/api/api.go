@@ -1,0 +1,337 @@
+// Package api is the control-plane daemon around a vSwitch cloud: an HTTP
+// surface over the orchestrator + subnet manager pair that cmd/ibsimd
+// serves and cmd/ibsimload drives.
+//
+// The cloud and SM are single-threaded by design (the SM's operations
+// mirror OpenSM's serial master thread), so the server runs every mutation
+// through one command loop — an actor goroutine that owns the *cloud.Cloud
+// exclusively. Handlers enqueue commands onto a bounded admission queue and
+// wait for the loop's reply; a full queue is backpressure, reported as HTTP
+// 429 with a Retry-After header rather than an unbounded goroutine pile-up.
+//
+// Reads never touch the cloud. After every mutation the loop publishes an
+// immutable Snapshot (copy-on-write: LFT clones are reused across
+// generations while their revision counters stand still), and the read
+// endpoints — topology, VM listings, path walks — serve from whatever
+// snapshot is current. Telemetry endpoints (/metrics, /v1/trace,
+// /v1/events) read the registry and tracer directly; both are safe for
+// concurrent use.
+//
+// Every mutation response carries a cost report in the paper's terms: n'
+// switches updated, m' SMPs per switch (section VI), host SMPs, and the
+// modelled reconfiguration time, cross-referenced to the telemetry span
+// tree by root span ID so a client can audit the report against /v1/trace.
+package api
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/telemetry"
+	"ibvsim/internal/topology"
+)
+
+// Config parameterises a Server.
+type Config struct {
+	// QueueDepth bounds the admission queue (commands accepted but not yet
+	// executed). 0 means DefaultQueueDepth.
+	QueueDepth int
+	// RetryAfter is the hint returned with 429 responses. 0 means one second.
+	RetryAfter time.Duration
+}
+
+// DefaultQueueDepth is the admission-queue bound when Config leaves it 0.
+const DefaultQueueDepth = 64
+
+// Server owns a cloud behind a single-writer command loop and exposes it
+// over HTTP. Construct with NewServer; the loop starts immediately. Use
+// Handler for the mux and Shutdown to drain and stop.
+type Server struct {
+	c   *cloud.Cloud
+	reg *telemetry.Registry
+	tr  *telemetry.Tracer
+
+	mux        *http.ServeMux
+	cmds       chan *command
+	retryAfter time.Duration
+
+	snap atomic.Pointer[Snapshot]
+
+	// opCtx is cancelled when a Shutdown deadline expires, aborting any
+	// in-flight LFT distribution (the context threads down to the sm
+	// worker pool) and terminating event streams.
+	opCtx    context.Context
+	opCancel context.CancelFunc
+
+	mu       sync.RWMutex // guards closed and sends on cmds vs close(cmds)
+	closed   bool
+	loopDone chan struct{}
+
+	// Loop-owned state (never touched by handlers).
+	gen     uint64
+	lftRevs map[topology.NodeID]uint64
+
+	// execGate is a test seam: when non-nil the loop rendezvouses twice
+	// around every command (announce, then wait for release), letting tests
+	// hold the loop mid-drain to fill the admission queue deterministically.
+	// Must be set before the first command is admitted.
+	execGate chan struct{}
+}
+
+// NewServer wraps a freshly bootstrapped cloud. The server takes exclusive
+// ownership: the caller must not call cloud methods directly afterwards.
+func NewServer(c *cloud.Cloud, cfg Config) *Server {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	hub := c.SM.Telemetry()
+	s := &Server{
+		c:          c,
+		reg:        hub.Registry(),
+		tr:         hub.Tracer(),
+		mux:        http.NewServeMux(),
+		cmds:       make(chan *command, cfg.QueueDepth),
+		retryAfter: cfg.RetryAfter,
+		loopDone:   make(chan struct{}),
+		lftRevs:    map[topology.NodeID]uint64{},
+	}
+	s.opCtx, s.opCancel = context.WithCancel(context.Background())
+	s.snap.Store(s.buildSnapshot(nil))
+	s.routes()
+	go s.loop()
+	return s
+}
+
+// Handler returns the HTTP handler serving the full API surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Snapshot returns the current fabric snapshot (never nil).
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+func (s *Server) routes() {
+	s.handle("GET /healthz", "healthz", s.handleHealthz)
+	s.handle("GET /metrics", "metrics", s.handleMetrics)
+	s.handle("GET /v1/trace", "trace", s.handleTrace)
+	s.handle("GET /v1/topology", "topology", s.handleTopology)
+	s.handle("GET /v1/vms", "vms_list", s.handleListVMs)
+	s.handle("GET /v1/vms/{name}", "vms_get", s.handleGetVM)
+	s.handle("GET /v1/paths/{src}/{dst}", "paths", s.handlePath)
+	s.handle("GET /v1/events", "events", s.handleEvents)
+	s.handle("POST /v1/vms", "vms_create", s.handleCreateVM)
+	s.handle("DELETE /v1/vms/{name}", "vms_destroy", s.handleDestroyVM)
+	s.handle("POST /v1/vms/{name}/migrate", "vms_migrate", s.handleMigrateVM)
+	s.handle("POST /v1/reconfigure", "reconfigure", s.handleReconfigure)
+}
+
+// handle registers a pattern with per-endpoint request counting and
+// wall-clock latency histograms (api.latency.<op>_us).
+func (s *Server) handle(pattern, op string, h http.HandlerFunc) {
+	ctr := s.reg.Counter("api.requests." + op)
+	hist := s.reg.WallHistogram("api.latency."+op+"_us", nil)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		ctr.Inc()
+		hist.ObserveDuration(time.Since(start))
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// --- read endpoints -------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"generation": sn.Gen,
+		"queue":      len(s.cmds),
+		"vms":        len(sn.VMs),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w) //nolint:errcheck
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.tr.WriteJSON(w, telemetry.Options{IncludeWall: true, IncludeEvents: true}) //nolint:errcheck
+}
+
+// TopologyResponse describes the fabric being served.
+type TopologyResponse struct {
+	Fabric      string          `json:"fabric"`
+	Switches    int             `json:"switches"`
+	CAs         int             `json:"cas"`
+	Model       string          `json:"model"`
+	SMNode      topology.NodeID `json:"sm_node"`
+	Generation  uint64          `json:"generation"`
+	Hypervisors []HypInfo       `json:"hypervisors"`
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, TopologyResponse{
+		Fabric:      sn.Fabric,
+		Switches:    len(sn.topo.Switches()),
+		CAs:         len(sn.topo.CAs()),
+		Model:       sn.Model,
+		SMNode:      sn.SMNode,
+		Generation:  sn.Gen,
+		Hypervisors: sn.Hyps,
+	})
+}
+
+func (s *Server) handleListVMs(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation": sn.Gen,
+		"vms":        sn.VMs,
+	})
+}
+
+func (s *Server) handleGetVM(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	name := r.PathValue("name")
+	for i := range sn.VMs {
+		if sn.VMs[i].Name == name {
+			writeJSON(w, http.StatusOK, sn.VMs[i])
+			return
+		}
+	}
+	writeErr(w, http.StatusNotFound, "no VM %q", name)
+}
+
+func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
+	sn := s.snap.Load()
+	resp, err := sn.Path(r.PathValue("src"), r.PathValue("dst"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// --- mutation endpoints ---------------------------------------------------
+
+// CreateVMRequest is the body of POST /v1/vms. Hypervisor pins placement;
+// leaving it out delegates to the cloud's scheduler.
+type CreateVMRequest struct {
+	Name       string           `json:"name"`
+	Hypervisor *topology.NodeID `json:"hypervisor,omitempty"`
+}
+
+func (s *Server) handleCreateVM(w http.ResponseWriter, r *http.Request) {
+	var req CreateVMRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "missing VM name")
+		return
+	}
+	cmd := &command{kind: opCreateVM, name: req.Name}
+	if req.Hypervisor != nil {
+		cmd.hyp = *req.Hypervisor
+	} else {
+		cmd.hyp = topology.NoNode
+	}
+	s.enqueue(w, cmd)
+}
+
+func (s *Server) handleDestroyVM(w http.ResponseWriter, r *http.Request) {
+	s.enqueue(w, &command{kind: opDestroyVM, name: r.PathValue("name")})
+}
+
+// MigrateVMRequest is the body of POST /v1/vms/{name}/migrate.
+type MigrateVMRequest struct {
+	Destination topology.NodeID `json:"destination"`
+}
+
+func (s *Server) handleMigrateVM(w http.ResponseWriter, r *http.Request) {
+	var req MigrateVMRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	s.enqueue(w, &command{kind: opMigrateVM, name: r.PathValue("name"), hyp: req.Destination})
+}
+
+func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	s.enqueue(w, &command{kind: opReconfigure})
+}
+
+// enqueue admits a command to the loop (or rejects with backpressure) and
+// relays the loop's reply. The reply channel is buffered so the loop never
+// blocks on a handler, even one whose client has disconnected.
+func (s *Server) enqueue(w http.ResponseWriter, cmd *command) {
+	cmd.reply = make(chan cmdReply, 1)
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		writeErr(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	admitted := false
+	select {
+	case s.cmds <- cmd:
+		admitted = true
+	default:
+	}
+	s.mu.RUnlock()
+	if !admitted {
+		s.reg.Counter("api.admission_rejects").Inc()
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.retryAfter+time.Second-1)/time.Second)))
+		writeErr(w, http.StatusTooManyRequests, "admission queue full (depth %d)", cap(s.cmds))
+		return
+	}
+	s.reg.Gauge("api.queue_depth").Set(int64(len(s.cmds)))
+	rep := <-cmd.reply
+	writeJSON(w, rep.status, rep.body)
+}
+
+// Shutdown stops intake, drains the admission queue, and waits for the
+// loop to exit. If ctx expires first, the in-flight operation's context is
+// cancelled — aborting any LFT distribution mid-flight — and Shutdown
+// still waits for the loop to finish its (now fast-failing) drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.cmds)
+	}
+	s.mu.Unlock()
+	var err error
+	select {
+	case <-s.loopDone:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.opCancel()
+		<-s.loopDone
+	}
+	s.opCancel()
+	return err
+}

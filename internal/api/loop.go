@@ -1,0 +1,243 @@
+package api
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strings"
+	"time"
+
+	"ibvsim/internal/telemetry"
+	"ibvsim/internal/topology"
+)
+
+// opKind identifies a command for the single-writer loop.
+type opKind uint8
+
+const (
+	opCreateVM opKind = iota + 1
+	opDestroyVM
+	opMigrateVM
+	opReconfigure
+)
+
+// command is one admitted mutation. The loop executes it, publishes a new
+// snapshot, and delivers exactly one cmdReply on the buffered reply channel.
+type command struct {
+	kind  opKind
+	name  string          // VM name (create/destroy/migrate)
+	hyp   topology.NodeID // placement (create) or destination (migrate); NoNode = scheduler
+	reply chan cmdReply
+}
+
+type cmdReply struct {
+	status int
+	body   any
+}
+
+// CostReport states what one operation cost the fabric, in the paper's
+// vocabulary: n' switches had LFT entries updated with a total of LFTSMPs
+// block-write SMPs (section VI's n' x m'), plus per-hypervisor address SMPs.
+// SpanSMPs is the number of smp spans the operation emitted into the
+// telemetry trace — in fault-free operation it equals LFTSMPs, and
+// TraceSpan lets a client verify that against /v1/trace independently.
+type CostReport struct {
+	SwitchesUpdated  int   `json:"switches_updated"`
+	LFTSMPs          int   `json:"lft_smps"`
+	InvalidationSMPs int   `json:"invalidation_smps,omitempty"`
+	HostSMPs         int   `json:"host_smps,omitempty"`
+	SpanSMPs         int   `json:"span_smps"`
+	TraceSpan        int   `json:"trace_span,omitempty"`
+	ModelledUS       int64 `json:"modelled_us"`
+}
+
+// VMResponse answers create and get requests.
+type VMResponse struct {
+	VMInfo
+	Cost CostReport `json:"cost"`
+}
+
+// DestroyResponse answers destroy requests.
+type DestroyResponse struct {
+	Name string     `json:"name"`
+	Cost CostReport `json:"cost"`
+}
+
+// MigrateResponse answers migrate requests with the section VII-B report.
+type MigrateResponse struct {
+	Name             string          `json:"name"`
+	From             topology.NodeID `json:"from"`
+	To               topology.NodeID `json:"to"`
+	LID              uint16          `json:"lid"`
+	AddressesChanged bool            `json:"addresses_changed"`
+	DowntimeUS       int64           `json:"downtime_us"`
+	Cost             CostReport      `json:"cost"`
+}
+
+// ReconfigureResponse answers full-reconfiguration requests.
+type ReconfigureResponse struct {
+	Engine            string `json:"engine"`
+	Paths             int    `json:"paths"`
+	SwitchesUpdated   int    `json:"switches_updated"`
+	SwitchesCancelled int    `json:"switches_cancelled,omitempty"`
+	SMPs              int    `json:"smps"`
+	ModelledUS        int64  `json:"modelled_us"`
+	Cancelled         bool   `json:"cancelled,omitempty"`
+}
+
+// loop is the actor goroutine: the only code that calls into the cloud
+// after NewServer returns. Commands are executed strictly in admission
+// order; after each one a fresh snapshot is published *before* the reply is
+// sent, so a client that saw its response also sees its write in reads.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	depth := s.reg.Gauge("api.queue_depth")
+	exec := s.reg.WallHistogram("api.op_exec_us", nil)
+	for cmd := range s.cmds {
+		if s.execGate != nil {
+			s.execGate <- struct{}{} // announce: about to execute
+			<-s.execGate             // wait for release
+		}
+		depth.Set(int64(len(s.cmds)))
+		start := time.Now()
+		rep := s.execute(cmd)
+		exec.ObserveDuration(time.Since(start))
+		s.snap.Store(s.buildSnapshot(s.snap.Load()))
+		cmd.reply <- rep
+	}
+	depth.Set(0)
+}
+
+func (s *Server) execute(cmd *command) cmdReply {
+	before := s.tr.LastSpanID()
+	switch cmd.kind {
+	case opCreateVM:
+		var err error
+		if cmd.hyp == topology.NoNode {
+			_, err = s.c.CreateVM(cmd.name)
+		} else {
+			_, err = s.c.CreateVMOn(cmd.name, cmd.hyp)
+		}
+		if err != nil {
+			return errReply(err)
+		}
+		vm := s.c.VM(cmd.name)
+		hypDesc := ""
+		if n := s.c.SM.Topo.Node(vm.Hyp); n != nil {
+			hypDesc = n.Desc
+		}
+		return cmdReply{http.StatusCreated, VMResponse{
+			VMInfo: VMInfo{
+				Name:    vm.Name,
+				Node:    vm.Hyp,
+				HypDesc: hypDesc,
+				VF:      vm.VF,
+				LID:     uint16(vm.Addr.LID),
+				GUID:    vm.Addr.GUID.String(),
+				GID:     vm.Addr.GID.String(),
+			},
+			Cost: s.costFromWindow(before),
+		}}
+
+	case opDestroyVM:
+		if err := s.c.DestroyVM(cmd.name); err != nil {
+			return errReply(err)
+		}
+		return cmdReply{http.StatusOK, DestroyResponse{
+			Name: cmd.name,
+			Cost: s.costFromWindow(before),
+		}}
+
+	case opMigrateVM:
+		rep, err := s.c.MigrateVM(cmd.name, cmd.hyp)
+		if err != nil {
+			return errReply(err)
+		}
+		cost := s.costFromWindow(before)
+		// The migration report is authoritative; the span window fills in
+		// the cross-reference (root span ID, observed smp span count).
+		cost.SwitchesUpdated = rep.Plan.SwitchesUpdated
+		cost.LFTSMPs = rep.Plan.SMPs
+		cost.InvalidationSMPs = rep.Plan.InvalidationSMPs
+		cost.HostSMPs = rep.HostSMPs
+		cost.ModelledUS = rep.Plan.ModelledTime.Microseconds()
+		vm := s.c.VM(cmd.name)
+		return cmdReply{http.StatusOK, MigrateResponse{
+			Name:             cmd.name,
+			From:             rep.From,
+			To:               rep.To,
+			LID:              uint16(vm.Addr.LID),
+			AddressesChanged: rep.AddressesChanged,
+			DowntimeUS:       rep.Downtime.Microseconds(),
+			Cost:             cost,
+		}}
+
+	case opReconfigure:
+		rs, ds, err := s.c.SM.FullReconfigureCtx(s.opCtx)
+		resp := ReconfigureResponse{
+			Engine:            s.c.SM.Engine.Name(),
+			Paths:             rs.PathsComputed,
+			SwitchesUpdated:   ds.SwitchesUpdated,
+			SwitchesCancelled: ds.SwitchesCancelled,
+			SMPs:              ds.SMPs,
+			ModelledUS:        ds.ModelledTime.Microseconds(),
+		}
+		if errors.Is(err, context.Canceled) {
+			resp.Cancelled = true
+			return cmdReply{http.StatusServiceUnavailable, resp}
+		}
+		if err != nil {
+			return errReply(err)
+		}
+		return cmdReply{http.StatusOK, resp}
+	}
+	return cmdReply{http.StatusInternalServerError, map[string]string{"error": "unknown command"}}
+}
+
+// costFromWindow derives a cost report from the spans the operation just
+// emitted (span IDs are allocated in order and the loop is the only span
+// producer, so (before, LastSpanID] is exactly this operation's window).
+// For operations without an orchestrator-level report — VM boot and
+// teardown under dynamic LID assignment — the smp spans are the record.
+func (s *Server) costFromWindow(before int) CostReport {
+	var c CostReport
+	switches := map[string]struct{}{}
+	for _, sp := range s.tr.SpansSince(before) {
+		switch sp.Kind {
+		case telemetry.SpanSMP:
+			c.SpanSMPs++
+			c.LFTSMPs++
+			c.ModelledUS += sp.Modelled.Microseconds()
+			if sw, ok := sp.Attrs["switch"].(string); ok {
+				switches[sw] = struct{}{}
+			}
+		case telemetry.SpanMigration:
+			c.TraceSpan = sp.ID
+		}
+	}
+	c.SwitchesUpdated = len(switches)
+	return c
+}
+
+func errReply(err error) cmdReply {
+	return cmdReply{classifyErr(err), map[string]string{"error": err.Error()}}
+}
+
+// classifyErr maps the cloud's error vocabulary onto HTTP statuses. The
+// cloud reports errors as formatted strings (it predates this layer), so
+// the mapping is textual; anything unrecognised is a 500.
+func classifyErr(err error) int {
+	msg := err.Error()
+	switch {
+	case strings.Contains(msg, "already exists"),
+		strings.Contains(msg, "is already on node"),
+		strings.Contains(msg, "free VF"):
+		return http.StatusConflict
+	case strings.Contains(msg, "no VM "):
+		return http.StatusNotFound
+	case strings.Contains(msg, "not a hypervisor"):
+		return http.StatusBadRequest
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,62 @@
+package api
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// eventPollInterval is how often an SSE stream polls the tracer for new
+// events. The tracer has no subscription mechanism (it is a passive,
+// mutex-guarded ring), so streams tail it by sequence number.
+const eventPollInterval = 100 * time.Millisecond
+
+// handleEvents serves GET /v1/events as a Server-Sent Events stream of the
+// SM's event log (sweeps, distributions, migrations, VM lifecycle). Each
+// SSE message carries the event's sequence as its id, its category as the
+// event type and the message text as data. `?since=N` (or a Last-Event-ID
+// header, honouring SSE reconnect semantics) resumes after sequence N.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	last := 0
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		last, _ = strconv.Atoi(v)
+	}
+	if v := r.URL.Query().Get("since"); v != "" {
+		last, _ = strconv.Atoi(v)
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	ticker := time.NewTicker(eventPollInterval)
+	defer ticker.Stop()
+	for {
+		evs := s.tr.EventsSince(last)
+		for _, e := range evs {
+			// SSE data is line-framed; event messages are single-line by
+			// convention, but never let a stray newline break the framing.
+			msg := strings.ReplaceAll(e.Msg, "\n", " ")
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Category, msg)
+			last = e.Seq
+		}
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-s.opCtx.Done():
+			// Server shutting down: end the stream cleanly.
+			return
+		case <-ticker.C:
+		}
+	}
+}

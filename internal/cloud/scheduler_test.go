@@ -1,0 +1,104 @@
+package cloud
+
+import (
+	"strings"
+	"testing"
+
+	"ibvsim/internal/sriov"
+)
+
+// fillHyp attaches VMs on a specific hypervisor until it holds want VMs.
+func fillHyp(t *testing.T, c *Cloud, hypIdx, want int, prefix string) {
+	t.Helper()
+	hyp := c.Hypervisors()[hypIdx]
+	for i := c.VMCountOn(hyp); i < want; i++ {
+		name := prefix + string(rune('a'+hypIdx)) + "-" + string(rune('0'+i))
+		if _, err := c.CreateVMOn(name, hyp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSpreadTieBreaksToLowestNode: with every hypervisor equally loaded,
+// Spread must pick the lowest node ID, not an arbitrary map-order one.
+func TestSpreadTieBreaksToLowestNode(t *testing.T) {
+	c, _ := testCloud(t, sriov.VSwitchDynamic, Spread{})
+	hyps := c.Hypervisors()
+
+	// All empty: the first VM lands on the lowest hypervisor.
+	vm, err := c.CreateVM("tie-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Hyp != hyps[0] {
+		t.Fatalf("first VM on node %d, want lowest hypervisor %d", vm.Hyp, hyps[0])
+	}
+
+	// Level everything to one VM per hypervisor, then the next tie must
+	// again resolve to the lowest node ID.
+	for i := 1; i < len(hyps); i++ {
+		fillHyp(t, c, i, 1, "lvl")
+	}
+	vm2, err := c.CreateVM("tie-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Hyp != hyps[0] {
+		t.Fatalf("post-levelling tie went to node %d, want %d", vm2.Hyp, hyps[0])
+	}
+}
+
+// TestPackTieBreaksToLowestNode: among equally-most-loaded hypervisors with
+// space, Pack must pick the lowest node ID.
+func TestPackTieBreaksToLowestNode(t *testing.T) {
+	c, _ := testCloud(t, sriov.VSwitchDynamic, Pack{})
+	hyps := c.Hypervisors()
+
+	// Load hypervisors 0 and 1 to 2 VMs each (capacity is 3): both are the
+	// most loaded and both have a free VF — the tie.
+	fillHyp(t, c, 0, 2, "pk")
+	fillHyp(t, c, 1, 2, "pk")
+
+	vm, err := c.CreateVM("pack-tie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.Hyp != hyps[0] {
+		t.Fatalf("pack tie went to node %d, want lowest %d", vm.Hyp, hyps[0])
+	}
+	// Hypervisor 0 is now full (3/3): the next placement must go to the
+	// equally-loaded next-lowest candidate, node hyps[1].
+	vm2, err := c.CreateVM("pack-next")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm2.Hyp != hyps[1] {
+		t.Fatalf("full hypervisor not skipped: VM on node %d, want %d", vm2.Hyp, hyps[1])
+	}
+}
+
+// TestSchedulersAllFull: every policy returns the documented error once all
+// VFs are taken, and placement state is untouched by the failed attempt.
+func TestSchedulersAllFull(t *testing.T) {
+	for _, sched := range []Scheduler{FirstFit{}, Spread{}, Pack{}} {
+		c, _ := testCloud(t, sriov.VSwitchDynamic, sched)
+		total := 0
+		for i := range c.Hypervisors() {
+			fillHyp(t, c, i, 3, "full")
+			total += 3
+		}
+		if got := len(c.VMs()); got != total {
+			t.Fatalf("%T: created %d VMs, want %d", sched, got, total)
+		}
+		_, err := c.CreateVM("overflow")
+		if err == nil {
+			t.Fatalf("%T: CreateVM succeeded on a full cloud", sched)
+		}
+		if !strings.Contains(err.Error(), "no hypervisor has a free VF") {
+			t.Fatalf("%T: error %q, want the documented no-free-VF error", sched, err)
+		}
+		if got := len(c.VMs()); got != total {
+			t.Fatalf("%T: failed placement changed VM count to %d", sched, got)
+		}
+	}
+}

@@ -15,6 +15,7 @@ import (
 type LFT struct {
 	ports []PortNum // indexed by LID; length is a multiple of LFTBlockSize
 	dirty []uint64  // bitmap over block indices, set by Set since last ClearDirty
+	rev   uint64    // bumped on every effective Set; never reset (unlike dirty)
 }
 
 // NewLFT returns an LFT able to hold entries for LIDs 0..topLID (rounded up
@@ -54,11 +55,18 @@ func (t *LFT) Clone() *LFT {
 	c := &LFT{
 		ports: make([]PortNum, len(t.ports)),
 		dirty: make([]uint64, len(t.dirty)),
+		rev:   t.rev,
 	}
 	copy(c.ports, t.ports)
 	copy(c.dirty, t.dirty)
 	return c
 }
+
+// Rev returns the table's revision: a counter bumped every time Set changes
+// an entry, and never reset. Two reads of an unchanged table return the
+// same revision, which lets snapshot layers (the control-plane daemon's
+// copy-on-write fabric views) re-clone only tables that actually moved.
+func (t *LFT) Rev() uint64 { return t.rev }
 
 // NumBlocks returns the number of 64-entry blocks backing the table.
 func (t *LFT) NumBlocks() int { return len(t.ports) / LFTBlockSize }
@@ -106,6 +114,7 @@ func (t *LFT) Set(l LID, p PortNum) {
 		return
 	}
 	t.ports[l] = p
+	t.rev++
 	b := BlockOf(l)
 	t.dirty[b/64] |= 1 << (uint(b) % 64)
 }

@@ -1,0 +1,45 @@
+package ib
+
+import "testing"
+
+// TestLFTRev pins the revision-counter contract the control-plane
+// snapshot layer depends on: no-op Sets don't bump, effective Sets do,
+// ClearDirty leaves the revision alone, and clones carry it over.
+func TestLFTRev(t *testing.T) {
+	lft := NewLFT(100)
+	if lft.Rev() != 0 {
+		t.Fatalf("fresh table rev = %d, want 0", lft.Rev())
+	}
+	lft.Set(5, 3)
+	if lft.Rev() != 1 {
+		t.Fatalf("after one Set rev = %d, want 1", lft.Rev())
+	}
+	lft.Set(5, 3) // same value: no change
+	if lft.Rev() != 1 {
+		t.Fatalf("no-op Set bumped rev to %d", lft.Rev())
+	}
+	lft.ClearDirty()
+	if lft.Rev() != 1 {
+		t.Fatalf("ClearDirty changed rev to %d", lft.Rev())
+	}
+	lft.Set(5, 7)
+	if lft.Rev() != 2 {
+		t.Fatalf("effective Set after ClearDirty: rev = %d, want 2", lft.Rev())
+	}
+	c := lft.Clone()
+	if c.Rev() != lft.Rev() {
+		t.Fatalf("clone rev = %d, want %d", c.Rev(), lft.Rev())
+	}
+	c.Set(6, 1)
+	if c.Rev() != 3 || lft.Rev() != 2 {
+		t.Fatalf("clone divergence: clone rev %d (want 3), original %d (want 2)", c.Rev(), lft.Rev())
+	}
+	// Swap of two differing entries bumps twice (two effective Sets).
+	before := lft.Rev()
+	lft.Set(10, 1)
+	lft.Set(11, 2)
+	lft.Swap(10, 11)
+	if lft.Rev() != before+4 {
+		t.Fatalf("swap accounting: rev = %d, want %d", lft.Rev(), before+4)
+	}
+}

@@ -1,6 +1,7 @@
 package sm
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -78,6 +79,11 @@ type DistributionStats struct {
 	SwitchesUpdated int
 	SwitchesSkipped int
 	SwitchesFailed  int
+	// SwitchesCancelled counts switches whose programming was cut short by
+	// context cancellation (daemon shutdown): blocks already acknowledged
+	// are committed to the programmed view, the rest stay pending for the
+	// next distribution.
+	SwitchesCancelled int
 	// SMPs counts unique LFT blocks acknowledged by switches. A block that
 	// needed several attempts still counts once here; the extra attempts
 	// are SMPsRetried. SMPsAbandoned blocks exhausted the retry budget.
@@ -103,7 +109,14 @@ type DistributionStats struct {
 // SMPs (the OpenSM default for reconfiguration, since routes toward the
 // switches may themselves be changing).
 func (s *SubnetManager) DistributeDiff() (DistributionStats, error) {
-	return s.distribute(false, smp.DirectedRoute)
+	return s.distribute(context.Background(), false, smp.DirectedRoute)
+}
+
+// DistributeDiffCtx is DistributeDiff under a context: cancelling ctx makes
+// the worker pool stop claiming switches and cut in-flight switches short
+// after their current block, returning ctx.Err() with the partial stats.
+func (s *SubnetManager) DistributeDiffCtx(ctx context.Context) (DistributionStats, error) {
+	return s.distribute(ctx, false, smp.DirectedRoute)
 }
 
 // DistributeFull re-sends the complete populated table of every switch —
@@ -113,7 +126,13 @@ func (s *SubnetManager) DistributeDiff() (DistributionStats, error) {
 // "Min SMPs Full RC" column equals the SMPs this method sends when LIDs are
 // densely assigned.
 func (s *SubnetManager) DistributeFull() (DistributionStats, error) {
-	return s.distribute(true, smp.DirectedRoute)
+	return s.distribute(context.Background(), true, smp.DirectedRoute)
+}
+
+// DistributeFullCtx is DistributeFull under a context (see
+// DistributeDiffCtx for the cancellation semantics).
+func (s *SubnetManager) DistributeFullCtx(ctx context.Context) (DistributionStats, error) {
+	return s.distribute(ctx, true, smp.DirectedRoute)
 }
 
 // distJob is one switch's share of a distribution: the blocks to push and
@@ -130,6 +149,7 @@ type distResult struct {
 	delivered []int // blocks acknowledged by the switch
 	retried   int   // retransmissions beyond each block's first attempt
 	abandoned int   // blocks that exhausted the retry budget
+	cancelled bool  // context cancellation cut the job short
 	modelled  time.Duration
 	err       error // hard transport error (aborts the remaining blocks)
 }
@@ -139,7 +159,7 @@ type distResult struct {
 // blocks remain strictly ordered. Lost SMPs (smp.ErrTimeout from a faulty
 // transport) are retransmitted per the retry policy; hard transport errors
 // abort the affected switch but the other switches still complete.
-func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats, error) {
+func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode) (DistributionStats, error) {
 	start := time.Now()
 	var st DistributionStats
 	st.Mode = mode
@@ -198,6 +218,7 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		span.SetAttr("switches_updated", st.SwitchesUpdated)
 		span.SetAttr("switches_skipped", st.SwitchesSkipped)
 		span.SetAttr("switches_failed", st.SwitchesFailed)
+		span.SetAttr("switches_cancelled", st.SwitchesCancelled)
 		span.SetModelled(st.ModelledTime)
 		span.End()
 	}()
@@ -233,7 +254,13 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 				if i >= len(jobs) {
 					return
 				}
-				results[i] = s.runDistJob(jobs[i], mode)
+				if ctx.Err() != nil {
+					// Keep claiming so every job gets a (cancelled) result,
+					// but send nothing further.
+					results[i] = distResult{cancelled: true}
+					continue
+				}
+				results[i] = s.runDistJob(ctx, jobs[i], mode)
 			}
 		}()
 	}
@@ -251,11 +278,27 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		if r.err != nil && firstErr == nil {
 			firstErr = r.err
 		}
-		if r.err == nil && r.abandoned == 0 {
+		switch {
+		case r.cancelled && r.err == nil && r.abandoned == 0:
+			// Shutdown cut this switch short: commit what was acknowledged,
+			// leave the rest for the next distribution.
+			st.SwitchesCancelled++
+			prog := s.programmed[job.sw]
+			if prog == nil {
+				prog = ib.NewLFTBlocks(job.tgt.NumBlocks())
+				s.programmed[job.sw] = prog
+			}
+			for _, b := range r.delivered {
+				prog.CopyBlockFrom(job.tgt, b)
+			}
+			prog.ClearDirty()
+			s.log.Addf(EvDistribute, "distribute: %q cancelled: %d/%d blocks delivered",
+				s.Topo.Node(job.sw).Desc, len(r.delivered), len(job.blocks))
+		case r.err == nil && r.abandoned == 0:
 			st.SwitchesUpdated++
 			s.programmed[job.sw] = job.tgt.Clone()
 			s.programmed[job.sw].ClearDirty()
-		} else {
+		default:
 			st.SwitchesFailed++
 			// Only the acknowledged blocks are known to be on the switch.
 			prog := s.programmed[job.sw]
@@ -305,6 +348,9 @@ func (s *SubnetManager) distribute(full bool, mode smp.Mode) (DistributionStats,
 		s.log.Addf(EvDistribute, "distribute: skipped %d unreachable switches: %s",
 			len(skipped), strings.Join(skipped, ", "))
 	}
+	if st.SwitchesCancelled > 0 && firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	return st, firstErr
 }
 
@@ -330,12 +376,17 @@ func (s *SubnetManager) attemptCost(mode smp.Mode, attempts int, err error) time
 
 // runDistJob pushes one switch's blocks in order, retrying timeouts, and
 // accounts the modelled time of every attempt on this switch's serial
-// channel.
-func (s *SubnetManager) runDistJob(job distJob, mode smp.Mode) distResult {
+// channel. Cancelling ctx stops the job after the block in flight; the
+// blocks already acknowledged are reported so the join can commit them.
+func (s *SubnetManager) runDistJob(ctx context.Context, job distJob, mode smp.Mode) distResult {
 	var res distResult
 	pol := s.Dist.Retry
 	smpHist := s.tel.Registry().Histogram("sm.dist.smp_modelled_us", nil)
 	for _, b := range job.blocks {
+		if ctx.Err() != nil {
+			res.cancelled = true
+			return res
+		}
 		attempts, err := s.sendBlockReliably(job.sw, b, mode, pol)
 		cost := s.attemptCost(mode, attempts, err)
 		res.modelled += cost
@@ -500,10 +551,18 @@ func (s *SubnetManager) Bootstrap() (SweepStats, RouteStats, DistributionStats, 
 // (LFTDt = n*m*(k+r)). The paper's point is that doing this per VM
 // migration is untenable; the core package's planners replace it.
 func (s *SubnetManager) FullReconfigure() (RouteStats, DistributionStats, error) {
+	return s.FullReconfigureCtx(context.Background())
+}
+
+// FullReconfigureCtx is FullReconfigure under a context: the control-plane
+// daemon cancels it on shutdown so an in-flight full LFT distribution
+// aborts cleanly (path computation itself runs to completion; it holds no
+// fabric state).
+func (s *SubnetManager) FullReconfigureCtx(ctx context.Context) (RouteStats, DistributionStats, error) {
 	rs, err := s.ComputeRoutes()
 	if err != nil {
 		return RouteStats{}, DistributionStats{}, err
 	}
-	ds, err := s.DistributeFull()
+	ds, err := s.DistributeFullCtx(ctx)
 	return RouteStats{Stats: rs}, ds, err
 }

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// promName sanitises an instrument name into the Prometheus metric-name
+// alphabet [a-zA-Z0-9_:]: the registry's dotted names ("sm.dist.smps")
+// become underscore-separated ("sm_dist_smps").
+func promName(name string) string {
+	var sb strings.Builder
+	sb.Grow(len(name))
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			sb.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				sb.WriteByte('_')
+			}
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}
+
+// WritePrometheus exports the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative _bucket/_sum/_count series with microsecond "le" bounds.
+// Families are emitted in sorted (sanitised) name order, each preceded by
+// its # TYPE line, so the output is deterministic for a given registry
+// state. Wall-marked histograms are included: a /metrics scrape is live
+// monitoring, not a golden file.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	type family struct {
+		name  string
+		lines []string
+	}
+	var fams []family
+
+	r.mu.Lock()
+	for name, c := range r.counters {
+		n := promName(name)
+		fams = append(fams, family{n, []string{
+			fmt.Sprintf("# TYPE %s counter", n),
+			fmt.Sprintf("%s %d", n, c.Value()),
+		}})
+	}
+	for name, g := range r.gauges {
+		n := promName(name)
+		fams = append(fams, family{n, []string{
+			fmt.Sprintf("# TYPE %s gauge", n),
+			fmt.Sprintf("%s %d", n, g.Value()),
+		}})
+	}
+	for name, h := range r.hists {
+		n := promName(name)
+		h.mu.Lock()
+		lines := make([]string, 0, len(h.bounds)+4)
+		lines = append(lines, fmt.Sprintf("# TYPE %s histogram", n))
+		cum := int64(0)
+		for i, b := range h.bounds {
+			cum += h.counts[i]
+			lines = append(lines, fmt.Sprintf("%s_bucket{le=\"%d\"} %d", n, b, cum))
+		}
+		lines = append(lines,
+			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, h.count),
+			fmt.Sprintf("%s_sum %d", n, h.sum),
+			fmt.Sprintf("%s_count %d", n, h.count),
+		)
+		h.mu.Unlock()
+		fams = append(fams, family{n, lines})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		for _, l := range f.lines {
+			if _, err := io.WriteString(w, l+"\n"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

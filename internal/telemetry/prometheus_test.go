@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Prometheus golden file")
+
+// TestWritePrometheusGolden pins the text exposition format byte-for-byte:
+// family ordering, name sanitisation, cumulative bucket counts and the
+// _sum/_count tail. The daemon's /metrics endpoint serves exactly this.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("sm.dist.smps").Add(42)
+	r.Counter("api.rejects").Inc()
+	r.Gauge("api.queue_depth").Set(3)
+	h := r.Histogram("sm.dist.smp_modelled_us", []int64{5, 10, 50})
+	h.Observe(4)
+	h.Observe(9)
+	h.Observe(9)
+	h.Observe(400) // overflow bucket
+	wh := r.WallHistogram("api.latency_us", []int64{100, 1000})
+	wh.ObserveDuration(250 * time.Microsecond)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "metrics.prom.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-golden)", err)
+	}
+	if got != string(want) {
+		t.Errorf("Prometheus exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWritePrometheusNilAndEmpty(t *testing.T) {
+	var nilReg *Registry
+	var sb strings.Builder
+	if err := nilReg.WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("nil registry: err=%v out=%q", err, sb.String())
+	}
+	if err := NewRegistry().WritePrometheus(&sb); err != nil || sb.Len() != 0 {
+		t.Fatalf("empty registry: err=%v out=%q", err, sb.String())
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sm.dist.smps":     "sm_dist_smps",
+		"api.latency-us":   "api_latency_us",
+		"9lives":           "_9lives",
+		"already_ok:total": "already_ok:total",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

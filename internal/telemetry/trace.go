@@ -262,6 +262,23 @@ func (t *Tracer) Events() []Event {
 	return append([]Event(nil), t.events...)
 }
 
+// EventsSince returns a copy of the retained events with Seq > afterSeq,
+// oldest first. Streaming consumers (the daemon's SSE endpoint) tail the
+// stream by passing the last sequence number they delivered, so each poll
+// copies only the new suffix rather than the whole ring.
+func (t *Tracer) EventsSince(afterSeq int) []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.Search(len(t.events), func(i int) bool { return t.events[i].Seq > afterSeq })
+	if i == len(t.events) {
+		return nil
+	}
+	return append([]Event(nil), t.events[i:]...)
+}
+
 // snapshot copies the span list under the lock; span fields are then read
 // under each span's own mutex.
 func (t *Tracer) snapshot() []*Span {
@@ -271,6 +288,60 @@ func (t *Tracer) snapshot() []*Span {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return append([]*Span(nil), t.spans...)
+}
+
+// SpanView is a read-only copy of one span's state, for programmatic
+// consumers (the control-plane daemon derives per-operation cost reports
+// from the span window an operation produced). Attrs is a fresh map.
+type SpanView struct {
+	ID       int
+	Parent   int
+	Kind     SpanKind
+	Name     string
+	Attrs    map[string]any
+	Modelled time.Duration
+	Wall     time.Duration
+}
+
+// LastSpanID returns the highest span ID allocated so far (0 when none).
+// Combined with SpansSince it brackets the spans one operation emitted:
+// IDs are handed out in allocation order under the tracer's lock.
+func (t *Tracer) LastSpanID() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.nextID
+}
+
+// SpansSince returns copies of every span with ID > afterID, in ID order.
+// Pass 0 for all spans.
+func (t *Tracer) SpansSince(afterID int) []SpanView {
+	var out []SpanView
+	for _, sp := range t.snapshot() {
+		if sp.id <= afterID {
+			continue
+		}
+		sp.mu.Lock()
+		v := SpanView{
+			ID:       sp.id,
+			Parent:   sp.parent,
+			Kind:     sp.kind,
+			Name:     sp.name,
+			Modelled: sp.modelled,
+			Wall:     sp.wall,
+		}
+		if len(sp.attrs) > 0 {
+			v.Attrs = make(map[string]any, len(sp.attrs))
+			for k, a := range sp.attrs {
+				v.Attrs[k] = a
+			}
+		}
+		sp.mu.Unlock()
+		out = append(out, v)
+	}
+	return out
 }
 
 // spanJSON fixes the trace export schema and its field order.
