@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,6 +28,10 @@ import (
 	"ibvsim/internal/telemetry"
 )
 
+// logger carries run progress on stderr; stdout stays reserved for the
+// rendered experiment artifacts.
+var logger = slog.New(slog.NewTextHandler(os.Stderr, nil)).With("component", "experiments")
+
 func main() {
 	exp := flag.String("exp", "all", "experiment: fig7|table1|leaflocal|deadlock|capacity|costmodel|faulty|all")
 	full := flag.Bool("full", false, "run the expensive Fig.7 combinations (dfsssp/lash on 3-level fabrics; can take many minutes to hours)")
@@ -37,13 +42,17 @@ func main() {
 	seed := flag.Int64("seed", 1, "faulty: fault-schedule seed")
 	workers := flag.Int("workers", 0, "routing-engine worker count (0 = one per CPU); results are identical for every value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file (inspect with go tool pprof)")
-	traceOut := flag.String("trace", "", "write the reconfiguration trace (spans + events) as JSON to this file (leaflocal)")
+	traceOut := flag.String("trace", "", "write the reconfiguration trace (spans + events) to this file (leaflocal)")
+	traceFormat := flag.String("trace-format", "json", "trace file format: json|chrome (chrome = Trace Event Format, loads in Perfetto)")
 	metricsOut := flag.String("metrics", "", "write the metrics registry to this file (leaflocal)")
 	metricsFormat := flag.String("metrics-format", "json", "metrics file format: json|prom (prom = Prometheus text exposition)")
 	flag.Parse()
 
 	if *metricsFormat != "json" && *metricsFormat != "prom" {
 		fatal(fmt.Errorf("unknown -metrics-format %q (want json or prom)", *metricsFormat))
+	}
+	if *traceFormat != "json" && *traceFormat != "chrome" {
+		fatal(fmt.Errorf("unknown -trace-format %q (want json or chrome)", *traceFormat))
 	}
 
 	var hub *telemetry.Hub
@@ -84,16 +93,19 @@ func main() {
 			var comboStart time.Time
 			starting := func(engine string, nodes int) {
 				comboStart = time.Now()
-				fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: computing (workers=%d) ...\n", engine, nodes, w)
+				logger.Info("fig7 computing", "engine", engine, "nodes", nodes, "workers", w)
 			}
 			progress := func(r experiments.Fig7Row) {
 				if r.Err != "" {
-					fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: failed after %v: %s\n",
-						r.Engine, r.Nodes, time.Since(comboStart).Round(time.Millisecond), r.Err)
+					logger.Error("fig7 combination failed",
+						"engine", r.Engine, "nodes", r.Nodes,
+						"elapsed", time.Since(comboStart).Round(time.Millisecond), "err", r.Err)
 					return
 				}
-				fmt.Fprintf(os.Stderr, "fig7: %s @ %d nodes: PCt = %v (elapsed %v incl. sweep+LID setup)\n",
-					r.Engine, r.Nodes, r.PCt, time.Since(comboStart).Round(time.Millisecond))
+				// elapsed includes the sweep and LID setup, not just PCt.
+				logger.Info("fig7 combination done",
+					"engine", r.Engine, "nodes", r.Nodes, "pct", r.PCt,
+					"elapsed", time.Since(comboStart).Round(time.Millisecond))
 			}
 			rows, err := experiments.Fig7(experiments.Fig7Options{
 				Sizes: sz, Full: *full, Progress: progress, Starting: starting, Workers: *workers,
@@ -206,7 +218,11 @@ func main() {
 	// harness with modelled time only).
 	opts := telemetry.Options{IncludeWall: true, IncludeEvents: true}
 	if *traceOut != "" {
-		writeJSON(*traceOut, func(w io.Writer) error { return hub.Trace.WriteJSON(w, opts) })
+		if *traceFormat == "chrome" {
+			writeJSON(*traceOut, func(w io.Writer) error { return hub.Trace.WriteChromeTrace(w, opts) })
+		} else {
+			writeJSON(*traceOut, func(w io.Writer) error { return hub.Trace.WriteJSON(w, opts) })
+		}
 	}
 	if *metricsOut != "" {
 		if *metricsFormat == "prom" {
@@ -226,7 +242,7 @@ func writeJSON(path string, write func(io.Writer) error) {
 	if err := write(f); err != nil {
 		fatal(err)
 	}
-	fmt.Println("wrote", path)
+	logger.Info("wrote file", "path", path)
 }
 
 func writeCSV(path string, write func(io.Writer) error) {
@@ -238,10 +254,10 @@ func writeCSV(path string, write func(io.Writer) error) {
 	if err := write(f); err != nil {
 		fatal(err)
 	}
-	fmt.Println("wrote", path)
+	logger.Info("wrote file", "path", path)
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "experiments:", err)
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -10,19 +10,23 @@
 //	ibsimd -addr :8080 -topo fattree -nodes 324 -model dynamic
 //	ibsimd -topo torus -rows 4 -cols 4 -cas 2 -engine dfsssp -sched pack
 //	ibsimd -topo ring -switches 8 -cas 2 -model prepopulated -vfs 8
+//	ibsimd -audit-interval 5s -flight-dir /var/tmp/ibsim -pprof :6060
 //
 // Then:
 //
 //	curl -X POST localhost:8080/v1/vms -d '{"name":"vm0"}'
 //	curl -X POST localhost:8080/v1/vms/vm0/migrate -d '{"destination":42}'
 //	curl localhost:8080/v1/paths/vm0/1 ; curl localhost:8080/metrics
+//	curl 'localhost:8080/v1/audit?run=full' ; curl localhost:8080/v1/flightrecorder
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,28 +57,34 @@ func main() {
 	queue := flag.Int("queue", api.DefaultQueueDepth, "admission queue depth (429 past this)")
 	workers := flag.Int("workers", 0, "routing worker pool size (0 = one per CPU)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	auditInterval := flag.Duration("audit-interval", 0, "cadence of background full-scope fabric audits (0 = post-mutation audits only)")
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder violation dumps (empty = in-memory only)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = disabled)")
+	logJSON := flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	flag.Parse()
+
+	logger := newLogger(*logJSON).With("component", "ibsimd")
 
 	topo, err := buildTopo(*topoKind, *nodes, *switches, *rows, *cols, *cas, *radix, *extra, *seed)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	eng, err := routing.New(*engine)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	m, err := parseModel(*model)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 	scheduler, err := parseSched(*sched)
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
 
 	caNodes := topo.CAs()
 	if len(caNodes) < 2 {
-		fatal(fmt.Errorf("topology has %d CAs; need at least an SM and one hypervisor", len(caNodes)))
+		fatal(logger, fmt.Errorf("topology has %d CAs; need at least an SM and one hypervisor", len(caNodes)))
 	}
 	c, boot, err := cloud.New(topo, caNodes[0], caNodes[1:], cloud.Config{
 		Model:            m,
@@ -84,40 +94,80 @@ func main() {
 		RouteWorkers:     *workers,
 	})
 	if err != nil {
-		fatal(err)
+		fatal(logger, err)
 	}
-	fmt.Printf("fabric:       %s (%s)\n", topo, topo.DegreeSummary())
-	fmt.Printf("cloud:        model=%s, %d hypervisors x %d VFs, scheduler=%s, %d VF LIDs prepopulated\n",
-		m, len(c.Hypervisors()), *vfs, *sched, boot.PrepopulatedLIDs)
-	fmt.Printf("bootstrap:    PCt=%v, %d distribution SMPs to %d switches\n",
-		boot.Routing.Duration, boot.Distribution.SMPs, boot.Distribution.SwitchesUpdated)
+	logger.Info("fabric booted", "fabric", topo.String(), "degrees", topo.DegreeSummary())
+	logger.Info("cloud ready",
+		"model", m.String(), "hypervisors", len(c.Hypervisors()), "vfs", *vfs,
+		"scheduler", *sched, "prepopulated_lids", boot.PrepopulatedLIDs)
+	logger.Info("bootstrap done",
+		"path_compute", boot.Routing.Duration,
+		"smps", boot.Distribution.SMPs, "switches_updated", boot.Distribution.SwitchesUpdated)
 
-	apiSrv := api.NewServer(c, api.Config{QueueDepth: *queue})
+	apiSrv := api.NewServer(c, api.Config{
+		QueueDepth:    *queue,
+		AuditInterval: *auditInterval,
+		FlightDir:     *flightDir,
+		Logger:        newLogger(*logJSON).With("component", "api"),
+	})
 	httpSrv := &http.Server{Addr: *addr, Handler: apiSrv.Handler()}
+
+	// pprof gets its own mux on its own listener: the profiling surface
+	// stays off the API port, so exposing the daemon never exposes
+	// goroutine dumps or CPU profiles. Handlers are registered explicitly —
+	// importing net/http/pprof for its DefaultServeMux side effect would
+	// silently mount them on anything else using the default mux.
+	var pprofSrv *http.Server
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pprofSrv = &http.Server{Addr: *pprofAddr, Handler: pmux}
+		go func() {
+			if err := pprofSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.ListenAndServe() }()
-	fmt.Printf("listening:    %s\n", *addr)
+	logger.Info("listening", "addr", *addr,
+		"audit_interval", *auditInterval, "flight_dir", *flightDir)
 
 	select {
 	case err := <-serveErr:
-		fatal(err)
+		fatal(logger, err)
 	case <-ctx.Done():
 	}
-	fmt.Printf("shutting down: draining admission queue (budget %v)\n", *drain)
+	logger.Info("shutting down", "drain_budget", *drain)
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	// Drain the command loop first — its final opCancel also terminates
 	// event streams, so the listener shutdown below completes promptly.
 	if err := apiSrv.Shutdown(shCtx); err != nil {
-		fmt.Fprintln(os.Stderr, "ibsimd: drain deadline passed; in-flight distribution aborted")
+		logger.Warn("drain deadline passed; in-flight distribution aborted")
 	}
 	if err := httpSrv.Shutdown(shCtx); err != nil {
 		httpSrv.Close()
 	}
-	fmt.Println("bye")
+	if pprofSrv != nil {
+		pprofSrv.Close()
+	}
+	logger.Info("bye")
+}
+
+func newLogger(asJSON bool) *slog.Logger {
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, nil))
 }
 
 func parseModel(s string) (sriov.Model, error) {
@@ -167,7 +217,7 @@ func buildTopo(kind string, nodes, switches, rows, cols, cas, radix, extra int, 
 	}
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ibsimd:", err)
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
 	os.Exit(1)
 }

@@ -13,6 +13,7 @@
 //
 //	ibsimd -topo fattree -nodes 324 &
 //	ibsimload -addr http://127.0.0.1:8080 -c 32 -duration 5s
+//	ibsimload -json -duration 5s | jq .failures   # machine-readable report
 package main
 
 import (
@@ -41,14 +42,22 @@ func main() {
 	wMigrate := flag.Int("migrate", 2, "migrate weight in the op mix")
 	wDestroy := flag.Int("destroy", 1, "destroy weight in the op mix")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	jsonOut := flag.Bool("json", false, "write the final report as JSON to stdout (progress text moves to stderr)")
 	flag.Parse()
+
+	// With -json, stdout carries exactly one JSON document so CI can pipe
+	// the run straight into a parser; everything human goes to stderr.
+	human := os.Stdout
+	if *jsonOut {
+		human = os.Stderr
+	}
 
 	client := &http.Client{Timeout: *timeout}
 	topo, err := fetchTopology(client, *addr)
 	if err != nil {
 		fatal(fmt.Errorf("cannot reach daemon at %s: %w", *addr, err))
 	}
-	fmt.Printf("target: %s — %s, model=%s, %d hypervisors\n",
+	fmt.Fprintf(human, "target: %s — %s, model=%s, %d hypervisors\n",
 		*addr, topo.Fabric, topo.Model, len(topo.Hypervisors))
 
 	coord := newCoordinator(topo.Hypervisors)
@@ -84,18 +93,75 @@ func main() {
 		total.merge(&results[i])
 	}
 	ops := len(total.lat[opCreate]) + len(total.lat[opMigrate]) + len(total.lat[opDestroy])
-	fmt.Printf("\nran %v with %d workers\n", elapsed.Round(time.Millisecond), *workers)
-	fmt.Printf("ops: %d total, %.1f ops/s (%d failed, %d backpressure retries)\n",
+	fmt.Fprintf(human, "\nran %v with %d workers\n", elapsed.Round(time.Millisecond), *workers)
+	fmt.Fprintf(human, "ops: %d total, %.1f ops/s (%d failed, %d backpressure retries)\n",
 		ops, float64(ops)/elapsed.Seconds(), total.failures, total.retries)
 	for _, op := range []opKind{opCreate, opMigrate, opDestroy} {
-		printLatencies(op.String(), total.lat[op])
+		printLatencies(human, op.String(), total.lat[op])
 	}
 	for _, msg := range total.failureMsgs {
 		fmt.Fprintln(os.Stderr, "failure:", msg)
 	}
+	if *jsonOut {
+		if err := writeReport(os.Stdout, *workers, elapsed, &total); err != nil {
+			fatal(err)
+		}
+	}
 	if total.failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// opReport is the per-operation block of the -json report (latencies in µs).
+type opReport struct {
+	Ops   int   `json:"ops"`
+	P50US int64 `json:"p50_us"`
+	P90US int64 `json:"p90_us"`
+	P99US int64 `json:"p99_us"`
+	MaxUS int64 `json:"max_us"`
+}
+
+// loadReport is the -json document ibsimload writes to stdout: one run,
+// machine-readable, stable field names for CI assertions.
+type loadReport struct {
+	ElapsedMS   int64               `json:"elapsed_ms"`
+	Workers     int                 `json:"workers"`
+	OpsTotal    int                 `json:"ops_total"`
+	OpsPerSec   float64             `json:"ops_per_sec"`
+	Failures    int                 `json:"failures"`
+	Retries     int                 `json:"retries"`
+	PerOp       map[string]opReport `json:"per_op"`
+	FailureMsgs []string            `json:"failure_msgs,omitempty"`
+}
+
+func writeReport(w io.Writer, workers int, elapsed time.Duration, total *workerStats) error {
+	ops := 0
+	perOp := map[string]opReport{}
+	for _, op := range []opKind{opCreate, opMigrate, opDestroy} {
+		lat := total.lat[op]
+		ops += len(lat)
+		r := opReport{Ops: len(lat)}
+		if len(lat) > 0 {
+			sorted := append([]time.Duration(nil), lat...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			pct := func(p int) int64 { return sorted[p*(len(sorted)-1)/100].Microseconds() }
+			r.P50US, r.P90US, r.P99US = pct(50), pct(90), pct(99)
+			r.MaxUS = sorted[len(sorted)-1].Microseconds()
+		}
+		perOp[op.String()] = r
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(loadReport{
+		ElapsedMS:   elapsed.Milliseconds(),
+		Workers:     workers,
+		OpsTotal:    ops,
+		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		Failures:    total.failures,
+		Retries:     total.retries,
+		PerOp:       perOp,
+		FailureMsgs: total.failureMsgs,
+	})
 }
 
 func fetchTopology(client *http.Client, addr string) (api.TopologyResponse, error) {
@@ -387,9 +453,9 @@ func (w *worker) do(method, path string, body any) (int, string, time.Duration) 
 
 // --- reporting ------------------------------------------------------------
 
-func printLatencies(name string, lat []time.Duration) {
+func printLatencies(w io.Writer, name string, lat []time.Duration) {
 	if len(lat) == 0 {
-		fmt.Printf("%-8s 0 ops\n", name+":")
+		fmt.Fprintf(w, "%-8s 0 ops\n", name+":")
 		return
 	}
 	sorted := append([]time.Duration(nil), lat...)
@@ -398,7 +464,7 @@ func printLatencies(name string, lat []time.Duration) {
 		idx := p * (len(sorted) - 1) / 100
 		return sorted[idx]
 	}
-	fmt.Printf("%-8s %6d ops  p50 %v  p90 %v  p99 %v  max %v\n",
+	fmt.Fprintf(w, "%-8s %6d ops  p50 %v  p90 %v  p99 %v  max %v\n",
 		name+":", len(sorted),
 		pct(50).Round(time.Microsecond), pct(90).Round(time.Microsecond),
 		pct(99).Round(time.Microsecond), sorted[len(sorted)-1].Round(time.Microsecond))

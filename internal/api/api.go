@@ -27,13 +27,17 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"ibvsim/internal/audit"
 	"ibvsim/internal/cloud"
+	"ibvsim/internal/ib"
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
@@ -45,6 +49,20 @@ type Config struct {
 	QueueDepth int
 	// RetryAfter is the hint returned with 429 responses. 0 means one second.
 	RetryAfter time.Duration
+	// AuditInterval is the cadence of full-scope background audits
+	// (reachability + hygiene + installed-routing CDG). 0 disables the
+	// cadence; the cheap post-mutation audit always runs.
+	AuditInterval time.Duration
+	// FlightDir, when set, is where the flight recorder writes violation
+	// dumps as JSON files (created on first dump). Dumps are always kept
+	// in memory and served at /v1/flightrecorder regardless.
+	FlightDir string
+	// FlightEntries caps the flight recorder's ring. 0 means the
+	// recorder's default.
+	FlightEntries int
+	// Logger receives structured request/mutation/audit logs. nil means
+	// discard.
+	Logger *slog.Logger
 }
 
 // DefaultQueueDepth is the admission-queue bound when Config leaves it 0.
@@ -74,6 +92,15 @@ type Server struct {
 	closed   bool
 	loopDone chan struct{}
 
+	// Observability: auditor + flight recorder (tentpole of the health
+	// monitoring layer), structured logger, request-ID allocator.
+	aud       *audit.Auditor
+	rec       *audit.Recorder
+	log       *slog.Logger
+	reqSeq    atomic.Int64
+	auditStop chan struct{} // nil when no cadence goroutine is running
+	auditDone chan struct{}
+
 	// Loop-owned state (never touched by handlers).
 	gen     uint64
 	lftRevs map[topology.NodeID]uint64
@@ -94,6 +121,9 @@ func NewServer(c *cloud.Cloud, cfg Config) *Server {
 	if cfg.RetryAfter <= 0 {
 		cfg.RetryAfter = time.Second
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	hub := c.SM.Telemetry()
 	s := &Server{
 		c:          c,
@@ -104,11 +134,33 @@ func NewServer(c *cloud.Cloud, cfg Config) *Server {
 		retryAfter: cfg.RetryAfter,
 		loopDone:   make(chan struct{}),
 		lftRevs:    map[topology.NodeID]uint64{},
+		log:        cfg.Logger,
+	}
+	s.rec = audit.NewRecorder(hub.Tracer(), cfg.FlightDir, cfg.FlightEntries)
+	s.aud = audit.New(hub, s.rec, audit.Config{})
+	// Transient-deadlock monitor (section VI-C live): the SM calls this on
+	// the actor goroutine the moment a distribution starts mixing Rold and
+	// Rnew, so reading SM state here is race free.
+	s.c.SM.OnDistribute = func(old, target map[topology.NodeID]*ib.LFT) {
+		dlids := make([]ib.LID, 0, 64)
+		for _, tg := range s.c.SM.Targets() {
+			dlids = append(dlids, tg.LID)
+		}
+		rep := s.aud.CheckTransition(s.c.SM.Topo, old, target, s.c.SM.NodeOfLID, dlids)
+		if rep.Total > 0 {
+			s.log.Warn("transient CDG violation during LFT distribution",
+				"violations", rep.Total)
+		}
 	}
 	s.opCtx, s.opCancel = context.WithCancel(context.Background())
 	s.snap.Store(s.buildSnapshot(nil))
 	s.routes()
 	go s.loop()
+	if cfg.AuditInterval > 0 {
+		s.auditStop = make(chan struct{})
+		s.auditDone = make(chan struct{})
+		go s.auditLoop(cfg.AuditInterval)
+	}
 	return s
 }
 
@@ -127,19 +179,40 @@ func (s *Server) routes() {
 	s.handle("GET /v1/vms/{name}", "vms_get", s.handleGetVM)
 	s.handle("GET /v1/paths/{src}/{dst}", "paths", s.handlePath)
 	s.handle("GET /v1/events", "events", s.handleEvents)
+	s.handle("GET /v1/audit", "audit", s.handleAudit)
+	s.handle("GET /v1/flightrecorder", "flightrecorder", s.handleFlightRecorder)
 	s.handle("POST /v1/vms", "vms_create", s.handleCreateVM)
 	s.handle("DELETE /v1/vms/{name}", "vms_destroy", s.handleDestroyVM)
 	s.handle("POST /v1/vms/{name}/migrate", "vms_migrate", s.handleMigrateVM)
 	s.handle("POST /v1/reconfigure", "reconfigure", s.handleReconfigure)
 }
 
-// handle registers a pattern with per-endpoint request counting and
-// wall-clock latency histograms (api.latency.<op>_us).
+// reqIDKey carries the per-request ID through the request context.
+type reqIDKey struct{}
+
+// requestID returns the ID assigned to the request by handle ("" outside
+// the handler chain, e.g. in tests constructing bare requests).
+func requestID(r *http.Request) string {
+	id, _ := r.Context().Value(reqIDKey{}).(string)
+	return id
+}
+
+// handle registers a pattern with per-endpoint request counting, wall-clock
+// latency histograms (api.latency.<op>_us) and request-ID assignment: an
+// inbound X-Request-ID is honoured, otherwise one is allocated, and either
+// way the ID is echoed on the response and threaded to the mutation log and
+// the flight recorder.
 func (s *Server) handle(pattern, op string, h http.HandlerFunc) {
 	ctr := s.reg.Counter("api.requests." + op)
 	hist := s.reg.WallHistogram("api.latency."+op+"_us", nil)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		reqID := r.Header.Get("X-Request-ID")
+		if reqID == "" {
+			reqID = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", reqID)
+		r = r.WithContext(context.WithValue(r.Context(), reqIDKey{}, reqID))
 		h(w, r)
 		ctr.Inc()
 		hist.ObserveDuration(time.Since(start))
@@ -176,8 +249,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "application/json")
-	s.tr.WriteJSON(w, telemetry.Options{IncludeWall: true, IncludeEvents: true}) //nolint:errcheck
+	opts := telemetry.Options{IncludeWall: true, IncludeEvents: true}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		w.Header().Set("Content-Type", "application/json")
+		s.tr.WriteJSON(w, opts) //nolint:errcheck
+	case "chrome":
+		// Trace Event Format: load the body straight into Perfetto.
+		w.Header().Set("Content-Type", "application/json")
+		s.tr.WriteChromeTrace(w, opts) //nolint:errcheck
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown trace format %q (want json or chrome)", r.URL.Query().Get("format"))
+	}
 }
 
 // TopologyResponse describes the fabric being served.
@@ -259,11 +342,11 @@ func (s *Server) handleCreateVM(w http.ResponseWriter, r *http.Request) {
 	} else {
 		cmd.hyp = topology.NoNode
 	}
-	s.enqueue(w, cmd)
+	s.enqueue(w, r, cmd)
 }
 
 func (s *Server) handleDestroyVM(w http.ResponseWriter, r *http.Request) {
-	s.enqueue(w, &command{kind: opDestroyVM, name: r.PathValue("name")})
+	s.enqueue(w, r, &command{kind: opDestroyVM, name: r.PathValue("name")})
 }
 
 // MigrateVMRequest is the body of POST /v1/vms/{name}/migrate.
@@ -277,17 +360,18 @@ func (s *Server) handleMigrateVM(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	s.enqueue(w, &command{kind: opMigrateVM, name: r.PathValue("name"), hyp: req.Destination})
+	s.enqueue(w, r, &command{kind: opMigrateVM, name: r.PathValue("name"), hyp: req.Destination})
 }
 
 func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
-	s.enqueue(w, &command{kind: opReconfigure})
+	s.enqueue(w, r, &command{kind: opReconfigure})
 }
 
 // enqueue admits a command to the loop (or rejects with backpressure) and
 // relays the loop's reply. The reply channel is buffered so the loop never
 // blocks on a handler, even one whose client has disconnected.
-func (s *Server) enqueue(w http.ResponseWriter, cmd *command) {
+func (s *Server) enqueue(w http.ResponseWriter, r *http.Request, cmd *command) {
+	cmd.reqID = requestID(r)
 	cmd.reply = make(chan cmdReply, 1)
 	s.mu.RLock()
 	if s.closed {
@@ -322,6 +406,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !s.closed {
 		s.closed = true
 		close(s.cmds)
+		if s.auditStop != nil {
+			close(s.auditStop)
+		}
 	}
 	s.mu.Unlock()
 	var err error
@@ -331,6 +418,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 		s.opCancel()
 		<-s.loopDone
+	}
+	if s.auditDone != nil {
+		<-s.auditDone
 	}
 	s.opCancel()
 	return err

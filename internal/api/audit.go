@@ -1,0 +1,96 @@
+package api
+
+import (
+	"net/http"
+	"sort"
+	"time"
+
+	"ibvsim/internal/audit"
+	"ibvsim/internal/ib"
+)
+
+// AuditView adapts the snapshot for the auditor. Everything handed over is
+// immutable (the snapshot's own maps and LFT clones are never written after
+// publication), so views may be audited concurrently with mutations.
+func (sn *Snapshot) AuditView() *audit.View {
+	lids := make([]ib.LID, 0, len(sn.nodeOfLID))
+	for l := range sn.nodeOfLID {
+		lids = append(lids, l)
+	}
+	sort.Slice(lids, func(i, j int) bool { return lids[i] < lids[j] })
+	vms := make([]audit.VMBinding, len(sn.VMs))
+	for i, vm := range sn.VMs {
+		vms[i] = audit.VMBinding{Name: vm.Name, LID: ib.LID(vm.LID), Hyp: vm.Node}
+	}
+	return &audit.View{
+		Topo:       sn.topo,
+		Gen:        sn.Gen,
+		LFTs:       sn.lfts,
+		NodeOfLID:  sn.nodeOfLID,
+		ActiveLIDs: lids,
+		VMs:        vms,
+	}
+}
+
+// Auditor exposes the server's auditor (for tests and embedding daemons).
+func (s *Server) Auditor() *audit.Auditor { return s.aud }
+
+// auditAfterMutation runs the fast invariant families against the snapshot
+// the loop just published. It runs on the actor goroutine — before the
+// client gets its reply — so a response to a corrupting mutation is always
+// preceded by the violation being counted and flight-recorded.
+func (s *Server) auditAfterMutation(sn *Snapshot) {
+	rep := s.aud.Run(sn.AuditView(), audit.ScopeFast)
+	if rep.Total > 0 {
+		s.log.Warn("audit violations after mutation",
+			"generation", rep.Gen, "violations", rep.Total, "by_kind", rep.ByKind)
+	}
+}
+
+// auditLoop is the cadence goroutine: a full-scope audit (reachability +
+// hygiene + installed-routing CDG) of whatever snapshot is current, every
+// interval, until Shutdown.
+func (s *Server) auditLoop(interval time.Duration) {
+	defer close(s.auditDone)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.auditStop:
+			return
+		case <-tick.C:
+			rep := s.aud.Run(s.snap.Load().AuditView(), audit.ScopeFull)
+			if rep.Total > 0 {
+				s.log.Warn("cadence audit violations",
+					"generation", rep.Gen, "violations", rep.Total, "by_kind", rep.ByKind)
+			}
+		}
+	}
+}
+
+// handleAudit answers GET /v1/audit: cumulative audit counters plus the
+// most recent report. ?run=full first runs a synchronous full-scope audit
+// against the current snapshot — safe from any goroutine, and what the CI
+// smoke test calls after its load run.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("run") == "full" {
+		s.aud.Run(s.snap.Load().AuditView(), audit.ScopeFull)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"runs":             s.aud.Runs(),
+		"violations_total": s.aud.ViolationsTotal(),
+		"dumps":            s.rec.Dumps(),
+		"last":             s.aud.Last(),
+	})
+}
+
+// handleFlightRecorder answers GET /v1/flightrecorder: the retained ring
+// and the last violation dump (dumps also land on disk when the server was
+// configured with a flight directory).
+func (s *Server) handleFlightRecorder(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dumps":     s.rec.Dumps(),
+		"entries":   s.rec.Entries(),
+		"last_dump": s.rec.LastDump(),
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"ibvsim/internal/audit"
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
@@ -27,7 +28,23 @@ type command struct {
 	kind  opKind
 	name  string          // VM name (create/destroy/migrate)
 	hyp   topology.NodeID // placement (create) or destination (migrate); NoNode = scheduler
+	reqID string          // request ID assigned by the handler chain
 	reply chan cmdReply
+}
+
+// opName labels commands for logs and flight-recorder entries.
+func (k opKind) opName() string {
+	switch k {
+	case opCreateVM:
+		return "create_vm"
+	case opDestroyVM:
+		return "destroy_vm"
+	case opMigrateVM:
+		return "migrate_vm"
+	case opReconfigure:
+		return "reconfigure"
+	}
+	return "unknown"
 }
 
 type cmdReply struct {
@@ -100,9 +117,24 @@ func (s *Server) loop() {
 		}
 		depth.Set(int64(len(s.cmds)))
 		start := time.Now()
+		spanBefore := s.tr.LastSpanID()
 		rep := s.execute(cmd)
 		exec.ObserveDuration(time.Since(start))
-		s.snap.Store(s.buildSnapshot(s.snap.Load()))
+		sn := s.buildSnapshot(s.snap.Load())
+		s.snap.Store(sn)
+		// Black box first, then audit, then the reply: if the mutation
+		// corrupted the fabric, the violation is counted and the dump
+		// already holds this mutation by the time the client hears back.
+		s.rec.RecordMutation(audit.Mutation{
+			Op: cmd.kind.opName(), Name: cmd.name, RequestID: cmd.reqID,
+			Status: rep.status, Gen: sn.Gen,
+			SpanFrom: spanBefore + 1, SpanTo: s.tr.LastSpanID(),
+		})
+		s.log.Info("mutation",
+			"op", cmd.kind.opName(), "name", cmd.name, "request_id", cmd.reqID,
+			"status", rep.status, "generation", sn.Gen,
+			"duration", time.Since(start).Round(time.Microsecond))
+		s.auditAfterMutation(sn)
 		cmd.reply <- rep
 	}
 	depth.Set(0)

@@ -1,0 +1,83 @@
+package audit
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/cdg"
+	"ibvsim/internal/ib"
+	"ibvsim/internal/telemetry"
+	"ibvsim/internal/topology"
+)
+
+// mapRoutes adapts a plain LFT map to cdg.LFTRoutes so the transition check
+// can build CDGs for the old and new routing functions independently of the
+// subnet manager's live resolver (which always answers from programmed).
+type mapRoutes struct {
+	lfts   map[topology.NodeID]*ib.LFT
+	nodeOf func(ib.LID) topology.NodeID
+}
+
+func (m mapRoutes) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum {
+	lft := m.lfts[sw]
+	if lft == nil {
+		return ib.DropPort
+	}
+	return lft.Get(dlid)
+}
+
+func (m mapRoutes) NodeOf(l ib.LID) topology.NodeID { return m.nodeOf(l) }
+
+// CheckTransition proves invariant family (c) for an in-flight LFT
+// distribution: while switches are being reprogrammed the fabric holds an
+// arbitrary mixture of the old routing function (the programmed tables) and
+// the new one (the targets), so the union CDG Rold ∪ Rnew — not either CDG
+// alone — must be acyclic (the paper's section VI-C transient hazard).
+//
+// The subnet manager calls this through its OnDistribute hook at the moment
+// a distribution fans out, i.e. exactly when the mixture becomes possible.
+// A cycle is counted as a transient_cdg violation and triggers a flight
+// dump; distribution itself is not blocked (the monitor observes, the
+// mitigation policy in core decides).
+//
+// Like checkInstalledCDG, the analysis covers CA-owned destinations only:
+// switch-destined traffic is VL15 management, outside data-VL deadlock.
+func (a *Auditor) CheckTransition(t *topology.Topology, old, target map[topology.NodeID]*ib.LFT,
+	nodeOf func(ib.LID) topology.NodeID, dlids []ib.LID) *Report {
+	start := time.Now()
+	span := a.tr.Start(telemetry.SpanAudit, "transition")
+	var c collector
+	c.max = a.cfg.MaxViolations
+
+	dlids = dataLIDs(t, dlids, nodeOf)
+	gOld := cdg.BuildFromLFTs(t, mapRoutes{old, nodeOf}, dlids)
+	gNew := cdg.BuildFromLFTs(t, mapRoutes{target, nodeOf}, dlids)
+	union := cdg.Union(gOld, gNew)
+	span.SetAttr("old_edges", gOld.NumEdges())
+	span.SetAttr("new_edges", gNew.NumEdges())
+	span.SetAttr("union_edges", union.NumEdges())
+
+	if cyc := union.FindCycle(); cyc != nil {
+		oldCyclic := gOld.HasCycle()
+		newCyclic := gNew.HasCycle()
+		c.add(Violation{
+			Kind: KindTransientCDG,
+			Detail: fmt.Sprintf(
+				"union CDG of in-flight distribution has a cycle (old cyclic=%v, new cyclic=%v): %s",
+				oldCyclic, newCyclic, cycleString(cyc)),
+		})
+	}
+
+	rep := &Report{
+		Scope:           "transition",
+		LIDsChecked:     len(dlids),
+		SwitchesChecked: len(t.Switches()),
+		Total:           c.total,
+		ByKind:          c.byKind,
+		Violations:      c.kept,
+		Truncated:       c.total > len(c.kept),
+		WallUS:          time.Since(start).Microseconds(),
+	}
+	a.finish(span, rep)
+	return rep
+}

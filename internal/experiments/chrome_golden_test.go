@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ibvsim/internal/telemetry"
+)
+
+// TestTelemetryChromeTraceGolden pins the Chrome trace-event export byte
+// for byte, next to the JSON trace golden: same traced migration, modelled
+// (wall-free) timeline only. Load the golden into Perfetto to eyeball it.
+// Regenerate with -update-golden after intentional changes.
+func TestTelemetryChromeTraceGolden(t *testing.T) {
+	hub, planSMPs := tracedLeafLocalMigration(t)
+
+	var b bytes.Buffer
+	if err := hub.Trace.WriteChromeTrace(&b, telemetry.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.chrome.json.golden", b.String())
+
+	// Structural invariants independent of the golden bytes.
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Cat  string         `json:"cat"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	var migration struct {
+		ts, dur float64
+		tid     int
+		found   bool
+	}
+	smps := 0
+	for _, e := range out.TraceEvents {
+		if e.Ph != "X" {
+			t.Fatalf("wall-free chrome export must only hold complete events, got %q", e.Ph)
+		}
+		if e.Cat == string(telemetry.SpanMigration) {
+			migration.ts, migration.dur, migration.tid, migration.found = e.TS, e.Dur, e.TID, true
+		}
+	}
+	if !migration.found {
+		t.Fatal("no migration event in the chrome trace")
+	}
+	for _, e := range out.TraceEvents {
+		if e.Cat != string(telemetry.SpanSMP) || e.TID != migration.tid {
+			continue
+		}
+		smps++
+		if e.TS < migration.ts || e.TS+e.Dur > migration.ts+migration.dur+1e-9 {
+			t.Errorf("smp event [%v,%v] outside its migration [%v,%v]",
+				e.TS, e.TS+e.Dur, migration.ts, migration.ts+migration.dur)
+		}
+	}
+	if smps < planSMPs {
+		t.Errorf("%d smp events on the migration track, want >= plan's %d", smps, planSMPs)
+	}
+}

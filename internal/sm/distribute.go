@@ -235,6 +235,12 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 		return st, nil
 	}
 
+	// The fabric is about to mix Rold (programmed) and Rnew (target): give
+	// the transient-deadlock monitor its look before the first SMP flies.
+	if s.OnDistribute != nil {
+		s.OnDistribute(s.programmed, s.target)
+	}
+
 	fanout := workers
 	if fanout > len(jobs) {
 		fanout = len(jobs)

@@ -41,6 +41,14 @@ type SubnetManager struct {
 	// independently (the multipathing the prepopulated vSwitch model
 	// imitates without the contiguity constraint, section V-A).
 	LMC uint8
+	// OnDistribute, when set, is called synchronously at the moment a
+	// non-trivial LFT distribution fans out — after planning, before the
+	// first SMP — with the live programmed (Rold) and target (Rnew) table
+	// maps. The fabric is about to hold a mixture of both routing
+	// functions, which is exactly when the section VI-C transient-CDG
+	// monitor must look. The callback runs on the distributing goroutine
+	// and must only read the maps.
+	OnDistribute func(programmed, target map[topology.NodeID]*ib.LFT)
 
 	pool    *ib.LIDPool
 	lidOf   map[topology.NodeID]ib.LID

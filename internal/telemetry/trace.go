@@ -29,6 +29,7 @@ const (
 	SpanSMP           SpanKind = "smp"
 	SpanPhase         SpanKind = "phase"
 	SpanHandover      SpanKind = "sm-handover"
+	SpanAudit         SpanKind = "audit"
 )
 
 // Span is one timed, attributed step of a trace. IDs are sequential per
