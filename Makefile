@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-all fuzz experiments experiments-full fmt vet clean
+.PHONY: all build test test-short race cover bench bench-all fuzz chaos experiments experiments-full fmt vet clean
 
 all: build test
 
@@ -36,6 +36,13 @@ bench:
 # Every benchmark in the repo, including reconfiguration and fabric-sim ones.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Every chaos campaign on the paper's 324-node fat tree: seeded fault
+# schedules with a full fabric audit at every quiesce point. Non-corrupting
+# campaigns must audit clean; corruption-probe must be caught, with replay
+# coordinates in the flight dump. Replay any failure with the printed seed.
+chaos:
+	$(GO) run ./cmd/ibsimchaos -campaign all -seed 1 -nodes 324 -flight-dir /tmp/ibvsim-chaos
 
 # Regenerate the paper's evaluation artifacts (cheap subset).
 experiments:

@@ -1,0 +1,128 @@
+// Command ibsimchaos runs the deterministic chaos campaigns: seeded,
+// replayable fault schedules (migration storms, link flaps, switch reboots,
+// SM handovers, lossy transport windows, LID pressure, deliberate
+// corruption) against the real sm/cloud/api stack, with a full fabric audit
+// at every quiesce point.
+//
+// Every campaign is byte-replayable: the same -seed on the same fabric
+// produces an identical event log, and a violation dump names the campaign,
+// seed and engine step that reproduce it.
+//
+// Usage:
+//
+//	ibsimchaos -list
+//	ibsimchaos -campaign all -seed 1 -nodes 324 -flight-dir /tmp/chaos
+//	ibsimchaos -campaign corruption-probe -seed 42 -fabric small -print-log
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log/slog"
+	"os"
+
+	"ibvsim/internal/routing"
+	"ibvsim/internal/scenario"
+	"ibvsim/internal/scenario/campaigns"
+	"ibvsim/internal/topology"
+)
+
+func main() {
+	campaign := flag.String("campaign", "all", "campaign name, or all")
+	list := flag.Bool("list", false, "list campaigns and exit")
+	seed := flag.Int64("seed", 1, "campaign seed (replays are byte-identical per seed)")
+	fabric := flag.String("fabric", "fattree", "fabric: fattree|small")
+	nodes := flag.Int("nodes", 324, "fattree: node count (324|648|5832|11664)")
+	vfs := flag.Int("vfs", 0, "VFs per hypervisor (0 = campaign default)")
+	engine := flag.String("engine", "minhop", "routing engine: "+fmt.Sprint(routing.Names()))
+	flightDir := flag.String("flight-dir", "", "directory for flight-recorder violation dumps")
+	asJSON := flag.Bool("json", false, "emit campaign results as JSON")
+	printLog := flag.Bool("print-log", false, "print each campaign's deterministic event log")
+	verbose := flag.Bool("v", false, "log control-plane mutations to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, c := range campaigns.All() {
+			fmt.Printf("%-20s %s\n", c.Name, c.Description)
+		}
+		return
+	}
+
+	var run []*scenario.Campaign
+	if *campaign == "all" {
+		run = campaigns.All()
+	} else {
+		c := campaigns.Get(*campaign)
+		if c == nil {
+			fmt.Fprintf(os.Stderr, "unknown campaign %q (try -list)\n", *campaign)
+			os.Exit(2)
+		}
+		run = []*scenario.Campaign{c}
+	}
+
+	base := scenario.Options{
+		Engine:    *engine,
+		VFs:       *vfs,
+		Seed:      *seed,
+		FlightDir: *flightDir,
+	}
+	switch *fabric {
+	case "fattree":
+		base.FatTreeNodes = *nodes
+	case "small":
+		base.Spec = &topology.XGFTSpec{M: []int{3, 3}, W: []int{1, 3}}
+		base.Radix = 8
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fabric %q (want fattree or small)\n", *fabric)
+		os.Exit(2)
+	}
+	if *verbose {
+		base.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+
+	failed := 0
+	var results []*scenario.Result
+	for _, c := range run {
+		res, err := c.Run(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ERROR %s: %v\n", c.Name, err)
+			failed++
+			continue
+		}
+		results = append(results, res)
+		status := "PASS"
+		if !res.Passed {
+			status = "FAIL"
+			failed++
+		}
+		if !*asJSON {
+			fmt.Printf("%s %-20s seed=%d events=%d gen=%d violations=%d dumps=%d\n",
+				status, res.Campaign, res.Seed, res.Events, res.Generation, res.Violations, res.Dumps)
+			if res.Dumps > 0 {
+				replayStep := res.FirstDumpStep
+				meta := map[string]string{}
+				if res.LastDump != nil {
+					meta = res.LastDump.Meta
+				}
+				fmt.Printf("     first dump at step %d; replay: ibsimchaos -campaign %s -seed %s (meta: campaign=%s step=%s event=%s)\n",
+					replayStep, res.Campaign, meta["seed"], meta["campaign"], meta["step"], meta["event"])
+				if res.LastDump != nil && res.LastDump.File != "" {
+					fmt.Printf("     last dump file: %s\n", res.LastDump.File)
+				}
+			}
+		}
+		if *printLog {
+			fmt.Print(res.Log)
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(results) //nolint:errcheck
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d campaign(s) failed\n", failed)
+		os.Exit(1)
+	}
+}

@@ -103,7 +103,7 @@ type Server struct {
 
 	// Loop-owned state (never touched by handlers).
 	gen     uint64
-	lftRevs map[topology.NodeID]uint64
+	lftRevs map[topology.NodeID]lftIdentity
 
 	// execGate is a test seam: when non-nil the loop rendezvouses twice
 	// around every command (announce, then wait for release), letting tests
@@ -133,14 +133,33 @@ func NewServer(c *cloud.Cloud, cfg Config) *Server {
 		cmds:       make(chan *command, cfg.QueueDepth),
 		retryAfter: cfg.RetryAfter,
 		loopDone:   make(chan struct{}),
-		lftRevs:    map[topology.NodeID]uint64{},
+		lftRevs:    map[topology.NodeID]lftIdentity{},
 		log:        cfg.Logger,
 	}
 	s.rec = audit.NewRecorder(hub.Tracer(), cfg.FlightDir, cfg.FlightEntries)
 	s.aud = audit.New(hub, s.rec, audit.Config{})
-	// Transient-deadlock monitor (section VI-C live): the SM calls this on
-	// the actor goroutine the moment a distribution starts mixing Rold and
-	// Rnew, so reading SM state here is race free.
+	s.WireTransitionMonitor()
+	s.opCtx, s.opCancel = context.WithCancel(context.Background())
+	s.snap.Store(s.buildSnapshot(nil))
+	s.routes()
+	go s.loop()
+	if cfg.AuditInterval > 0 {
+		s.auditStop = make(chan struct{})
+		s.auditDone = make(chan struct{})
+		go s.auditLoop(cfg.AuditInterval)
+	}
+	return s
+}
+
+// WireTransitionMonitor installs the transient-deadlock monitor (section
+// VI-C live) on the cloud's current subnet manager: the SM calls the hook
+// on the actor goroutine the moment a distribution starts mixing Rold and
+// Rnew, so reading SM state inside it is race free. NewServer wires the
+// bootstrap SM; after an SM handover swaps a freshly adopted manager into
+// the cloud, the orchestrating code (the scenario harness) must call this
+// again — while no mutation is in flight — so the new SM's distributions
+// stay monitored.
+func (s *Server) WireTransitionMonitor() {
 	s.c.SM.OnDistribute = func(old, target map[topology.NodeID]*ib.LFT) {
 		dlids := make([]ib.LID, 0, 64)
 		for _, tg := range s.c.SM.Targets() {
@@ -152,16 +171,6 @@ func NewServer(c *cloud.Cloud, cfg Config) *Server {
 				"violations", rep.Total)
 		}
 	}
-	s.opCtx, s.opCancel = context.WithCancel(context.Background())
-	s.snap.Store(s.buildSnapshot(nil))
-	s.routes()
-	go s.loop()
-	if cfg.AuditInterval > 0 {
-		s.auditStop = make(chan struct{})
-		s.auditDone = make(chan struct{})
-		go s.auditLoop(cfg.AuditInterval)
-	}
-	return s
 }
 
 // Handler returns the HTTP handler serving the full API surface.

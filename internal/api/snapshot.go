@@ -48,6 +48,18 @@ type Snapshot struct {
 	lfts      map[topology.NodeID]*ib.LFT // immutable clones
 }
 
+// lftIdentity is the copy-on-write cache key for one switch's programmed
+// table. The revision alone is not enough: the SM *replaces* the programmed
+// LFT object on every fully-successful distribution (with a clone of the
+// target, which carries the target's own revision counter) and on SM
+// handover adoption — a fresh object can coincidentally repeat the last
+// recorded revision while holding different routes. Keying on (object,
+// revision) re-clones whenever either moves.
+type lftIdentity struct {
+	src *ib.LFT
+	rev uint64
+}
+
 // buildSnapshot runs on the command loop (or in NewServer before the loop
 // starts) — it reads the cloud directly, which no published snapshot ever
 // does.
@@ -111,12 +123,12 @@ func (s *Server) buildSnapshot(prev *Snapshot) *Snapshot {
 		if cur == nil {
 			continue
 		}
-		rev := cur.Rev()
-		if prev != nil && prev.lfts[sw] != nil && s.lftRevs[sw] == rev {
+		id := lftIdentity{src: cur, rev: cur.Rev()}
+		if prev != nil && prev.lfts[sw] != nil && s.lftRevs[sw] == id {
 			sn.lfts[sw] = prev.lfts[sw]
 		} else {
 			sn.lfts[sw] = cur.Clone()
-			s.lftRevs[sw] = rev
+			s.lftRevs[sw] = id
 			clones++
 		}
 	}

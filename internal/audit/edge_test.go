@@ -1,0 +1,100 @@
+package audit
+
+import (
+	"testing"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// Edge-case hardening: the auditor must degrade gracefully — never panic —
+// on fabrics the chaos campaigns can momentarily produce: switchless
+// topologies, empty views with nil maps, and views whose switches have no
+// programmed tables at all.
+
+// TestZeroSwitchFabric audits a fabric of two CAs linked back-to-back:
+// no switches, no LFTs, nothing to walk. Both scopes must complete with
+// zero violations (the LIDs are owned; there is simply no forwarding state
+// to contradict them).
+func TestZeroSwitchFabric(t *testing.T) {
+	topo := topology.New("ca-pair")
+	c0 := topo.AddCA("c0")
+	c1 := topo.AddCA("c1")
+	if err := topo.Connect(c0, 1, c1, 1); err != nil {
+		t.Fatal(err)
+	}
+	v := &View{
+		Topo:       topo,
+		Gen:        1,
+		LFTs:       map[topology.NodeID]*ib.LFT{},
+		NodeOfLID:  map[ib.LID]topology.NodeID{1: c0, 2: c1},
+		ActiveLIDs: []ib.LID{1, 2},
+		VMs:        []VMBinding{{Name: "vm-a", LID: 1, Hyp: c0}},
+	}
+	a, _ := newAuditor(t)
+	for _, scope := range []Scope{ScopeFast, ScopeFull} {
+		rep := a.Run(v, scope)
+		if rep.Total != 0 {
+			t.Fatalf("scope %s: %d violations on a switchless fabric: %+v",
+				scope, rep.Total, rep.Violations)
+		}
+		if rep.SwitchesChecked != 0 {
+			t.Fatalf("scope %s: SwitchesChecked = %d, want 0", scope, rep.SwitchesChecked)
+		}
+		if rep.LIDsChecked != 2 {
+			t.Fatalf("scope %s: LIDsChecked = %d, want 2", scope, rep.LIDsChecked)
+		}
+	}
+}
+
+// TestEmptyViewNilMaps audits the degenerate view: an empty topology and
+// every optional field left nil. Both scopes must complete without panics.
+func TestEmptyViewNilMaps(t *testing.T) {
+	v := &View{Topo: topology.New("empty")}
+	a, _ := newAuditor(t)
+	for _, scope := range []Scope{ScopeFast, ScopeFull} {
+		rep := a.Run(v, scope)
+		if rep.Total != 0 || rep.LIDsChecked != 0 || rep.SwitchesChecked != 0 {
+			t.Fatalf("scope %s: nonzero report on empty view: %+v", scope, rep)
+		}
+	}
+}
+
+// TestSwitchesWithoutTables audits a fabric whose switches exist but have
+// no programmed LFTs — the state a freshly swept, never-routed fabric is
+// in. Every active CA LID must be reported as blackholed at the entry
+// switch (not panic, not silently pass).
+func TestSwitchesWithoutTables(t *testing.T) {
+	v, _, _ := buildLine(t)
+	v.LFTs = map[topology.NodeID]*ib.LFT{}
+	a, _ := newAuditor(t)
+	rep := a.Run(v, ScopeFull)
+	if rep.Total == 0 {
+		t.Fatal("unprogrammed switches audited clean")
+	}
+	if rep.ByKind[string(KindBlackhole)] == 0 {
+		t.Fatalf("expected blackhole violations, got %+v", rep.ByKind)
+	}
+}
+
+// TestDrainedActiveLIDs audits a view whose ActiveLIDs list is empty while
+// forwarding state still exists — a fully-drained server (every VM
+// destroyed) keeps PF/switch routes programmed. Entries for LIDs that are
+// still owned must not be reported stale; only a truly orphaned route is.
+func TestDrainedActiveLIDs(t *testing.T) {
+	v, sws, _ := buildLine(t)
+	v.ActiveLIDs = nil
+	v.VMs = nil
+	a, _ := newAuditor(t)
+	if rep := a.Run(v, ScopeFull); rep.Total != 0 {
+		t.Fatalf("drained view audited dirty: %+v", rep.Violations)
+	}
+
+	// Orphan one route (LID 12 owned by nobody): hygiene must flag it even
+	// with no active destinations.
+	v.LFTs[sws[0]].Set(12, 1)
+	rep := a.Run(v, ScopeFast)
+	if rep.ByKind[string(KindStaleEntry)] == 0 {
+		t.Fatalf("orphaned route not reported on drained view: %+v", rep.ByKind)
+	}
+}

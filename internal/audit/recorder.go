@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"ibvsim/internal/telemetry"
 )
@@ -43,9 +44,14 @@ type Mutation struct {
 
 // Dump is the black-box snapshot written when an audit violation fires: the
 // retained entry ring plus the telemetry spans covering the retained
-// mutations, so the violation arrives with the window that caused it.
+// mutations, so the violation arrives with the window that caused it. Meta
+// carries caller-attached replay context (the chaos runner records the
+// campaign name, seed and step there), File the on-disk path when the
+// recorder has a directory.
 type Dump struct {
 	Seq     int                  `json:"dump_seq"`
+	File    string               `json:"file,omitempty"`
+	Meta    map[string]string    `json:"meta,omitempty"`
 	Reason  *Report              `json:"reason"`
 	Entries []Entry              `json:"entries"`
 	Spans   []telemetry.SpanView `json:"spans,omitempty"`
@@ -57,6 +63,13 @@ const DefaultRecorderCap = 512
 // maxDumpSpans bounds the span window attached to one dump when no
 // mutation bracket is available.
 const maxDumpSpans = 1024
+
+// dumpFileSeq numbers dump files process-wide. Per-recorder counters are
+// not enough: two recorders sharing one directory (or a recorder recreated
+// after a restart) both start at dump 1 and would overwrite each other's
+// flight-0001 file when their violations land close together — within the
+// old timestamped scheme, in the same second.
+var dumpFileSeq atomic.Int64
 
 // Recorder is the flight recorder: a fixed-size ring of recent tracer
 // events and mutation summaries. It is safe for concurrent use.
@@ -72,6 +85,7 @@ type Recorder struct {
 	dir          string
 	dumps        int
 	lastDump     *Dump
+	meta         map[string]string
 }
 
 // NewRecorder returns a recorder ingesting events from tr (may be nil).
@@ -142,6 +156,23 @@ func (r *Recorder) Entries() []Entry {
 	return r.entries()
 }
 
+// SetMeta attaches (or, with an empty value, removes) one replay-context
+// key carried by every subsequent dump. The scenario engine keeps
+// "campaign", "seed" and "step" current here so a violation dump names the
+// exact replay coordinates.
+func (r *Recorder) SetMeta(key, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if value == "" {
+		delete(r.meta, key)
+		return
+	}
+	if r.meta == nil {
+		r.meta = map[string]string{}
+	}
+	r.meta[key] = value
+}
+
 // Dumps returns how many dumps have been taken.
 func (r *Recorder) Dumps() int {
 	r.mu.Lock()
@@ -158,8 +189,10 @@ func (r *Recorder) LastDump() *Dump {
 
 // Dump snapshots the ring and the span window of the retained mutations
 // into a Dump, keeps it in memory, and — when the recorder has a directory
-// — writes it to disk as flight-NNNN-genG.json. Returns the dump; the disk
-// write error (if any) is returned but the in-memory dump always succeeds.
+// — writes it to disk as flight-NNNN-genG-sSSSSSS.json, where SSSSSS is a
+// process-wide monotonic sequence so concurrent recorders sharing a
+// directory can never collide. Returns the dump; the disk write error (if
+// any) is returned but the in-memory dump always succeeds.
 func (r *Recorder) Dump(reason *Report) (*Dump, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -193,6 +226,12 @@ func (r *Recorder) Dump(reason *Report) (*Dump, error) {
 
 	r.dumps++
 	d := &Dump{Seq: r.dumps, Reason: reason, Entries: entries, Spans: spans}
+	if len(r.meta) > 0 {
+		d.Meta = make(map[string]string, len(r.meta))
+		for k, v := range r.meta {
+			d.Meta[k] = v
+		}
+	}
 	r.lastDump = d
 	if r.dir == "" {
 		return d, nil
@@ -200,10 +239,11 @@ func (r *Recorder) Dump(reason *Report) (*Dump, error) {
 	if err := os.MkdirAll(r.dir, 0o755); err != nil {
 		return d, err
 	}
-	path := filepath.Join(r.dir, fmt.Sprintf("flight-%04d-gen%d.json", r.dumps, reason.Gen))
+	d.File = filepath.Join(r.dir,
+		fmt.Sprintf("flight-%04d-gen%d-s%06d.json", r.dumps, reason.Gen, dumpFileSeq.Add(1)))
 	data, err := json.MarshalIndent(d, "", "  ")
 	if err != nil {
 		return d, err
 	}
-	return d, os.WriteFile(path, data, 0o644)
+	return d, os.WriteFile(d.File, data, 0o644)
 }

@@ -1,0 +1,92 @@
+package audit
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDumpFilenamesNeverCollide is the regression test for the dump-naming
+// scheme: two recorders sharing one directory (each with its own dump
+// counter starting at 1) dump back-to-back — well inside one second — and
+// every dump must land in its own file.
+func TestDumpFilenamesNeverCollide(t *testing.T) {
+	dir := t.TempDir()
+	ra := NewRecorder(nil, dir, 8)
+	rb := NewRecorder(nil, dir, 8)
+	reason := &Report{Gen: 3, Scope: "full", Total: 1}
+
+	paths := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		for _, r := range []*Recorder{ra, rb} {
+			d, err := r.Dump(reason)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.File == "" {
+				t.Fatal("dump with a directory configured has no File")
+			}
+			if paths[d.File] {
+				t.Fatalf("dump filename %s reused", d.File)
+			}
+			paths[d.File] = true
+		}
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 6 {
+		t.Fatalf("6 dumps left %d files on disk (collision overwrote one): %v", len(files), files)
+	}
+}
+
+// TestDumpCarriesMeta checks SetMeta context lands in the dump — both the
+// in-memory one and the JSON on disk — and that empty values remove keys.
+func TestDumpCarriesMeta(t *testing.T) {
+	dir := t.TempDir()
+	r := NewRecorder(nil, dir, 8)
+	r.SetMeta("campaign", "corruption-probe")
+	r.SetMeta("seed", "42")
+	r.SetMeta("step", "17")
+	r.SetMeta("step", "18") // last write wins
+	r.SetMeta("scratch", "x")
+	r.SetMeta("scratch", "") // removed
+
+	d, err := r.Dump(&Report{Gen: 1, Total: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"campaign": "corruption-probe", "seed": "42", "step": "18"}
+	if len(d.Meta) != len(want) {
+		t.Fatalf("meta = %v, want %v", d.Meta, want)
+	}
+	for k, v := range want {
+		if d.Meta[k] != v {
+			t.Errorf("meta[%s] = %q, want %q", k, d.Meta[k], v)
+		}
+	}
+
+	data, err := os.ReadFile(d.File)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Dump
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.Meta["seed"] != "42" || onDisk.File != d.File {
+		t.Fatalf("on-disk dump meta/file wrong: %+v", onDisk)
+	}
+
+	// Later dumps see later meta, earlier dumps keep their copy.
+	r.SetMeta("step", "19")
+	d2, err := r.Dump(&Report{Gen: 2, Total: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Meta["step"] != "19" || d.Meta["step"] != "18" {
+		t.Fatalf("meta not copied per dump: d=%v d2=%v", d.Meta, d2.Meta)
+	}
+}

@@ -1,0 +1,114 @@
+package scenario
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ibvsim/internal/audit"
+)
+
+// Campaign is one scripted fault scenario. Scripts build the event schedule
+// on the harness's engine; Tune (optional) adjusts harness options (model,
+// VFs, retry budget); Setup (optional) runs after boot, before the
+// schedule, for direct-stack preparation (e.g. selecting a deadlock
+// mitigation).
+type Campaign struct {
+	Name        string
+	Description string
+	// ExpectViolation flips the pass criterion: the campaign exists to
+	// corrupt the fabric, and passes only when the auditor caught it.
+	ExpectViolation bool
+	Tune            func(o *Options)
+	Setup           func(h *Harness) error
+	Script          func(h *Harness)
+}
+
+// Result is the deterministic outcome of one campaign run. Every field —
+// including the full event log — must be byte-identical across runs with
+// the same seed on the same fabric.
+type Result struct {
+	Campaign        string `json:"campaign"`
+	Seed            int64  `json:"seed"`
+	Events          int    `json:"events"`
+	Generation      uint64 `json:"generation"`
+	Violations      int64  `json:"violations"`
+	Dumps           int    `json:"dumps"`
+	ExpectViolation bool   `json:"expect_violation"`
+	Passed          bool   `json:"passed"`
+	// FirstDumpStep is the engine step whose event produced the first
+	// flight-recorder dump (0 when no dump fired). Replay: run the same
+	// campaign with the same seed and watch that step.
+	FirstDumpStep int `json:"first_dump_step,omitempty"`
+	// LastDump is the final flight-recorder dump, carrying the replay
+	// coordinates in its Meta (campaign, seed, step, event).
+	LastDump *audit.Dump `json:"-"`
+	// Log is the deterministic event log.
+	Log string `json:"-"`
+}
+
+// Run boots a harness from base (the campaign's Tune hook applied on top),
+// executes the script's schedule, quiesces one final time and shuts the
+// stack down. The returned error covers harness plumbing failures only;
+// audit outcomes land in the Result.
+func (c *Campaign) Run(base Options) (*Result, error) {
+	if c.Tune != nil {
+		c.Tune(&base)
+	}
+	h, err := NewHarness(base)
+	if err != nil {
+		return nil, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	rec := h.Srv.Auditor().Recorder()
+	rec.SetMeta("campaign", c.Name)
+
+	// Track the step that produced the first dump: OnEvent fires before
+	// each event executes, so a dump-count increase observed at step N
+	// happened inside the previous step.
+	firstDumpStep, prevStep := 0, 0
+	inner := h.E.OnEvent
+	h.E.OnEvent = func(step int, name string) {
+		if firstDumpStep == 0 && rec.Dumps() > 0 {
+			firstDumpStep = prevStep
+		}
+		prevStep = step
+		inner(step, name)
+	}
+
+	if c.Setup != nil {
+		if err := c.Setup(h); err != nil {
+			return nil, fmt.Errorf("campaign %s: setup: %w", c.Name, err)
+		}
+	}
+	c.Script(h)
+	h.E.Run()
+	final := h.Quiesce("final")
+
+	if firstDumpStep == 0 && rec.Dumps() > 0 {
+		firstDumpStep = prevStep
+	}
+	res := &Result{
+		Campaign:        c.Name,
+		Seed:            base.Seed,
+		Events:          h.E.Steps(),
+		Generation:      final.Gen,
+		Violations:      h.Srv.Auditor().ViolationsTotal(),
+		Dumps:           rec.Dumps(),
+		ExpectViolation: c.ExpectViolation,
+		FirstDumpStep:   firstDumpStep,
+		LastDump:        rec.LastDump(),
+		Log:             h.E.Log(),
+	}
+	if c.ExpectViolation {
+		res.Passed = res.Violations > 0 && res.Dumps > 0
+	} else {
+		res.Passed = res.Violations == 0
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := h.Srv.Shutdown(ctx); err != nil {
+		return res, fmt.Errorf("campaign %s: shutdown: %w", c.Name, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,158 @@
+// Package scenario is the deterministic chaos scenario engine: a seeded
+// discrete-event scheduler plus a campaign DSL that composes fault
+// primitives — link flaps, switch reboots, SM handover under load,
+// migration storms, VM churn, LID-exhaustion pressure and network-fault
+// windows — against the real sm/cloud/api stack.
+//
+// Determinism is the contract. One virtual clock orders all events; ties
+// break on scheduling sequence, never on wall time or map order. One
+// rand.Rand, seeded from the campaign seed, is the only randomness source:
+// every primitive draws its choices from it in event order, and the
+// fault-injecting transport's dice stream is seeded from it too. The
+// harness pins every concurrency knob that could reorder observable
+// side effects (LFT distribution runs one switch at a time while the
+// engine drives it), so a campaign run twice with the same seed produces a
+// byte-identical event log — which is what makes a failing campaign
+// replayable from nothing but its seed and step number.
+package scenario
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is one scheduled unit of work.
+type event struct {
+	at   time.Duration // virtual time
+	seq  int           // scheduling order; the (at, seq) pair totally orders events
+	name string
+	fn   func()
+}
+
+// eventHeap is a min-heap over (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the seeded discrete-event core: a virtual clock, a
+// deterministic event queue and the single-source PRNG. It is strictly
+// single-threaded — Run executes events one at a time on the calling
+// goroutine, and everything a campaign does happens inside those events.
+type Engine struct {
+	seed    int64
+	rng     *rand.Rand
+	now     time.Duration
+	seq     int // next event sequence number
+	queue   eventHeap
+	running *event // the event currently executing (nil between events)
+	steps   int    // events executed so far
+	log     bytes.Buffer
+
+	// OnEvent, when set, runs immediately before each event executes. The
+	// harness uses it to keep the flight recorder's replay metadata (the
+	// current step) up to date.
+	OnEvent func(step int, name string)
+}
+
+// NewEngine returns an engine whose clock starts at zero and whose PRNG is
+// seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{seed: seed, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Seed returns the campaign seed.
+func (e *Engine) Seed() int64 { return e.seed }
+
+// Rand returns the engine's single randomness source. Draw from it only
+// inside events (or while building the schedule, before Run) — order of
+// consumption is part of the replay contract.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Step returns the sequence number of the event currently executing (0
+// before the first event runs).
+func (e *Engine) Step() int {
+	if e.running == nil {
+		return 0
+	}
+	return e.running.seq
+}
+
+// At schedules fn at an absolute virtual time. Scheduling an event in the
+// past runs it at the current virtual time, after everything already queued
+// there. Returns the event's sequence number (its step id).
+func (e *Engine) At(t time.Duration, name string, fn func()) int {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, name: name, fn: fn})
+	return e.seq
+}
+
+// After schedules fn at now+d.
+func (e *Engine) After(d time.Duration, name string, fn func()) int {
+	return e.At(e.now+d, name, fn)
+}
+
+// Every schedules n occurrences of fn starting at start, spaced by
+// interval; fn receives the occurrence index 0..n-1.
+func (e *Engine) Every(start, interval time.Duration, n int, name string, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(start+time.Duration(i)*interval, fmt.Sprintf("%s[%d]", name, i), func() { fn(i) })
+	}
+}
+
+// Run drains the event queue, advancing the virtual clock to each event's
+// time before executing it. Events may schedule further events. Returns the
+// number of events executed.
+func (e *Engine) Run() int {
+	for e.queue.Len() > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		e.now = ev.at
+		e.running = ev
+		e.steps++
+		if e.OnEvent != nil {
+			e.OnEvent(ev.seq, ev.name)
+		}
+		ev.fn()
+		e.running = nil
+	}
+	return e.steps
+}
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int { return e.steps }
+
+// Logf appends one line to the deterministic event log, stamped with the
+// virtual time and the executing step. The log must stay wall-free: never
+// print time.Now, durations measured from it, file paths containing
+// timestamps, or unsorted map contents.
+func (e *Engine) Logf(format string, args ...any) {
+	fmt.Fprintf(&e.log, "[%12s #%04d] %s\n", e.now, e.Step(), fmt.Sprintf(format, args...))
+}
+
+// Log returns the event log accumulated so far.
+func (e *Engine) Log() string { return e.log.String() }

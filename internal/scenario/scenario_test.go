@@ -1,0 +1,219 @@
+package scenario
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"testing"
+	"time"
+
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sm"
+	"ibvsim/internal/topology"
+)
+
+func smallOptions(t *testing.T, seed int64) Options {
+	t.Helper()
+	return Options{
+		Spec:      &topology.XGFTSpec{M: []int{3, 3}, W: []int{1, 3}},
+		Radix:     8,
+		Seed:      seed,
+		FlightDir: t.TempDir(),
+	}
+}
+
+func newSmallHarness(t *testing.T, seed int64) *Harness {
+	t.Helper()
+	h, err := NewHarness(smallOptions(t, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := h.Srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	})
+	return h
+}
+
+// TestDrainedServerAuditsClean drives the full stack to a fully-drained
+// state — every VM destroyed — and requires the audit to stay clean and
+// still meaningful (the PF and switch LIDs remain active destinations).
+func TestDrainedServerAuditsClean(t *testing.T) {
+	h := newSmallHarness(t, 3)
+	names := []string{"d0", "d1", "d2", "d3"}
+	for _, n := range names {
+		if st := h.CreateVM(n); st != http.StatusCreated {
+			t.Fatalf("create %s: status %d", n, st)
+		}
+	}
+	if q := h.Quiesce("loaded"); q.Violations != 0 {
+		t.Fatalf("loaded fabric dirty: %+v", q)
+	}
+	for _, n := range names {
+		if st := h.DestroyVM(n); st != http.StatusOK {
+			t.Fatalf("destroy %s: status %d", n, st)
+		}
+	}
+	q := h.Quiesce("drained")
+	if q.Violations != 0 {
+		t.Fatalf("drained fabric dirty: %+v", q)
+	}
+	if q.LIDs == 0 || q.Switches == 0 {
+		t.Fatalf("drained audit checked nothing: %+v", q)
+	}
+	// Destroying the last VM must not have stranded the audit pipeline:
+	// another full cycle still works.
+	if st := h.CreateVM("again"); st != http.StatusCreated {
+		t.Fatalf("create after drain: status %d", st)
+	}
+	if q := h.Quiesce("refilled"); q.Violations != 0 {
+		t.Fatalf("refilled fabric dirty: %+v", q)
+	}
+}
+
+// TestMidHandoverAuditSafe audits the fabric at the most awkward handover
+// instant: after the standby has negotiated mastership and adopted fabric
+// state, but before the cloud and server have been re-pointed at it. The
+// old master's view must still audit clean (snapshots are copy-on-write;
+// adoption reads, it does not scramble), and the completed swap must leave
+// a fully functional, clean stack.
+func TestMidHandoverAuditSafe(t *testing.T) {
+	h := newSmallHarness(t, 5)
+	if st := h.CreateVM("mh"); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+
+	cur := h.Cloud.SM
+	cas := h.Topo.CAs()
+	node := cas[len(cas)-1]
+	eng, err := routing.New(h.Opts.Engine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stby, err := sm.New(h.Topo, node, eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stby.SetTelemetry(cur.Telemetry())
+	stby.Dist = cur.Dist
+	stby.RouteWorkers = 1
+	if _, err := stby.Sweep(); err != nil {
+		t.Fatal(err)
+	}
+	master, err := sm.Negotiate(cur, stby, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if master != stby {
+		t.Fatal("negotiation kept the old master")
+	}
+	if _, err := stby.AdoptFabricState(cur); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-handover: the server still points at the demoted master.
+	if q := h.Quiesce("mid-handover"); q.Violations != 0 {
+		t.Fatalf("mid-handover audit dirty: %+v", q)
+	}
+
+	h.Cloud.SM = stby
+	h.Cloud.RC.SM = stby
+	h.Srv.WireTransitionMonitor()
+	if q := h.Quiesce("post-swap"); q.Violations != 0 {
+		t.Fatalf("post-swap audit dirty: %+v", q)
+	}
+	// The stack must still mutate cleanly under the new master.
+	hyps := h.Cloud.Hypervisors()
+	if st := h.MigrateVM("mh", hyps[len(hyps)-1]); st != http.StatusOK {
+		t.Fatalf("migrate under new master: status %d", st)
+	}
+	if q := h.Quiesce("post-migrate"); q.Violations != 0 {
+		t.Fatalf("post-migrate audit dirty: %+v", q)
+	}
+}
+
+// TestFailLinkPartitionGuard checks the flap primitive's refusal path: a
+// cut that would strand a CA is rolled back and reported as skipped, while
+// a redundant trunk link fails and restores normally.
+func TestFailLinkPartitionGuard(t *testing.T) {
+	h := newSmallHarness(t, 9)
+	ca := h.Topo.CAs()[0]
+	leaf := h.Topo.LeafSwitchOf(ca)
+	if leaf == topology.NoNode {
+		t.Fatal("CA has no leaf switch")
+	}
+	ok, err := h.FailLink(ca, leaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("FailLink accepted a partitioning cut")
+	}
+	if !h.Topo.Connected() {
+		t.Fatal("refused cut was not rolled back")
+	}
+
+	trunks := h.TrunkLinks()
+	if len(trunks) == 0 {
+		t.Fatal("no trunk links on the small fabric")
+	}
+	a, b := trunks[0][0], trunks[0][1]
+	ok, err = h.FailLink(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("trunk link %d<->%d refused", a, b)
+	}
+	h.Reconfigure()
+	if q := h.Quiesce("degraded"); q.Violations != 0 {
+		t.Fatalf("degraded fabric dirty after reconfigure: %+v", q)
+	}
+	if err := h.RestoreLink(a, b); err != nil {
+		t.Fatal(err)
+	}
+	h.Reconfigure()
+	if q := h.Quiesce("restored"); q.Violations != 0 {
+		t.Fatalf("restored fabric dirty: %+v", q)
+	}
+}
+
+// TestHarnessShutdownLeaksNoGoroutines boots and tears down the full stack
+// repeatedly and requires the goroutine count to settle back to where it
+// started — campaigns must not accumulate actor loops, audit cadences or
+// transition monitors across runs.
+func TestHarnessShutdownLeaksNoGoroutines(t *testing.T) {
+	runtime.GC()
+	base := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		h, err := NewHarness(smallOptions(t, int64(i+1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.CreateVM("leak-probe")
+		h.Quiesce("loaded")
+		h.DestroyVM("leak-probe")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := h.Srv.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+1 { // one goroutine of slack for runtime bookkeeping
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines %d > base %d after shutdowns\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -46,6 +46,20 @@ type FaultConfig struct {
 	Seed int64
 }
 
+// FaultProfile is the mutable rate portion of a FaultConfig: everything
+// except the seed. Scenario campaigns swap profiles mid-run to open and
+// close network-fault windows without disturbing the seeded dice stream.
+type FaultProfile struct {
+	Drop      float64
+	Delay     float64
+	Duplicate float64
+}
+
+// Profile extracts the rates from a config.
+func (c FaultConfig) Profile() FaultProfile {
+	return FaultProfile{Drop: c.Drop, Delay: c.Delay, Duplicate: c.Duplicate}
+}
+
 // FaultStats counts the verdicts a FaultyTransport handed out.
 type FaultStats struct {
 	// Attempts is every send presented to the transport, faulted or not.
@@ -59,14 +73,14 @@ type FaultStats struct {
 }
 
 // FaultyTransport wraps a Transport with seeded probabilistic faults. It is
-// safe for concurrent use: the RNG, the stats and the per-destination
-// delivery counts are guarded by one mutex (the wrapped Transport guards its
-// own counters).
+// safe for concurrent use: the RNG, the rates, the stats and the
+// per-destination delivery counts are guarded by one mutex (the wrapped
+// Transport guards its own counters).
 type FaultyTransport struct {
 	inner *Transport
-	cfg   FaultConfig
 
 	mu      sync.Mutex
+	cfg     FaultConfig
 	rng     *rand.Rand
 	st      FaultStats
 	perDest map[topology.NodeID]int
@@ -82,8 +96,24 @@ func NewFaultyTransport(inner *Transport, cfg FaultConfig) *FaultyTransport {
 	}
 }
 
-// Config returns the fault configuration.
-func (f *FaultyTransport) Config() FaultConfig { return f.cfg }
+// Config returns the fault configuration (the rates are a snapshot; see
+// SetProfile).
+func (f *FaultyTransport) Config() FaultConfig {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cfg
+}
+
+// SetProfile replaces the drop/delay/duplicate rates mid-run. The RNG and
+// its seed are untouched: every send still consumes exactly one dice roll,
+// so a seeded fault schedule replays identically as long as the profile
+// changes happen at the same points in the send sequence. Safe to call
+// concurrently with sends.
+func (f *FaultyTransport) SetProfile(p FaultProfile) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.cfg.Drop, f.cfg.Delay, f.cfg.Duplicate = p.Drop, p.Delay, p.Duplicate
+}
 
 // Stats returns a snapshot of the fault verdicts so far.
 func (f *FaultyTransport) Stats() FaultStats {

@@ -160,3 +160,72 @@ func TestFaultyTransportConcurrentSendsAreSafe(t *testing.T) {
 		t.Errorf("delivered = %d, want %d", ft.DeliveredTo(sw), wantWire)
 	}
 }
+
+// TestFaultyTransportSetProfileMidRun drives the profile from lossless to
+// lossy and back and checks the verdicts follow: with all-zero rates every
+// send delivers, with Drop=1 every send times out.
+func TestFaultyTransportSetProfileMidRun(t *testing.T) {
+	topo, ca, sw := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Seed: 11})
+	if _, err := ft.SendDirected(ca, directedLFTSet(0)); err != nil {
+		t.Fatalf("clean profile dropped an SMP: %v", err)
+	}
+	ft.SetProfile(FaultProfile{Drop: 1})
+	if _, err := ft.SendDirected(ca, directedLFTSet(1)); !errors.Is(err, ErrTimeout) {
+		t.Fatalf("Drop=1 delivered an SMP (err=%v)", err)
+	}
+	ft.SetProfile(FaultProfile{})
+	got, err := ft.SendDirected(ca, directedLFTSet(2))
+	if err != nil || got != sw {
+		t.Fatalf("restored profile: got=%d err=%v", got, err)
+	}
+	if cfg := ft.Config(); cfg.Profile() != (FaultProfile{}) {
+		t.Fatalf("Config rates = %+v after restore, want zero", cfg.Profile())
+	}
+	if cfg := ft.Config(); cfg.Seed != 11 {
+		t.Fatalf("SetProfile disturbed the seed: %d", cfg.Seed)
+	}
+	st := ft.Stats()
+	if st.Attempts != 3 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 3 attempts / 1 drop", st)
+	}
+}
+
+// TestFaultyTransportSetProfileRace is the -race regression for mid-run
+// profile changes: senders, profile writers and stats readers all at once.
+func TestFaultyTransportSetProfileRace(t *testing.T) {
+	topo, ca, _ := pair(t)
+	tr := NewTransport(topo)
+	ft := NewFaultyTransport(tr, FaultConfig{Drop: 0.2, Seed: 12})
+	const goroutines, sends = 4, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < sends; i++ {
+				if _, err := ft.SendDirected(ca, directedLFTSet(i)); err != nil && !errors.Is(err, ErrTimeout) {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		profiles := []FaultProfile{
+			{Drop: 0.5}, {Delay: 0.3, Duplicate: 0.1}, {}, {Drop: 0.1, Delay: 0.1},
+		}
+		for i := 0; i < 200; i++ {
+			ft.SetProfile(profiles[i%len(profiles)])
+			_ = ft.Config()
+			_ = ft.Stats()
+		}
+	}()
+	wg.Wait()
+	if st := ft.Stats(); st.Attempts != goroutines*sends {
+		t.Errorf("attempts = %d, want %d", st.Attempts, goroutines*sends)
+	}
+}
