@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-all fuzz chaos experiments experiments-full fmt vet clean
+.PHONY: all build test test-short race cover bench bench-incremental bench-incremental-short bench-all fuzz chaos experiments experiments-full fmt vet clean
 
 all: build test
 
@@ -26,12 +26,26 @@ cover:
 fuzz:
 	$(GO) test ./internal/ib -run '^$$' -fuzz '^FuzzLFTDiff$$' -fuzztime 10s
 	$(GO) test ./internal/ib -run '^$$' -fuzz '^FuzzLFTSwap$$' -fuzztime 10s
+	$(GO) test ./internal/routing -run '^$$' -fuzz '^FuzzDeltaRecompute$$' -fuzztime 10s
 
 # The benchmark-regression harness: the Fig. 7 path-computation and Table I
 # SMP benchmarks, teed into BENCH_fig7.json (the artifact CI uploads and the
 # baseline to diff against after touching the routing engines).
 bench:
 	$(GO) test -run '^$$' -bench 'Fig7|Table1' -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_fig7.json
+
+# Full-vs-incremental reconfiguration suite (single link flap, whole-leaf
+# failure, 1% LID churn at 648/5832/11664 nodes), teed into
+# BENCH_incremental.json. The gate fails the run unless the incremental
+# single-link-flap reroute beats the full recompute. `bench-incremental-short`
+# is the CI smoke variant: 648-node fabrics only, one iteration each.
+bench-incremental:
+	$(GO) test -run '^$$' -bench 'IncrementalReroute' -benchtime 2x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_incremental.json \
+		-gate 'BenchmarkIncrementalReroute/link-flap/minhop/11664/incremental<BenchmarkIncrementalReroute/link-flap/minhop/11664/full,BenchmarkIncrementalReroute/link-flap/updn/11664/incremental<BenchmarkIncrementalReroute/link-flap/updn/11664/full'
+
+bench-incremental-short:
+	$(GO) test -run '^$$' -short -bench 'IncrementalReroute' -benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_incremental.json \
+		-gate 'BenchmarkIncrementalReroute/link-flap/minhop/648/incremental<BenchmarkIncrementalReroute/link-flap/minhop/648/full'
 
 # Every benchmark in the repo, including reconfiguration and fabric-sim ones.
 bench-all:

@@ -401,3 +401,259 @@ func BenchmarkLFTBlockOps(b *testing.B) {
 		lft.Swap(l, ib.LID((i*7)%49150+1))
 	}
 }
+
+// updnAutoRoot replicates the up/down engine's automatic root selection
+// (highest level*1000+degree key, first switch winning ties) so the reroute
+// benchmarks can pick deltas that provably leave the rank orientation — and
+// therefore the incremental path — intact.
+func updnAutoRoot(topo *topology.Topology) topology.NodeID {
+	best, bestKey := topology.NoNode, -1
+	for _, sw := range topo.Switches() {
+		n := topo.Node(sw)
+		deg := 0
+		for _, p := range n.Ports[1:] {
+			if p.Peer != topology.NoNode && p.Up && topo.Node(p.Peer).IsSwitch() {
+				deg++
+			}
+		}
+		if key := n.Level*1000 + deg; key > bestKey {
+			best, bestKey = sw, key
+		}
+	}
+	return best
+}
+
+// swRanks returns BFS hop counts from root across the live switch-switch
+// links, indexed by position in topo.Switches() (-1 = unreachable). This is
+// the updn rank orientation, which the incremental layer guards with a full
+// fallback when it moves.
+func swRanks(topo *topology.Topology, root topology.NodeID) []int {
+	sws := topo.Switches()
+	idx := make(map[topology.NodeID]int, len(sws))
+	for i, sw := range sws {
+		idx[sw] = i
+	}
+	rank := make([]int, len(sws))
+	for i := range rank {
+		rank[i] = -1
+	}
+	q := []int{idx[root]}
+	rank[q[0]] = 0
+	for len(q) > 0 {
+		i := q[0]
+		q = q[1:]
+		for _, p := range topo.Node(sws[i]).Ports[1:] {
+			if p.Peer == topology.NoNode || !p.Up {
+				continue
+			}
+			if j, ok := idx[p.Peer]; ok && rank[j] < 0 {
+				rank[j] = rank[i] + 1
+				q = append(q, j)
+			}
+		}
+	}
+	return rank
+}
+
+func equalIntSlices(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepLinkFlap returns a step function that flaps one switch-switch link
+// (down on even iterations, up on odd). The link is probed so its removal
+// keeps every switch's BFS rank from the updn auto-root intact — on deeper
+// trees a leaf's first uplink can be the unique shortest path to the root,
+// which would (correctly) trip the incremental layer's orientation guard.
+func prepLinkFlap(b *testing.B, topo *topology.Topology) func(int) {
+	b.Helper()
+	root := updnAutoRoot(topo)
+	base := swRanks(topo, root)
+	for _, sw := range topo.Switches() {
+		if sw == root {
+			continue
+		}
+		n := topo.Node(sw)
+		for _, p := range n.Ports[1:] {
+			if p.Peer == topology.NoNode || !topo.Node(p.Peer).IsSwitch() || p.Peer == root {
+				continue
+			}
+			if err := topo.SetLinkState(sw, p.Num, false); err != nil {
+				b.Fatal(err)
+			}
+			keeps := equalIntSlices(swRanks(topo, root), base)
+			if err := topo.SetLinkState(sw, p.Num, true); err != nil {
+				b.Fatal(err)
+			}
+			if !keeps {
+				continue
+			}
+			sw, pn := sw, p.Num
+			return func(i int) {
+				if err := topo.SetLinkState(sw, pn, i%2 == 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Fatal("no rank-preserving switch-switch link to flap")
+	return nil
+}
+
+// prepLeafFailure returns a step function that power-fails a whole leaf
+// switch (every link down) on even iterations and restores it on odd ones.
+// The leaf hosting the SM and the updn auto-root are excluded.
+func prepLeafFailure(b *testing.B, topo *topology.Topology) func(int) {
+	b.Helper()
+	root := updnAutoRoot(topo)
+	smLeaf := topo.Node(topo.CAs()[0]).Ports[1].Peer
+	for _, sw := range topo.Switches() {
+		if sw == root || sw == smLeaf {
+			continue
+		}
+		n := topo.Node(sw)
+		hasCA := false
+		var ports []ib.PortNum
+		for _, p := range n.Ports[1:] {
+			if p.Peer == topology.NoNode {
+				continue
+			}
+			ports = append(ports, p.Num)
+			if !topo.Node(p.Peer).IsSwitch() {
+				hasCA = true
+			}
+		}
+		if !hasCA {
+			continue
+		}
+		sw := sw
+		return func(i int) {
+			up := i%2 == 1
+			for _, pn := range ports {
+				if err := topo.SetLinkState(sw, pn, up); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Fatal("no leaf switch with CAs to fail")
+	return nil
+}
+
+// prepLIDChurn returns a step function that detaches ~1% of the CAs (their
+// LIDs leave the target set) on even iterations and reattaches them on odd.
+func prepLIDChurn(b *testing.B, topo *topology.Topology) func(int) {
+	b.Helper()
+	cas := topo.CAs()
+	var churn []topology.NodeID
+	for i := 1; i < len(cas); i += 100 { // skip index 0: it hosts the SM
+		churn = append(churn, cas[i])
+	}
+	return func(i int) {
+		up := i%2 == 1
+		for _, ca := range churn {
+			if err := topo.SetLinkState(ca, 1, up); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkIncrementalReroute times the reconfiguration path after a
+// topology delta — ComputeRoutes + DistributeDiff — with the routing engine
+// either recomputing from scratch (full) or running through the SM's
+// dependency-tracked incremental wrapper with SMP block coalescing
+// (incremental). The delta itself and the discovery Resweep happen outside
+// the timer: discovery costs the same either way, and the contract under
+// test is compute + distribute. Every iteration applies exactly one delta
+// (the change and its restoration alternate, so both directions are
+// measured). The incremental link-flap runs also self-assert the perf
+// contract: the delta path must engage and re-run under 10% of the
+// destination trees.
+func BenchmarkIncrementalReroute(b *testing.B) {
+	scenarios := []struct {
+		name string
+		prep func(*testing.B, *topology.Topology) func(int)
+	}{
+		{"link-flap", prepLinkFlap},
+		{"leaf-failure", prepLeafFailure},
+		{"lid-churn", prepLIDChurn},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		for _, engine := range []string{"minhop", "updn"} {
+			engine := engine
+			for _, nodes := range []int{648, 5832, 11664} {
+				nodes := nodes
+				for _, variant := range []string{"full", "incremental"} {
+					variant := variant
+					b.Run(fmt.Sprintf("%s/%s/%d/%s", sc.name, engine, nodes, variant), func(b *testing.B) {
+						if testing.Short() && nodes > 648 {
+							b.Skip("large fabric")
+						}
+						if sc.name == "leaf-failure" && engine == "updn" {
+							// Both variants refuse identically: stock updn
+							// errors on any switch unreachable from the root,
+							// and a whole-leaf failure partitions the leaf.
+							b.Skip("updn cannot route a partitioned fabric")
+						}
+						topo, err := topology.BuildPaperFatTree(nodes)
+						if err != nil {
+							b.Fatal(err)
+						}
+						eng, err := routing.New(engine)
+						if err != nil {
+							b.Fatal(err)
+						}
+						mgr, err := sm.New(topo, topo.CAs()[0], eng)
+						if err != nil {
+							b.Fatal(err)
+						}
+						if variant == "incremental" {
+							mgr.IncrementalRouting = true
+							mgr.Dist.MaxBlocksPerSMP = 64
+						}
+						if _, _, _, err := mgr.Bootstrap(); err != nil {
+							b.Fatal(err)
+						}
+						step := sc.prep(b, topo)
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							b.StopTimer()
+							step(i)
+							if _, err := mgr.Resweep(); err != nil {
+								b.Fatal(err)
+							}
+							b.StartTimer()
+							rs, err := mgr.ComputeRoutes()
+							if err != nil {
+								b.Fatal(err)
+							}
+							if _, err := mgr.DistributeDiff(); err != nil {
+								b.Fatal(err)
+							}
+							if variant == "incremental" && sc.name == "link-flap" {
+								st := rs.Incremental
+								if !st.Applied {
+									b.Fatalf("link flap fell back to full recompute: %s", st.FallbackReason)
+								}
+								if st.DestsRecomputed*10 >= st.DestsTotal {
+									b.Fatalf("link flap re-ran %d/%d destination trees (>= 10%%)",
+										st.DestsRecomputed, st.DestsTotal)
+								}
+							}
+						}
+					})
+				}
+			}
+		}
+	}
+}

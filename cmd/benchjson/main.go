@@ -9,6 +9,14 @@
 // Usage:
 //
 //	go test -run '^$' -bench 'Fig7|Table1' -benchmem . | go run ./cmd/benchjson -o BENCH_fig7.json
+//
+// -gate takes comma-separated "nameA<nameB" assertions checked against the
+// parsed ns/op values (names are matched with the trailing -GOMAXPROCS
+// suffix stripped). A missing side or a violated assertion exits non-zero,
+// which is how CI turns a benchmark run into a regression gate:
+//
+//	... | go run ./cmd/benchjson -o BENCH.json \
+//	      -gate 'BenchmarkX/incremental<BenchmarkX/full'
 package main
 
 import (
@@ -50,8 +58,54 @@ type Output struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark\S+)\s+(\d+)\s+([0-9.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
+// procsSuffix is the -GOMAXPROCS tail go test appends to benchmark names.
+var procsSuffix = regexp.MustCompile(`-\d+$`)
+
+// checkGates evaluates comma-separated "nameA<nameB" ns/op assertions,
+// reporting every verdict on stderr. It returns false when any gate is
+// malformed, references a benchmark absent from the run, or fails.
+func checkGates(spec string, benchmarks []Result) bool {
+	byName := map[string]float64{}
+	for _, r := range benchmarks {
+		byName[procsSuffix.ReplaceAllString(r.Name, "")] = r.NsPerOp
+	}
+	ok := true
+	for _, g := range strings.Split(spec, ",") {
+		g = strings.TrimSpace(g)
+		if g == "" {
+			continue
+		}
+		parts := strings.SplitN(g, "<", 2)
+		if len(parts) != 2 {
+			fmt.Fprintf(os.Stderr, "benchjson: malformed gate %q (want 'nameA<nameB')\n", g)
+			ok = false
+			continue
+		}
+		an, bn := strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+		av, aok := byName[an]
+		bv, bok := byName[bn]
+		if !aok || !bok {
+			missing := an
+			if aok {
+				missing = bn
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: gate %q: benchmark %q not in the run\n", g, missing)
+			ok = false
+			continue
+		}
+		if av < bv {
+			fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s (%.0f ns/op) < %s (%.0f ns/op)\n", an, av, bn, bv)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s (%.0f ns/op) is not below %s (%.0f ns/op)\n", an, av, bn, bv)
+		ok = false
+	}
+	return ok
+}
+
 func main() {
 	out := flag.String("o", "", "write parsed results as JSON to this file (required)")
+	gates := flag.String("gate", "", "comma-separated 'nameA<nameB' ns/op assertions; any miss exits non-zero")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "benchjson: -o is required")
@@ -118,4 +172,7 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "benchjson: wrote", *out)
+	if *gates != "" && !checkGates(*gates, res.Benchmarks) {
+		os.Exit(1)
+	}
 }

@@ -91,13 +91,19 @@ type MigrateResponse struct {
 	Cost             CostReport      `json:"cost"`
 }
 
-// ReconfigureResponse answers full-reconfiguration requests.
+// ReconfigureResponse answers reconfiguration requests. With the SM's
+// IncrementalRouting enabled, Incremental reports whether the delta path
+// applied (paths then counts only the destination trees actually re-run)
+// and the distribution is a block diff rather than a full push.
 type ReconfigureResponse struct {
 	Engine            string `json:"engine"`
 	Paths             int    `json:"paths"`
+	Incremental       bool   `json:"incremental,omitempty"`
+	DestsRecomputed   int    `json:"dests_recomputed,omitempty"`
 	SwitchesUpdated   int    `json:"switches_updated"`
 	SwitchesCancelled int    `json:"switches_cancelled,omitempty"`
 	SMPs              int    `json:"smps"`
+	BlocksCoalesced   int    `json:"blocks_coalesced,omitempty"`
 	ModelledUS        int64  `json:"modelled_us"`
 	Cancelled         bool   `json:"cancelled,omitempty"`
 }
@@ -205,14 +211,19 @@ func (s *Server) execute(cmd *command) cmdReply {
 		}}
 
 	case opReconfigure:
-		rs, ds, err := s.c.SM.FullReconfigureCtx(s.opCtx)
+		rs, ds, err := s.c.SM.ReconfigureCtx(s.opCtx)
 		resp := ReconfigureResponse{
 			Engine:            s.c.SM.Engine.Name(),
 			Paths:             rs.PathsComputed,
+			Incremental:       rs.Incremental.Applied,
 			SwitchesUpdated:   ds.SwitchesUpdated,
 			SwitchesCancelled: ds.SwitchesCancelled,
 			SMPs:              ds.SMPs,
+			BlocksCoalesced:   ds.BlocksCoalesced,
 			ModelledUS:        ds.ModelledTime.Microseconds(),
+		}
+		if rs.Incremental.Applied {
+			resp.DestsRecomputed = rs.Incremental.DestsRecomputed
 		}
 		if errors.Is(err, context.Canceled) {
 			resp.Cancelled = true

@@ -1,0 +1,66 @@
+package ib
+
+import "sync/atomic"
+
+// LFTBuffer double-buffers one switch's forwarding table: readers always see
+// a complete, immutable-by-convention active table through a lock-free
+// atomic pointer, while the next table is assembled off to the side in a
+// shadow slot. Commit publishes the shadow with a single pointer swap, so an
+// auditor or copy-on-write snapshot racing a distribution can observe the
+// old table or the new one but never a half-merged mixture.
+//
+// The buffer itself does not lock the shadow slot: staging and committing
+// are writer-side operations and callers (the subnet manager's single
+// distribution join, the control plane's actor loop) already serialise
+// writers. Only Active is safe to call concurrently with them.
+type LFTBuffer struct {
+	active atomic.Pointer[LFT]
+	shadow *LFT
+}
+
+// NewLFTBuffer returns a buffer whose active table is initial (nil is
+// allowed: the switch has never been programmed).
+func NewLFTBuffer(initial *LFT) *LFTBuffer {
+	b := &LFTBuffer{}
+	if initial != nil {
+		b.active.Store(initial)
+	}
+	return b
+}
+
+// Active returns the published table (nil before the first Commit of a
+// non-nil table). Safe for concurrent readers.
+func (b *LFTBuffer) Active() *LFT { return b.active.Load() }
+
+// Stage installs t as the shadow table, replacing any previous shadow. The
+// active table is untouched; readers keep seeing it until Commit.
+func (b *LFTBuffer) Stage(t *LFT) { b.shadow = t }
+
+// Staged returns the shadow table if one is staged, otherwise the active
+// table. Writers use it as "the table the next distribution should push".
+func (b *LFTBuffer) Staged() *LFT {
+	if b.shadow != nil {
+		return b.shadow
+	}
+	return b.active.Load()
+}
+
+// HasStaged reports whether a shadow table is staged and not yet committed.
+func (b *LFTBuffer) HasStaged() bool { return b.shadow != nil }
+
+// Commit atomically publishes the shadow as the active table and clears the
+// shadow slot, returning the newly active table. Committing with no shadow
+// staged is a no-op that returns the current active table.
+func (b *LFTBuffer) Commit() *LFT {
+	if b.shadow == nil {
+		return b.active.Load()
+	}
+	t := b.shadow
+	b.shadow = nil
+	b.active.Store(t)
+	return t
+}
+
+// Discard drops the shadow without publishing it (a distribution that never
+// started, or a recompute superseded before it was pushed).
+func (b *LFTBuffer) Discard() { b.shadow = nil }

@@ -1,0 +1,128 @@
+package ib
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLFTBufferStageCommit(t *testing.T) {
+	old := NewLFT(100)
+	old.Set(5, 3)
+	b := NewLFTBuffer(old)
+	if b.Active() != old {
+		t.Fatalf("active table not the initial one")
+	}
+	if b.Staged() != old {
+		t.Fatalf("Staged with no shadow should fall back to active")
+	}
+	if b.HasStaged() {
+		t.Fatalf("fresh buffer reports a staged shadow")
+	}
+
+	next := NewLFT(100)
+	next.Set(5, 7)
+	b.Stage(next)
+	if !b.HasStaged() {
+		t.Fatalf("Stage did not register a shadow")
+	}
+	if b.Active() != old {
+		t.Fatalf("Stage must not publish the shadow")
+	}
+	if b.Staged() != next {
+		t.Fatalf("Staged should return the shadow once staged")
+	}
+	if got := b.Commit(); got != next {
+		t.Fatalf("Commit returned %v, want the staged table", got)
+	}
+	if b.Active() != next || b.HasStaged() {
+		t.Fatalf("Commit must publish the shadow and clear the slot")
+	}
+	// Commit with nothing staged is a no-op.
+	if got := b.Commit(); got != next {
+		t.Fatalf("empty Commit changed the active table")
+	}
+}
+
+func TestLFTBufferDiscard(t *testing.T) {
+	old := NewLFT(10)
+	b := NewLFTBuffer(old)
+	b.Stage(NewLFT(10))
+	b.Discard()
+	if b.HasStaged() || b.Active() != old {
+		t.Fatalf("Discard must drop the shadow and keep the active table")
+	}
+}
+
+func TestLFTBufferNilInitial(t *testing.T) {
+	b := NewLFTBuffer(nil)
+	if b.Active() != nil {
+		t.Fatalf("unprogrammed buffer should have a nil active table")
+	}
+	if b.Staged() != nil {
+		t.Fatalf("unprogrammed buffer with no shadow should stage nil")
+	}
+	next := NewLFT(10)
+	b.Stage(next)
+	b.Commit()
+	if b.Active() != next {
+		t.Fatalf("first Commit should publish the shadow")
+	}
+}
+
+// TestLFTBufferConcurrentReaders drives Commit against a crowd of Active
+// readers under the race detector: every observed table must be one of the
+// fully built generations, never a torn intermediate.
+func TestLFTBufferConcurrentReaders(t *testing.T) {
+	b := NewLFTBuffer(nil)
+	gens := make([]*LFT, 64)
+	for i := range gens {
+		l := NewLFT(127)
+		for lid := LID(0); lid < 128; lid++ {
+			l.Set(lid, PortNum(i%200))
+		}
+		gens[i] = l
+	}
+	known := map[*LFT]bool{nil: true}
+	for _, g := range gens {
+		known[g] = true
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, 8)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				got := b.Active()
+				if !known[got] {
+					select {
+					case errs <- "reader observed a table that was never committed":
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	for _, g := range gens {
+		b.Stage(g)
+		b.Commit()
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if b.Active() != gens[len(gens)-1] {
+		t.Fatalf("final active table is not the last committed generation")
+	}
+}

@@ -41,6 +41,118 @@ type ftreeScratch struct {
 // (fresh tables already drop everything).
 const noEntry = ib.DropPort
 
+// ftEdge is one oriented switch-switch edge of the fat-tree view (an up or
+// down port of a switch and the dense index it leads to).
+type ftEdge struct {
+	port ib.PortNum
+	peer int
+}
+
+// ftreeSplit validates level annotations and splits every switch's
+// adjacency into up and down edges, in adjacency (port) order. Shared
+// between the engine and the incremental layer, which diffs the up lists to
+// patch d-mod-k dispersion rows after a topology delta.
+func ftreeSplit(fv *fabricView) (ups, downs [][]ftEdge, err error) {
+	nsw := len(fv.switches)
+	ups = make([][]ftEdge, nsw)
+	downs = make([][]ftEdge, nsw)
+	for i, id := range fv.switches {
+		n := fv.topo.Node(id)
+		if n.Level < 1 {
+			return nil, nil, fmt.Errorf("routing: ftree requires levelled switches; %q has level %d (use minhop for irregular fabrics)", n.Desc, n.Level)
+		}
+		for _, e := range fv.adj[i] {
+			peerLevel := fv.topo.Node(fv.switches[e.peer]).Level
+			switch {
+			case peerLevel > n.Level:
+				ups[i] = append(ups[i], ftEdge{port: e.port, peer: e.peer})
+			case peerLevel < n.Level:
+				downs[i] = append(downs[i], ftEdge{port: e.port, peer: e.peer})
+			default:
+				return nil, nil, fmt.Errorf("routing: ftree found same-level link %q <-> %q",
+					n.Desc, fv.topo.Node(fv.switches[e.peer]).Desc)
+			}
+		}
+	}
+	return ups, downs, nil
+}
+
+// ftreeRow computes one target's egress-port row (noEntry = leave the
+// switch's table untouched): the BFS min-hop fallback for switch targets,
+// or the ancestor-cone walk plus d-mod-k up dispersion for CA targets.
+// Shared between the engine fan-out and the incremental recompute of
+// affected destinations.
+func ftreeRow(fv *fabricView, ups, downs [][]ftEdge, t Target, ap attachPoint, s *ftreeScratch, row []ib.PortNum) error {
+	nsw := len(fv.switches)
+	for i := range row {
+		row[i] = noEntry
+	}
+
+	if ap.port == 0 {
+		// The target is a switch itself: BFS min-hop fallback (management
+		// traffic does not need d-mod-k dispersion).
+		fv.bfs(ap.sw, s.bfs)
+		row[ap.sw] = 0
+		for i := 0; i < nsw; i++ {
+			if i == ap.sw || s.bfs.dist[i] < 0 {
+				continue
+			}
+			for _, e := range fv.adj[i] {
+				if s.bfs.dist[e.peer] == s.bfs.dist[i]-1 {
+					row[i] = e.port
+					break
+				}
+			}
+		}
+		return nil
+	}
+
+	// CA target: mark the ancestor cone with unique down ports.
+	s.gen++
+	frontier := s.frontier[:0]
+	s.downPort[ap.sw] = ap.port
+	s.marked[ap.sw] = s.gen
+	frontier = append(frontier, ap.sw)
+	for fi := 0; fi < len(frontier); fi++ {
+		u := frontier[fi]
+		for _, e := range ups[u] {
+			p := e.peer
+			if s.marked[p] == s.gen {
+				continue
+			}
+			s.marked[p] = s.gen
+			// The parent's egress toward u is the reverse of the up edge:
+			// find the down edge of p that reaches u.
+			var dp ib.PortNum
+			for _, de := range downs[p] {
+				if de.peer == u {
+					dp = de.port
+					break
+				}
+			}
+			if dp == 0 {
+				s.frontier = frontier[:0]
+				return fmt.Errorf("routing: ftree asymmetry: parent of %q lacks a down port", fv.topo.Node(fv.switches[u]).Desc)
+			}
+			s.downPort[p] = dp
+			frontier = append(frontier, p)
+		}
+	}
+	s.frontier = frontier[:0]
+
+	for i := 0; i < nsw; i++ {
+		if s.marked[i] == s.gen {
+			row[i] = s.downPort[i]
+			continue
+		}
+		if len(ups[i]) == 0 {
+			continue // disconnected from the ancestor cone; drop
+		}
+		row[i] = ups[i][int(t.LID)%len(ups[i])].port
+	}
+	return nil
+}
+
 // Compute implements Engine.
 func (*FatTree) Compute(req *Request) (*Result, error) {
 	start := time.Now()
@@ -52,30 +164,9 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 		return nil, err
 	}
 	nsw := len(fv.switches)
-	// Level sanity and per-switch up/down port split.
-	type upEdge struct {
-		port ib.PortNum
-		peer int
-	}
-	ups := make([][]upEdge, nsw)
-	downs := make([][]upEdge, nsw)
-	for i, id := range fv.switches {
-		n := fv.topo.Node(id)
-		if n.Level < 1 {
-			return nil, fmt.Errorf("routing: ftree requires levelled switches; %q has level %d (use minhop for irregular fabrics)", n.Desc, n.Level)
-		}
-		for _, e := range fv.adj[i] {
-			peerLevel := fv.topo.Node(fv.switches[e.peer]).Level
-			switch {
-			case peerLevel > n.Level:
-				ups[i] = append(ups[i], upEdge{port: e.port, peer: e.peer})
-			case peerLevel < n.Level:
-				downs[i] = append(downs[i], upEdge{port: e.port, peer: e.peer})
-			default:
-				return nil, fmt.Errorf("routing: ftree found same-level link %q <-> %q",
-					n.Desc, fv.topo.Node(fv.switches[e.peer]).Desc)
-			}
-		}
+	ups, downs, err := ftreeSplit(fv)
+	if err != nil {
+		return nil, err
 	}
 
 	lfts := fv.newLFTs(req.Targets)
@@ -104,73 +195,9 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 			ti := lo + k
 			t := req.Targets[ti]
 			ap := fv.attach[ti]
-			row := rows[k]
-			for i := range row {
-				row[i] = noEntry
-			}
-			errs[k] = nil
-
-			if ap.port == 0 {
-				// The target is a switch itself: BFS min-hop fallback
-				// (management traffic does not need d-mod-k dispersion).
-				fv.bfs(ap.sw, s.bfs)
-				row[ap.sw] = 0
-				for i := 0; i < nsw; i++ {
-					if i == ap.sw || s.bfs.dist[i] < 0 {
-						continue
-					}
-					for _, e := range fv.adj[i] {
-						if s.bfs.dist[e.peer] == s.bfs.dist[i]-1 {
-							row[i] = e.port
-							break
-						}
-					}
-				}
-				return
-			}
-
-			// CA target: mark the ancestor cone with unique down ports.
-			s.gen++
-			frontier := s.frontier[:0]
-			s.downPort[ap.sw] = ap.port
-			s.marked[ap.sw] = s.gen
-			frontier = append(frontier, ap.sw)
-			for fi := 0; fi < len(frontier); fi++ {
-				u := frontier[fi]
-				for _, e := range ups[u] {
-					p := e.peer
-					if s.marked[p] == s.gen {
-						continue
-					}
-					s.marked[p] = s.gen
-					// The parent's egress toward u is the reverse of the up
-					// edge: find the down edge of p that reaches u.
-					var dp ib.PortNum
-					for _, de := range downs[p] {
-						if de.peer == u {
-							dp = de.port
-							break
-						}
-					}
-					if dp == 0 {
-						errs[k] = fmt.Errorf("routing: ftree asymmetry: parent of %q lacks a down port", fv.topo.Node(fv.switches[u]).Desc)
-						return
-					}
-					s.downPort[p] = dp
-					frontier = append(frontier, p)
-				}
-			}
-			s.frontier = frontier[:0]
-
-			for i := 0; i < nsw; i++ {
-				if s.marked[i] == s.gen {
-					row[i] = s.downPort[i]
-					continue
-				}
-				if len(ups[i]) == 0 {
-					continue // disconnected from the ancestor cone; drop
-				}
-				row[i] = ups[i][int(t.LID)%len(ups[i])].port
+			errs[k] = ftreeRow(fv, ups, downs, t, ap, s, rows[k])
+			if errs[k] == nil && req.capture != nil {
+				req.capture.captureFtree(ti, ap, s)
 			}
 		})
 		clock.lap("cone-fanout")

@@ -1,0 +1,1221 @@
+package routing
+
+import (
+	"fmt"
+	"time"
+
+	"ibvsim/internal/ib"
+	"ibvsim/internal/topology"
+)
+
+// This file implements the incremental recompute layer: a dependency index
+// recording, per destination-switch group, which links and switches its
+// BFS/SSSP structure traverses, so a topology delta re-runs path computation
+// only for the affected destinations and merges the result deterministically
+// into the previous tables — byte-identical (in the forwarding domain) to a
+// from-scratch run.
+//
+// Supported engines and their delta rules:
+//
+//   - minhop: a removed link affects a destination group iff its endpoints'
+//     BFS distances to that destination differ by exactly one (only such
+//     links participate in shortest-path candidate sets); an added link
+//     affects it iff the endpoint distances differ at all (a new equal-
+//     distance link is provably on no shortest path). The load-balanced
+//     egress fold decomposes per (switch, groupWindow) — load[i] evolves
+//     only from choices made at switch i and resets at window boundaries —
+//     so only windows in which a switch's candidate row changed replay
+//     their fold; every other column segment is carried over verbatim.
+//   - updn: the same two rules applied to both the all-down (distD) and
+//     legal-path (distU) distance fields, plus a guard on the rank
+//     orientation: if the (re-derived) root or rank array changed, the whole
+//     up/down relation moved and the layer falls back to a full recompute
+//     with an explicit reason.
+//   - ftree: a destination group is affected iff a changed link touches its
+//     captured ancestor cone (or its membership/attach changed); unaffected
+//     groups only need their d-mod-k up-dispersion entries patched at
+//     switches whose up-port list changed. Switch-self targets use the
+//     minhop distance rules on their captured fallback BFS.
+//   - dfsssp, lash: their VL layering is a global property (any weight or
+//     path change can relayer every destination), so every delta falls back
+//     to a full recompute with an explicit Stats reason.
+//
+// All fan-outs follow the parallel.go determinism contract: tasks write only
+// task-indexed slots, folds and merges are per-switch independent, so the
+// merged tables are byte-identical for every worker count.
+
+// edgeKey identifies one oriented switch-switch edge by its source switch
+// (dense index) and egress port — stable across topology deltas because the
+// node set is immutable and ports never renumber.
+type edgeKey struct {
+	i    int
+	port ib.PortNum
+}
+
+// edgeRec is one oriented edge of a topology delta.
+type edgeRec struct {
+	i    int
+	port ib.PortNum
+	peer int
+}
+
+// depCapture receives per-destination dependency state from the engines'
+// fan-out tasks. Every slot is written by exactly one task (slots are
+// indexed by group or by a designated first target of a group), so no
+// locking is needed under any worker count.
+type depCapture struct {
+	engine string
+	nsw    int
+
+	// minhop: dist. updn: dist = distD plus distU. Indexed by group.
+	dist  [][]int16
+	distU [][]int16
+	cands []*candSet
+
+	// updn rank orientation.
+	root int
+	rank []int
+
+	// ftree: per-target designations (the group's first CA target captures
+	// the ancestor-cone bitmap; its switch-self target captures the
+	// fallback BFS distances), plus the per-group capture slots.
+	firstCA []int32
+	firstSW []int32
+	cone    [][]uint64
+	swDist  [][]int16
+}
+
+func newDepCapture(engine string, nsw, ngroups, ntargets int) *depCapture {
+	c := &depCapture{engine: engine, nsw: nsw, root: -1}
+	switch engine {
+	case "minhop":
+		c.dist = make([][]int16, ngroups)
+		c.cands = make([]*candSet, ngroups)
+	case "updn":
+		c.dist = make([][]int16, ngroups)
+		c.distU = make([][]int16, ngroups)
+		c.cands = make([]*candSet, ngroups)
+	case "ftree":
+		c.cone = make([][]uint64, ngroups)
+		c.swDist = make([][]int16, ngroups)
+		c.firstCA = make([]int32, ntargets)
+		c.firstSW = make([]int32, ntargets)
+		for i := range c.firstCA {
+			c.firstCA[i] = -1
+			c.firstSW[i] = -1
+		}
+	}
+	return c
+}
+
+// designateFtree marks, per group, which target's task captures the cone
+// (first CA member) and which captures the switch-target BFS distances.
+func (c *depCapture) designateFtree(groups [][]int, attach []attachPoint) {
+	for g, grp := range groups {
+		ca := -1
+		for _, ti := range grp {
+			if attach[ti].port == 0 {
+				c.firstSW[ti] = int32(g)
+			} else if ca < 0 {
+				ca = ti
+			}
+		}
+		if ca >= 0 {
+			c.firstCA[ca] = int32(g)
+		}
+	}
+}
+
+// captureGroup records one destination group's distance field(s) and
+// candidate set (minhop passes distU = nil).
+func (c *depCapture) captureGroup(g int, dist, distU []int, cs *candSet) {
+	c.dist[g] = toInt16(dist)
+	if c.distU != nil && distU != nil {
+		c.distU[g] = toInt16(distU)
+	}
+	c.cands[g] = cs.clone()
+}
+
+// setRank records the updn rank orientation (called once, before the
+// fan-out windows start).
+func (c *depCapture) setRank(root int, rank []int) {
+	c.root = root
+	c.rank = append([]int(nil), rank...)
+}
+
+// captureFtree records cone membership / fallback distances from one ftree
+// target task's scratch, if this target is its group's designated capturer.
+func (c *depCapture) captureFtree(ti int, ap attachPoint, s *ftreeScratch) {
+	if g := c.firstSW[ti]; g >= 0 {
+		c.swDist[g] = toInt16(s.bfs.dist)
+	}
+	if g := c.firstCA[ti]; g >= 0 {
+		bm := make([]uint64, (c.nsw+63)/64)
+		for i := 0; i < c.nsw; i++ {
+			if s.marked[i] == s.gen {
+				bm[i/64] |= 1 << (uint(i) % 64)
+			}
+		}
+		c.cone[g] = bm
+	}
+}
+
+// groupCands is one destination group's candidate structure as the index
+// stores it: the base candSet captured from a BFS run, plus an overlay of
+// locally-patched segments for switches whose candidate lists changed in
+// later deltas without the distance field moving. Overlays stay tiny (the
+// endpoints of changed links), so patched groups never pay an O(switches)
+// rebuild.
+type groupCands struct {
+	base    *candSet
+	overlay map[int][]ib.PortNum
+}
+
+func (g *groupCands) at(i int) []ib.PortNum {
+	if g.overlay != nil {
+		if seg, ok := g.overlay[i]; ok {
+			return seg
+		}
+	}
+	return g.base.at(i)
+}
+
+// patched returns a copy of g with segs layered on top of its overlay.
+func (g *groupCands) patched(segs map[int][]ib.PortNum) *groupCands {
+	ov := make(map[int][]ib.PortNum, len(g.overlay)+len(segs))
+	for i, s := range g.overlay {
+		ov[i] = s
+	}
+	for i, s := range segs {
+		ov[i] = s
+	}
+	return &groupCands{base: g.base, overlay: ov}
+}
+
+// depIndex is the state retained between computations: the topology and
+// target snapshot the last result was computed against, the captured
+// per-destination dependency structures, and a private copy of the result
+// tables the next delta merges into.
+type depIndex struct {
+	engine   string
+	topLID   ib.LID
+	switches []topology.NodeID
+	edges    map[edgeKey]int // oriented up switch-switch links -> peer index
+	targets  []Target
+	attach   []attachPoint
+	groups   [][]int
+	keys     []int
+	groupOf  map[int]int // destination switch dense index -> group position
+	cap      *depCapture
+	gc       []*groupCands // minhop/updn: per-group candidate structure
+	ups      [][]ftEdge    // ftree only: per-switch up edges in adjacency order
+	lfts     map[topology.NodeID]*ib.LFT
+}
+
+// Incremental wraps a routing engine with the dependency-tracked delta
+// recompute layer. It implements Engine; the first Compute (and any
+// fallback) runs the inner engine in full while capturing the dependency
+// index, subsequent Computes self-diff the request against the index and
+// re-run only affected destinations. Results are byte-identical in the
+// forwarding domain (ib.LFT.Equal) to a from-scratch run for minhop, updn
+// and ftree; dfsssp and lash always fall back with an explicit Stats
+// reason. Not safe for concurrent Compute calls (the subnet manager
+// serialises them).
+type Incremental struct {
+	inner Engine
+	idx   *depIndex
+	// lastAffected lists the destination-switch groups the most recent
+	// delta recomputed (dense indices); lastPatched lists the groups whose
+	// candidate segments were patched without a BFS. Both nil after a full
+	// compute.
+	lastAffected []int
+	lastPatched  []int
+}
+
+// NewIncremental wraps the engine.
+func NewIncremental(inner Engine) *Incremental { return &Incremental{inner: inner} }
+
+// Name implements Engine (the wrapper is transparent in logs and stats).
+func (x *Incremental) Name() string { return x.inner.Name() }
+
+// Inner returns the wrapped engine.
+func (x *Incremental) Inner() Engine { return x.inner }
+
+// Invalidate drops the dependency index; the next Compute runs in full.
+func (x *Incremental) Invalidate() { x.idx = nil }
+
+// LastAffected returns the destination switches whose trees the most recent
+// Compute re-ran incrementally, ascending by dense index (nil when the last
+// Compute was full). Test and fuzz harnesses cross-check it against a naive
+// full-diff oracle.
+func (x *Incremental) LastAffected() []topology.NodeID {
+	return x.groupSwitches(x.lastAffected)
+}
+
+// LastPatched returns the destination switches whose candidate structures
+// the most recent Compute patched locally without a BFS re-run (nil when
+// the last Compute was full).
+func (x *Incremental) LastPatched() []topology.NodeID {
+	return x.groupSwitches(x.lastPatched)
+}
+
+func (x *Incremental) groupSwitches(gis []int) []topology.NodeID {
+	if x.idx == nil || gis == nil {
+		return nil
+	}
+	out := make([]topology.NodeID, len(gis))
+	for i, gi := range gis {
+		out[i] = x.idx.switches[x.idx.keys[gi]]
+	}
+	return out
+}
+
+// Compute implements Engine.
+func (x *Incremental) Compute(req *Request) (*Result, error) {
+	name := x.inner.Name()
+	switch name {
+	case "minhop", "updn", "ftree":
+	default:
+		res, err := x.inner.Compute(req)
+		if err == nil {
+			res.Stats.Incremental = IncrementalStats{
+				Attempted:       true,
+				FallbackReason:  fmt.Sprintf("engine %s derives a global VL layering; any delta invalidates it", name),
+				DestsTotal:      res.Stats.PathsComputed,
+				DestsRecomputed: res.Stats.PathsComputed,
+			}
+		}
+		return res, err
+	}
+	if name == "updn" {
+		if _, ok := x.inner.(*UpDown); !ok {
+			return x.fullViaInner(req, "updn engine is not the stock *UpDown; rank orientation unknown")
+		}
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	if x.idx == nil || x.idx.engine != name {
+		return x.fullCompute(req, fv, "cold start: no dependency index yet")
+	}
+	if !sameSwitches(x.idx.switches, fv.switches) {
+		return x.fullCompute(req, fv, "switch set changed")
+	}
+	return x.delta(req, fv)
+}
+
+// fullViaInner runs the inner engine without building an index (used when
+// the engine instance cannot support delta recompute at all).
+func (x *Incremental) fullViaInner(req *Request, reason string) (*Result, error) {
+	res, err := x.inner.Compute(req)
+	if err == nil {
+		res.Stats.Incremental = IncrementalStats{
+			Attempted:       true,
+			FallbackReason:  reason,
+			DestsTotal:      res.Stats.PathsComputed,
+			DestsRecomputed: res.Stats.PathsComputed,
+		}
+	}
+	return res, err
+}
+
+// fullCompute runs the inner engine in full with dependency capture enabled
+// and rebuilds the index from the run.
+func (x *Incremental) fullCompute(req *Request, fv *fabricView, reason string) (*Result, error) {
+	x.idx = nil
+	x.lastAffected = nil
+	x.lastPatched = nil
+	name := x.inner.Name()
+	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	cap := newDepCapture(name, len(fv.switches), len(groups), len(req.Targets))
+	if name == "ftree" {
+		cap.designateFtree(groups, fv.attach)
+	}
+	creq := *req
+	creq.capture = cap
+	res, err := x.inner.Compute(&creq)
+	if err != nil {
+		return nil, err
+	}
+
+	idx := &depIndex{
+		engine:   name,
+		topLID:   topLIDOf(req.Targets),
+		switches: fv.switches,
+		edges:    edgeSet(fv),
+		targets:  append([]Target(nil), req.Targets...),
+		attach:   append([]attachPoint(nil), fv.attach...),
+		groups:   groups,
+		keys:     keys,
+		groupOf:  groupOfMap(keys),
+		cap:      cap,
+		lfts:     cloneLFTMap(res.LFTs),
+	}
+	if name == "ftree" {
+		ups, _, err := ftreeSplit(fv)
+		if err != nil {
+			return nil, err
+		}
+		idx.ups = ups
+	} else {
+		idx.gc = make([]*groupCands, len(groups))
+		for gi := range groups {
+			idx.gc[gi] = &groupCands{base: cap.cands[gi]}
+		}
+	}
+	x.idx = idx
+
+	res.Stats.Incremental = IncrementalStats{
+		Attempted:        true,
+		FallbackReason:   reason,
+		DestsTotal:       len(groups),
+		DestsRecomputed:  len(groups),
+		SwitchesReplayed: len(fv.switches),
+	}
+	return res, nil
+}
+
+// delta classifies the request against the index and merges an incremental
+// recompute, or falls back to fullCompute when the engine's global
+// invariants moved.
+func (x *Incremental) delta(req *Request, fv *fabricView) (*Result, error) {
+	start := time.Now()
+	idx := x.idx
+	name := idx.engine
+	workers := req.workerCount()
+	clock := newPhaseClock()
+
+	groups, keys := fv.groupTargetsBySwitch(req.Targets)
+	edges := edgeSet(fv)
+	var linkDowns, linkUps []edgeRec
+	for k, peer := range idx.edges {
+		if p2, ok := edges[k]; !ok || p2 != peer {
+			linkDowns = append(linkDowns, edgeRec{k.i, k.port, peer})
+		}
+	}
+	for k, peer := range edges {
+		if p2, ok := idx.edges[k]; !ok || p2 != peer {
+			linkUps = append(linkUps, edgeRec{k.i, k.port, peer})
+		}
+	}
+	targetsSame := equalTargets(idx.targets, req.Targets) && equalAttach(idx.attach, fv.attach)
+	clock.lap("delta-classify")
+
+	incBase := IncrementalStats{
+		Attempted:      true,
+		Applied:        true,
+		DestsTotal:     len(groups),
+		LinksDown:      len(linkDowns) / 2,
+		LinksUp:        len(linkUps) / 2,
+		TargetsChanged: !targetsSame,
+	}
+
+	if targetsSame && len(linkDowns) == 0 && len(linkUps) == 0 {
+		// No delta at all: serve the cached result.
+		x.lastAffected = []int{}
+		x.lastPatched = []int{}
+		return &Result{
+			LFTs: cloneLFTMap(idx.lfts),
+			Stats: Stats{Duration: time.Since(start), Workers: workers,
+				Phases: clock.phases(), Incremental: incBase},
+		}, nil
+	}
+
+	// Engine-specific global guards.
+	var root int
+	var rank []int
+	if name == "updn" {
+		ud := x.inner.(*UpDown)
+		var err error
+		root, rank, err = ud.rankFabric(fv)
+		if err != nil {
+			return nil, err
+		}
+		if root != idx.cap.root || !equalInts(rank, idx.cap.rank) {
+			return x.fullCompute(req, fv, "updn root or rank orientation changed")
+		}
+	}
+	var ftUps, ftDowns [][]ftEdge
+	if name == "ftree" {
+		var err error
+		ftUps, ftDowns, err = ftreeSplit(fv)
+		if err != nil {
+			return nil, err
+		}
+	}
+	clock.lap("delta-classify")
+
+	if name == "ftree" {
+		return x.deltaFtree(req, fv, start, clock, incBase, groups, keys, edges,
+			linkDowns, linkUps, targetsSame, ftUps, ftDowns)
+	}
+	return x.deltaFold(req, fv, start, clock, incBase, groups, keys, edges,
+		linkDowns, linkUps, targetsSame, root, rank)
+}
+
+// deltaFold is the minhop/updn merge: BFS re-runs for affected groups, then
+// a per-switch replay of the load-balanced fold wherever a candidate row
+// changed (or everywhere when the target set changed).
+func (x *Incremental) deltaFold(req *Request, fv *fabricView, start time.Time, clock *phaseClock,
+	inc IncrementalStats, groups [][]int, keys []int, edges map[edgeKey]int,
+	linkDowns, linkUps []edgeRec, targetsSame bool, root int, rank []int) (*Result, error) {
+
+	idx := x.idx
+	name := idx.engine
+	nsw := len(fv.switches)
+	workers := req.workerCount()
+
+	// Classify every destination group against its stored distance field(s).
+	// Three outcomes: untouched (carry over), patched (distances provably
+	// unchanged; only the candidate segments at changed-link endpoints are
+	// recomputed locally, no BFS), or BFS (the distance field itself moved).
+	var up func(i, j int) bool
+	if name == "updn" {
+		up = updnUp(rank)
+	}
+	affected := make([]bool, len(groups))
+	patches := make([]map[int][]ib.PortNum, len(groups))
+	for gi, k := range keys {
+		og, ok := idx.groupOf[k]
+		if !ok {
+			affected[gi] = true // brand-new destination switch group
+			continue
+		}
+		var needBFS bool
+		var segs map[int][]ib.PortNum
+		if name == "minhop" {
+			needBFS, segs = classifyMinhopDelta(fv, idx.cap.dist[og], linkDowns, linkUps)
+		} else {
+			needBFS, segs = classifyUpdnDelta(fv, idx.cap.dist[og], idx.cap.distU[og], up, linkDowns, linkUps)
+		}
+		if needBFS {
+			affected[gi] = true
+		} else {
+			patches[gi] = segs
+		}
+	}
+	var affList []int
+	nPatched := 0
+	for gi, a := range affected {
+		if a {
+			affList = append(affList, gi)
+		} else if patches[gi] != nil {
+			nPatched++
+		}
+	}
+	clock.lap("delta-classify")
+
+	// Re-run the destination BFS/candidate discovery for affected groups.
+	newDist := make([][]int16, len(groups))
+	newDistU := make([][]int16, len(groups))
+	newCands := make([]*candSet, len(groups))
+	var busy []time.Duration
+	if name == "minhop" {
+		pool := newWorkerPool(workers, func() *bfsScratch { return newBFSScratch(nsw) })
+		pool.run(len(affList), func(t int, s *bfsScratch) {
+			gi := affList[t]
+			cs := newCandSet(nsw)
+			minhopCands(fv, keys[gi], s, cs)
+			newCands[gi] = cs
+			newDist[gi] = toInt16(s.dist)
+		})
+		busy = pool.busyTimes()
+	} else {
+		up := updnUp(rank)
+		pool := newWorkerPool(workers, func() *updownScratch { return newUpdownScratch(nsw) })
+		pool.run(len(affList), func(t int, s *updownScratch) {
+			gi := affList[t]
+			cs := newCandSet(nsw)
+			updnCands(fv, up, keys[gi], s, cs)
+			newCands[gi] = cs
+			newDist[gi] = toInt16(s.distD)
+			newDistU[gi] = toInt16(s.distU)
+		})
+		busy = pool.busyTimes()
+	}
+	clock.lap("bfs-fanout")
+
+	// Per-group candidate views: fresh BFS results, patched overlays, or the
+	// stored structure untouched.
+	gcands := make([]*groupCands, len(groups))
+	for gi, k := range keys {
+		switch {
+		case newCands[gi] != nil:
+			gcands[gi] = &groupCands{base: newCands[gi]}
+		case patches[gi] != nil:
+			gcands[gi] = idx.gc[idx.groupOf[k]].patched(patches[gi])
+		default:
+			gcands[gi] = idx.gc[idx.groupOf[k]]
+		}
+	}
+
+	// A switch must replay part of its fold iff some group's candidate row
+	// changed there — load[i] evolves only from choices made at switch i,
+	// and only within one groupWindow (the engines reset load at window
+	// boundaries), so the replay unit is the (switch, window) pair: windows
+	// with identical rows throughout keep their column segment verbatim.
+	// Any change to the target sequence shifts every switch's fold order:
+	// replay everything.
+	replayAll := !targetsSame
+	nwin := (len(groups) + groupWindow - 1) / groupWindow
+	changed := make([]bool, nsw)
+	var chw []bool // (switch, window) replay marks, indexed i*nwin+w
+	if !replayAll {
+		chw = make([]bool, nsw*nwin)
+		for _, gi := range affList {
+			old := idx.gc[idx.groupOf[keys[gi]]]
+			cs := newCands[gi]
+			w := gi / groupWindow
+			for i := 0; i < nsw; i++ {
+				if !chw[i*nwin+w] && !equalPorts(old.at(i), cs.at(i)) {
+					chw[i*nwin+w] = true
+					changed[i] = true
+				}
+			}
+		}
+		for gi, segs := range patches {
+			if segs == nil {
+				continue
+			}
+			old := idx.gc[idx.groupOf[keys[gi]]]
+			w := gi / groupWindow
+			for i, seg := range segs {
+				if !chw[i*nwin+w] && !equalPorts(old.at(i), seg) {
+					chw[i*nwin+w] = true
+					changed[i] = true
+				}
+			}
+		}
+	}
+	top := topLIDOf(req.Targets)
+	lfts := make(map[topology.NodeID]*ib.LFT, nsw)
+	var replay []int
+	for i, id := range fv.switches {
+		if replayAll {
+			lfts[id] = ib.NewLFT(top)
+			replay = append(replay, i)
+		} else {
+			// Clone either way: a changed switch re-folds only its marked
+			// windows and carries every other window's entries over from the
+			// previous run (valid because rows there are unchanged and load
+			// is window-scoped).
+			lfts[id] = idx.lfts[id].Clone()
+			if changed[i] {
+				replay = append(replay, i)
+			}
+		}
+	}
+	clock.lap("clone")
+
+	// Replay the serial fold's per-switch projection: switches are mutually
+	// independent (each only reads its own load vector), so the replay fans
+	// out over the pool while staying byte-identical to the engine's global
+	// fold for every worker count.
+	rpool := newWorkerPool(workers, func() *[]uint32 { s := []uint32(nil); return &s })
+	rpool.run(len(replay), func(t int, scratch *[]uint32) {
+		i := replay[t]
+		id := fv.switches[i]
+		nports := len(fv.topo.Node(id).Ports)
+		if cap(*scratch) < nports {
+			*scratch = make([]uint32, nports)
+		}
+		load := (*scratch)[:nports]
+		lft := lfts[id]
+		for lo := 0; lo < len(groups); lo += groupWindow {
+			if !replayAll && !chw[i*nwin+lo/groupWindow] {
+				continue // column segment carried over from the previous run
+			}
+			for p := range load {
+				load[p] = 0
+			}
+			hi := lo + groupWindow
+			if hi > len(groups) {
+				hi = len(groups)
+			}
+			for gi := lo; gi < hi; gi++ {
+				destSw := keys[gi]
+				if destSw == i {
+					for _, ti := range groups[gi] {
+						lft.Set(req.Targets[ti].LID, fv.attach[ti].port)
+					}
+					continue
+				}
+				cands := gcands[gi].at(i)
+				if len(cands) == 0 {
+					// A fresh fold leaves these entries as drops; the cloned
+					// base may carry stale ports, so drop them explicitly.
+					if !replayAll {
+						for _, ti := range groups[gi] {
+							lft.Set(req.Targets[ti].LID, ib.DropPort)
+						}
+					}
+					continue
+				}
+				for _, ti := range groups[gi] {
+					best := cands[0]
+					for _, p := range cands[1:] {
+						if load[p] < load[best] {
+							best = p
+						}
+					}
+					load[best]++
+					lft.Set(req.Targets[ti].LID, best)
+				}
+			}
+		}
+	})
+	clock.lap("replay")
+
+	// Fold the recomputed structures back into the index, aligned to the
+	// new grouping.
+	ncap := newDepCapture(name, nsw, len(groups), len(req.Targets))
+	ncap.root, ncap.rank = idx.cap.root, idx.cap.rank
+	if name == "updn" {
+		ncap.root = root
+		ncap.rank = append([]int(nil), rank...)
+	}
+	for gi, k := range keys {
+		if newCands[gi] != nil {
+			ncap.dist[gi] = newDist[gi]
+			if name == "updn" {
+				ncap.distU[gi] = newDistU[gi]
+			}
+			continue
+		}
+		og := idx.groupOf[k]
+		ncap.dist[gi] = idx.cap.dist[og]
+		if name == "updn" {
+			ncap.distU[gi] = idx.cap.distU[og]
+		}
+	}
+	x.idx = &depIndex{
+		engine:   name,
+		topLID:   top,
+		switches: fv.switches,
+		edges:    edges,
+		targets:  append([]Target(nil), req.Targets...),
+		attach:   append([]attachPoint(nil), fv.attach...),
+		groups:   groups,
+		keys:     keys,
+		groupOf:  groupOfMap(keys),
+		cap:      ncap,
+		gc:       gcands,
+		lfts:     cloneLFTMap(lfts),
+	}
+	x.lastAffected = affList
+	x.lastPatched = patchedGroups(patches)
+	clock.lap("index-update")
+
+	inc.DestsRecomputed = len(affList)
+	inc.DestsPatched = nPatched
+	inc.SwitchesReplayed = len(replay)
+	return &Result{
+		LFTs: lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: len(affList),
+			Workers: workers, Phases: clock.phases(), WorkerBusy: busy,
+			Incremental: inc},
+	}, nil
+}
+
+// deltaFtree is the fat-tree merge: recompute full rows for groups whose
+// ancestor cone a changed link touches (or whose membership changed), clear
+// removed LIDs, and patch d-mod-k up-dispersion entries of unaffected
+// groups at switches whose up-port list changed.
+func (x *Incremental) deltaFtree(req *Request, fv *fabricView, start time.Time, clock *phaseClock,
+	inc IncrementalStats, groups [][]int, keys []int, edges map[edgeKey]int,
+	linkDowns, linkUps []edgeRec, targetsSame bool, ftUps, ftDowns [][]ftEdge) (*Result, error) {
+
+	idx := x.idx
+	nsw := len(fv.switches)
+	workers := req.workerCount()
+
+	upsChanged := make([]bool, nsw)
+	var changedUps []int
+	for i := 0; i < nsw; i++ {
+		if !equalFtEdges(idx.ups[i], ftUps[i]) {
+			upsChanged[i] = true
+			changedUps = append(changedUps, i)
+		}
+	}
+
+	allLinks := append(append([]edgeRec(nil), linkDowns...), linkUps...)
+	affected := make([]bool, len(groups))
+	swPatches := make([]map[int][]ib.PortNum, len(groups))
+	for gi, k := range keys {
+		og, ok := idx.groupOf[k]
+		if !ok {
+			affected[gi] = true
+			continue
+		}
+		if !targetsSame && !sameGroupMembers(idx, og, groups[gi], req.Targets, fv.attach) {
+			affected[gi] = true
+			continue
+		}
+		if bm := idx.cap.cone[og]; bm != nil {
+			hit := false
+			for _, e := range allLinks {
+				if coneBit(bm, e.i) || coneBit(bm, e.peer) {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				affected[gi] = true
+				continue
+			}
+		}
+		if d := idx.cap.swDist[og]; d != nil {
+			// The switch-self target's fallback row is a plain BFS row: the
+			// minhop delta rules apply verbatim (the row picks the first
+			// tight edge per switch, so a patched segment's head is the new
+			// entry).
+			needBFS, segs := classifyMinhopDelta(fv, d, linkDowns, linkUps)
+			if needBFS {
+				affected[gi] = true
+			} else {
+				swPatches[gi] = segs
+			}
+		}
+	}
+	var affList, affTargets []int
+	nPatched := 0
+	for gi, a := range affected {
+		if a {
+			affList = append(affList, gi)
+			affTargets = append(affTargets, groups[gi]...)
+		} else if swPatches[gi] != nil {
+			nPatched++
+		}
+	}
+	clock.lap("delta-classify")
+
+	// Recompute full rows for every target of an affected group, capturing
+	// the fresh cones/distances for the index as we go.
+	ncap := newDepCapture("ftree", nsw, len(groups), len(req.Targets))
+	ncap.designateFtree(groups, fv.attach)
+	rows := make([][]ib.PortNum, len(affTargets))
+	errs := make([]error, len(affTargets))
+	pool := newWorkerPool(workers, func() *ftreeScratch {
+		return &ftreeScratch{
+			downPort: make([]ib.PortNum, nsw),
+			marked:   make([]int32, nsw),
+			bfs:      newBFSScratch(nsw),
+			frontier: make([]int, 0, nsw),
+		}
+	})
+	pool.run(len(affTargets), func(k int, s *ftreeScratch) {
+		ti := affTargets[k]
+		row := make([]ib.PortNum, nsw)
+		errs[k] = ftreeRow(fv, ftUps, ftDowns, req.Targets[ti], fv.attach[ti], s, row)
+		rows[k] = row
+		if errs[k] == nil {
+			ncap.captureFtree(ti, fv.attach[ti], s)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			x.idx = nil
+			return nil, err
+		}
+	}
+	clock.lap("cone-fanout")
+
+	// Clone every table, then apply: removed LIDs dropped, affected rows
+	// written in full (noEntry clears stale entries), unaffected groups
+	// patched at up-list-changed switches.
+	lfts := cloneLFTMap(idx.lfts)
+	for _, lid := range removedLIDs(idx.targets, req.Targets) {
+		for _, t := range lfts {
+			t.Set(lid, ib.DropPort)
+		}
+	}
+	for k, ti := range affTargets {
+		lid := req.Targets[ti].LID
+		row := rows[k]
+		for i, id := range fv.switches {
+			lfts[id].Set(lid, row[i])
+		}
+	}
+	for gi, segs := range swPatches {
+		if segs == nil {
+			continue
+		}
+		for _, ti := range groups[gi] {
+			if fv.attach[ti].port != 0 {
+				continue // only the switch-self row is BFS-based
+			}
+			lid := req.Targets[ti].LID
+			for u, seg := range segs {
+				lfts[fv.switches[u]].Set(lid, seg[0])
+			}
+		}
+	}
+	if len(changedUps) > 0 {
+		for gi := range groups {
+			if affected[gi] {
+				continue
+			}
+			og := idx.groupOf[keys[gi]]
+			bm := idx.cap.cone[og]
+			for _, ti := range groups[gi] {
+				if fv.attach[ti].port == 0 {
+					continue // switch-self rows never use up dispersion
+				}
+				lid := req.Targets[ti].LID
+				for _, i := range changedUps {
+					if bm != nil && coneBit(bm, i) {
+						continue // in-cone entries are down ports, untouched
+					}
+					v := ib.DropPort
+					if len(ftUps[i]) > 0 {
+						v = ftUps[i][int(lid)%len(ftUps[i])].port
+					}
+					lfts[fv.switches[i]].Set(lid, v)
+				}
+			}
+		}
+	}
+	clock.lap("merge")
+
+	// Index update: recomputed groups carry the fresh capture, unaffected
+	// ones keep the stored structures.
+	for gi, k := range keys {
+		if affected[gi] {
+			continue
+		}
+		og := idx.groupOf[k]
+		ncap.cone[gi] = idx.cap.cone[og]
+		ncap.swDist[gi] = idx.cap.swDist[og]
+	}
+	x.idx = &depIndex{
+		engine:   "ftree",
+		topLID:   topLIDOf(req.Targets),
+		switches: fv.switches,
+		edges:    edges,
+		targets:  append([]Target(nil), req.Targets...),
+		attach:   append([]attachPoint(nil), fv.attach...),
+		groups:   groups,
+		keys:     keys,
+		groupOf:  groupOfMap(keys),
+		cap:      ncap,
+		ups:      ftUps,
+		lfts:     cloneLFTMap(lfts),
+	}
+	x.lastAffected = affList
+	x.lastPatched = patchedGroups(swPatches)
+	clock.lap("index-update")
+
+	inc.DestsRecomputed = len(affList)
+	inc.DestsPatched = nPatched
+	inc.SwitchesReplayed = len(changedUps)
+	if len(affTargets) > 0 {
+		inc.SwitchesReplayed = nsw
+	}
+	return &Result{
+		LFTs: lfts,
+		Stats: Stats{Duration: time.Since(start), PathsComputed: len(affList),
+			Workers: workers, Phases: clock.phases(), WorkerBusy: pool.busyTimes(),
+			Incremental: inc},
+	}, nil
+}
+
+// classifyMinhopDelta evaluates one destination group's stored BFS distance
+// field against the delta. Every edge a BFS uses is tight (endpoint
+// distances differ by exactly one), so:
+//
+//   - a removed link that was not tight is invisible; a removed tight link
+//     only shifts distances if it was the endpoint's last tight edge
+//     (detected below when the recomputed segment comes out empty);
+//   - an added link between endpoints whose distances differ by more than
+//     one creates a shorter path — the field moved, re-run the BFS; an added
+//     tight link only inserts a candidate; equal distances change nothing.
+//
+// When the field is provably unchanged, the candidate segments at the
+// touched endpoints are recomputed directly from the stored distances and
+// the new adjacency (identical, by construction, to what a fresh BFS would
+// list) and returned for overlay patching. Both orientations of every
+// changed link appear in the rec lists, so each endpoint is evaluated.
+func classifyMinhopDelta(fv *fabricView, d []int16, downs, ups []edgeRec) (needBFS bool, segs map[int][]ib.PortNum) {
+	var touched []int
+	for _, e := range downs {
+		a, b := d[e.i], d[e.peer]
+		if a > 0 && b == a-1 {
+			touched = append(touched, e.i)
+		}
+	}
+	for _, e := range ups {
+		a, b := d[e.i], d[e.peer]
+		if b >= 0 && (a < 0 || b+1 < a) {
+			return true, nil
+		}
+		if a > 0 && b == a-1 {
+			touched = append(touched, e.i)
+		}
+	}
+	if len(touched) == 0 {
+		return false, nil
+	}
+	segs = make(map[int][]ib.PortNum, len(touched))
+	for _, u := range touched {
+		if _, ok := segs[u]; ok {
+			continue
+		}
+		var seg []ib.PortNum
+		for _, e := range fv.adj[u] {
+			if d[e.peer] == d[u]-1 {
+				seg = append(seg, e.port)
+			}
+		}
+		if len(seg) == 0 {
+			return true, nil // last tight edge lost: the distance field moved
+		}
+		segs[u] = seg
+	}
+	return false, segs
+}
+
+// classifyUpdnDelta is the updn analogue of classifyMinhopDelta, applied to
+// both distance fields with the link's up/down orientation respected: the
+// all-down field (distD) only traverses down moves, the legal-path field
+// (distU) relaxes over up moves from distD seeds. A switch's candidate
+// branch is distD when its all-down distance is positive, distU otherwise,
+// which tells us which field's tightness can appear in its candidate list.
+// The one case local reasoning cannot settle — a removed tight up edge at a
+// switch whose legal path is strictly shorter than its all-down path —
+// forces a BFS for the group (it cannot occur on levelled fat trees).
+func classifyUpdnDelta(fv *fabricView, dD, dU []int16, up func(i, j int) bool, downs, ups []edgeRec) (needBFS bool, segs map[int][]ib.PortNum) {
+	var touched []int
+	for _, e := range downs {
+		if up(e.peer, e.i) { // e.i -> e.peer was a down move: distD tightness
+			a, b := dD[e.i], dD[e.peer]
+			if a > 0 && b == a-1 {
+				touched = append(touched, e.i)
+			}
+		} else { // e.i -> e.peer was an up move: distU tightness
+			a, b := dU[e.i], dU[e.peer]
+			if a > 0 && b == a-1 {
+				switch {
+				case dD[e.i] > 0 && dU[e.i] == dD[e.i]:
+					// The all-down seed attains the minimum, so distU cannot
+					// move, and the candidate list is distD-based anyway.
+				case dD[e.i] == 0:
+					// Destination switch: no candidate list to maintain.
+				case dD[e.i] < 0:
+					touched = append(touched, e.i)
+				default:
+					return true, nil // distU < distD: stability not provable locally
+				}
+			}
+		}
+	}
+	for _, e := range ups {
+		if up(e.peer, e.i) { // new down move e.i -> e.peer
+			a, b := dD[e.i], dD[e.peer]
+			if b >= 0 && (a < 0 || b+1 < a) {
+				return true, nil
+			}
+			if a > 0 && b == a-1 {
+				touched = append(touched, e.i)
+			}
+		} else { // new up move
+			a, b := dU[e.i], dU[e.peer]
+			if b >= 0 && (a < 0 || b+1 < a) {
+				return true, nil
+			}
+			if a > 0 && b == a-1 && dD[e.i] < 0 {
+				touched = append(touched, e.i)
+			}
+		}
+	}
+	if len(touched) == 0 {
+		return false, nil
+	}
+	segs = make(map[int][]ib.PortNum, len(touched))
+	for _, u := range touched {
+		if _, ok := segs[u]; ok {
+			continue
+		}
+		var seg []ib.PortNum
+		if dD[u] > 0 {
+			for _, e := range fv.adj[u] {
+				if up(e.peer, u) && dD[e.peer] == dD[u]-1 {
+					seg = append(seg, e.port)
+				}
+			}
+		} else if dU[u] > 0 {
+			for _, e := range fv.adj[u] {
+				if up(u, e.peer) && dU[e.peer] == dU[u]-1 {
+					seg = append(seg, e.port)
+				}
+			}
+		}
+		if len(seg) == 0 {
+			return true, nil
+		}
+		segs[u] = seg
+	}
+	return false, segs
+}
+
+// sameGroupMembers reports whether a new group has exactly the old group's
+// targets (LID, node and attach port alike).
+func sameGroupMembers(idx *depIndex, og int, grp []int, targets []Target, attach []attachPoint) bool {
+	old := idx.groups[og]
+	if len(old) != len(grp) {
+		return false
+	}
+	for i, ti := range grp {
+		oti := old[i]
+		if idx.targets[oti] != targets[ti] || idx.attach[oti] != attach[ti] {
+			return false
+		}
+	}
+	return true
+}
+
+func coneBit(bm []uint64, i int) bool { return bm[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func edgeSet(fv *fabricView) map[edgeKey]int {
+	m := make(map[edgeKey]int, 2*len(fv.switches))
+	for i := range fv.adj {
+		for _, e := range fv.adj[i] {
+			m[edgeKey{i, e.port}] = e.peer
+		}
+	}
+	return m
+}
+
+func groupOfMap(keys []int) map[int]int {
+	m := make(map[int]int, len(keys))
+	for gi, k := range keys {
+		m[k] = gi
+	}
+	return m
+}
+
+func topLIDOf(targets []Target) ib.LID {
+	var top ib.LID
+	for _, t := range targets {
+		if t.LID > top {
+			top = t.LID
+		}
+	}
+	return top
+}
+
+func cloneLFTMap(in map[topology.NodeID]*ib.LFT) map[topology.NodeID]*ib.LFT {
+	out := make(map[topology.NodeID]*ib.LFT, len(in))
+	for id, t := range in {
+		out[id] = t.Clone()
+	}
+	return out
+}
+
+func toInt16(in []int) []int16 {
+	out := make([]int16, len(in))
+	for i, v := range in {
+		out[i] = int16(v)
+	}
+	return out
+}
+
+func sameSwitches(a []topology.NodeID, b []topology.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTargets(a, b []Target) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalAttach(a, b []attachPoint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalPorts(a, b []ib.PortNum) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFtEdges(a, b []ftEdge) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// patchedGroups lists the group indices with a non-nil patch set.
+func patchedGroups(patches []map[int][]ib.PortNum) []int {
+	out := []int{}
+	for gi, p := range patches {
+		if p != nil {
+			out = append(out, gi)
+		}
+	}
+	return out
+}
+
+func removedLIDs(old, cur []Target) []ib.LID {
+	have := make(map[ib.LID]bool, len(cur))
+	for _, t := range cur {
+		have[t.LID] = true
+	}
+	var out []ib.LID
+	for _, t := range old {
+		if !have[t.LID] {
+			out = append(out, t.LID)
+		}
+	}
+	return out
+}

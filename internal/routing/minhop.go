@@ -9,7 +9,8 @@ import (
 // MinHop is the OpenSM default: every LID is routed along a minimal-hop
 // path, and among equal-length candidates the engine picks the egress port
 // with the lowest accumulated load (number of LIDs already routed through
-// it), breaking remaining ties by port number. Min-Hop makes no
+// it within the current groupWindow fold window; counters reset at window
+// boundaries), breaking remaining ties by port number. Min-Hop makes no
 // deadlock-freedom guarantee — on rings and tori its channel dependency
 // graph is cyclic, which the cdg package demonstrates.
 //
@@ -38,6 +39,38 @@ func newCandSet(nsw int) *candSet {
 }
 
 func (c *candSet) at(i int) []ib.PortNum { return c.ports[c.off[i]:c.off[i+1]] }
+
+// clone deep-copies the candidate set (the dependency index keeps one per
+// destination group across computations, while the engine reuses its window
+// slots).
+func (c *candSet) clone() *candSet {
+	return &candSet{
+		off:   append([]int32(nil), c.off...),
+		ports: append([]ib.PortNum(nil), c.ports...),
+	}
+}
+
+// minhopCands runs the destination BFS and fills cs with the minimal-hop
+// candidate egress ports of every switch, in adjacency (port) order. Shared
+// verbatim between the full engine fan-out and the incremental layer's
+// affected-destination recompute, so both produce identical structures.
+func minhopCands(fv *fabricView, destSw int, s *bfsScratch, cs *candSet) {
+	nsw := len(fv.switches)
+	fv.bfs(destSw, s)
+	cs.ports = cs.ports[:0]
+	for i := 0; i < nsw; i++ {
+		cs.off[i] = int32(len(cs.ports))
+		if i == destSw || s.dist[i] < 0 {
+			continue
+		}
+		for _, e := range fv.adj[i] {
+			if s.dist[e.peer] == s.dist[i]-1 {
+				cs.ports = append(cs.ports, e.port)
+			}
+		}
+	}
+	cs.off[nsw] = int32(len(cs.ports))
+}
 
 // Compute implements Engine.
 func (*MinHop) Compute(req *Request) (*Result, error) {
@@ -71,25 +104,23 @@ func (*MinHop) Compute(req *Request) (*Result, error) {
 
 	for lo := 0; lo < len(groups); lo += groupWindow {
 		hi := min(lo+groupWindow, len(groups))
+		// Load counters are scoped to the window: balancing restarts per 64
+		// groups, which makes the fold window-decomposable for the
+		// incremental layer while still spreading each window's LIDs evenly.
+		for i := range load {
+			for p := range load[i] {
+				load[i][p] = 0
+			}
+		}
 		// Parallel phase: BFS from each destination switch of the window
 		// and record the minimal-hop candidate ports per switch.
 		pool.run(hi-lo, func(k int, s *bfsScratch) {
 			destSw := keys[lo+k]
-			fv.bfs(destSw, s)
 			cs := window[k]
-			cs.ports = cs.ports[:0]
-			for i := 0; i < nsw; i++ {
-				cs.off[i] = int32(len(cs.ports))
-				if i == destSw || s.dist[i] < 0 {
-					continue
-				}
-				for _, e := range fv.adj[i] {
-					if s.dist[e.peer] == s.dist[i]-1 {
-						cs.ports = append(cs.ports, e.port)
-					}
-				}
+			minhopCands(fv, destSw, s, cs)
+			if req.capture != nil {
+				req.capture.captureGroup(lo+k, s.dist, nil, cs)
 			}
-			cs.off[nsw] = int32(len(cs.ports))
 		})
 		clock.lap("bfs-fanout")
 		// Serial fold in group order: pick the least-loaded candidate per

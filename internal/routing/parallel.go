@@ -29,6 +29,11 @@ const (
 
 	// groupWindow bounds how many destination-switch groups have their BFS
 	// and candidate-port state resident at once in MinHop/Up*/Down*/LASH.
+	// It is also the load-balancing scope of the minhop/updn egress fold:
+	// port load counters reset at every window boundary, which keeps the
+	// fold window-decomposable (the incremental layer re-folds only windows
+	// containing a changed candidate row) at the cost of balancing within
+	// 64-group horizons instead of globally.
 	groupWindow = 64
 
 	// targetWindow bounds how many per-destination port rows the fat-tree

@@ -36,6 +36,12 @@ type Request struct {
 	// engine guarantees the produced LFTs (and VL assignments) are
 	// bit-identical for every worker count.
 	Workers int
+
+	// capture, when non-nil, records each destination's BFS distances and
+	// candidate-port structure as the per-destination fan-out computes them.
+	// Set only by the Incremental wrapper; every capture slot is written by
+	// exactly one task, so the hooks are race-free under any worker count.
+	capture *depCapture
 }
 
 // Validate checks the request is routable at all.
@@ -84,6 +90,43 @@ type Stats struct {
 	// fan-out phases (indexed by worker). Busy-time imbalance across slots
 	// is the window-scheduling overhead Fig. 7's parallel PCt pays.
 	WorkerBusy []time.Duration
+	// Incremental reports what the incremental recompute layer did, when
+	// one wrapped the engine. The zero value means the computation ran
+	// without an incremental layer at all.
+	Incremental IncrementalStats
+}
+
+// IncrementalStats describes one Incremental.Compute decision: whether the
+// delta path applied, how much of the destination set it re-ran, and — when
+// it fell back to a full recompute — an explicit human-readable reason, so
+// callers can tell an honest fallback from a silent one.
+type IncrementalStats struct {
+	// Attempted is true whenever the request went through an Incremental
+	// wrapper (delta path or fallback alike).
+	Attempted bool
+	// Applied is true when the dependency index was used to recompute only
+	// the affected destinations. False means a full recompute ran; see
+	// FallbackReason.
+	Applied bool
+	// FallbackReason explains a full recompute ("" when Applied).
+	FallbackReason string
+	// DestsTotal and DestsRecomputed count destination trees (destination-
+	// switch groups): DestsRecomputed/DestsTotal is the fraction of SSSP/BFS
+	// work a delta actually re-ran.
+	DestsTotal      int
+	DestsRecomputed int
+	// DestsPatched counts destination trees whose distance field was provably
+	// unchanged by the delta and whose candidate-port segments at the changed
+	// links' endpoints were recomputed locally, without any BFS.
+	DestsPatched int
+	// SwitchesReplayed counts switches whose LFT column was re-folded (the
+	// rest were carried over from the previous result byte-for-byte).
+	SwitchesReplayed int
+	// LinksDown/LinksUp count physical links that disappeared/appeared in
+	// the delta; TargetsChanged reports any change to the LID target set.
+	LinksDown      int
+	LinksUp        int
+	TargetsChanged bool
 }
 
 // Result is the output of a routing engine.

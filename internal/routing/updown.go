@@ -50,16 +50,11 @@ func newUpdownScratch(nsw int) *updownScratch {
 	}
 }
 
-// Compute implements Engine.
-func (e *UpDown) Compute(req *Request) (*Result, error) {
-	start := time.Now()
-	if err := req.Validate(); err != nil {
-		return nil, err
-	}
-	fv, err := newFabricView(req)
-	if err != nil {
-		return nil, err
-	}
+// rankFabric resolves the ranking root (auto-selecting when Root < 0) and
+// BFS-ranks every switch from it. The incremental layer re-runs this after a
+// topology delta: a changed root or rank array invalidates the whole up/down
+// orientation, which forces a full recompute.
+func (e *UpDown) rankFabric(fv *fabricView) (int, []int, error) {
 	nsw := len(fv.switches)
 	root := e.Root
 	if root < 0 {
@@ -76,25 +71,132 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 		root = best
 	}
 	if root >= nsw {
-		return nil, fmt.Errorf("routing: updn root %d out of range", root)
+		return 0, nil, fmt.Errorf("routing: updn root %d out of range", root)
 	}
-
-	// Rank switches by BFS depth from the root.
 	rankScratch := newBFSScratch(nsw)
 	fv.bfs(root, rankScratch)
 	rank := rankScratch.dist
 	for i, r := range rank {
 		if r < 0 {
-			return nil, fmt.Errorf("routing: switch %q unreachable from updn root",
+			return 0, nil, fmt.Errorf("routing: switch %q unreachable from updn root",
 				fv.topo.Node(fv.switches[i]).Desc)
 		}
 	}
-	// up(i, j): moving i -> j is an up move (toward the root).
-	up := func(i, j int) bool {
+	return root, rank, nil
+}
+
+// updnUp returns the up-move predicate for a rank array: up(i, j) holds when
+// moving i -> j is an up move (toward the root), with a deterministic index
+// tie-break for equal ranks.
+func updnUp(rank []int) func(i, j int) bool {
+	return func(i, j int) bool {
 		if rank[j] != rank[i] {
 			return rank[j] < rank[i]
 		}
-		return j < i // deterministic tie-break for equal ranks
+		return j < i
+	}
+}
+
+// updnCands computes one destination's all-down distances (distD), legal
+// up*-then-down* distances (distU) and down-preferred candidate ports into
+// cs. Shared between the engine fan-out and the incremental recompute.
+func updnCands(fv *fabricView, up func(i, j int) bool, destSw int, s *updownScratch, cs *candSet) {
+	nsw := len(fv.switches)
+	// distD: BFS over reversed down moves. A move s->n is "down" when
+	// up(n, s) holds (n is the up end); walking backward from the
+	// destination we extend via predecessors s with s->n down.
+	for i := 0; i < nsw; i++ {
+		s.distD[i] = -1
+		s.distU[i] = -1
+	}
+	s.distD[destSw] = 0
+	q := append(s.queue[:0], destSw)
+	for qi := 0; qi < len(q); qi++ {
+		n := q[qi]
+		for _, ed := range fv.adj[n] {
+			sp := ed.peer
+			if up(n, sp) && s.distD[sp] < 0 {
+				s.distD[sp] = s.distD[n] + 1
+				q = append(q, sp)
+			}
+		}
+	}
+	s.queue = q[:0]
+	// distU: seeded by distD, relaxed backward over up moves (s -> n is
+	// up). Seeds differ in value, so process with a monotone bucket scan
+	// instead of plain BFS.
+	for i := range s.buckets {
+		s.buckets[i] = s.buckets[i][:0]
+	}
+	for i, d := range s.distD {
+		s.distU[i] = d
+		if d >= 0 {
+			s.buckets[d] = append(s.buckets[d], i)
+		}
+	}
+	for d := 0; d < len(s.buckets); d++ {
+		for qi := 0; qi < len(s.buckets[d]); qi++ {
+			n := s.buckets[d][qi]
+			if s.distU[n] != d {
+				continue // stale entry
+			}
+			for _, eu := range fv.adj[n] {
+				sp := eu.peer
+				if !up(sp, n) {
+					continue // only up moves extend the U phase
+				}
+				if s.distU[sp] < 0 || s.distU[sp] > d+1 {
+					s.distU[sp] = d + 1
+					if d+1 < len(s.buckets) {
+						s.buckets[d+1] = append(s.buckets[d+1], sp)
+					}
+				}
+			}
+		}
+	}
+
+	// Candidates per switch: down-preferred.
+	cs.ports = cs.ports[:0]
+	for i := 0; i < nsw; i++ {
+		cs.off[i] = int32(len(cs.ports))
+		if i == destSw {
+			continue
+		}
+		if s.distD[i] > 0 {
+			for _, eu := range fv.adj[i] {
+				if up(eu.peer, i) && s.distD[eu.peer] == s.distD[i]-1 {
+					cs.ports = append(cs.ports, eu.port)
+				}
+			}
+		} else if s.distU[i] > 0 {
+			for _, eu := range fv.adj[i] {
+				if up(i, eu.peer) && s.distU[eu.peer] == s.distU[i]-1 {
+					cs.ports = append(cs.ports, eu.port)
+				}
+			}
+		}
+	}
+	cs.off[nsw] = int32(len(cs.ports))
+}
+
+// Compute implements Engine.
+func (e *UpDown) Compute(req *Request) (*Result, error) {
+	start := time.Now()
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	fv, err := newFabricView(req)
+	if err != nil {
+		return nil, err
+	}
+	nsw := len(fv.switches)
+	root, rank, err := e.rankFabric(fv)
+	if err != nil {
+		return nil, err
+	}
+	up := updnUp(rank)
+	if req.capture != nil {
+		req.capture.setRank(root, rank)
 	}
 
 	lfts := fv.newLFTs(req.Targets)
@@ -116,84 +218,19 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 
 	for lo := 0; lo < len(groups); lo += groupWindow {
 		hi := min(lo+groupWindow, len(groups))
+		// Window-scoped load, exactly as in minhop: see groupWindow's doc.
+		for i := range load {
+			for p := range load[i] {
+				load[i][p] = 0
+			}
+		}
 		pool.run(hi-lo, func(k int, s *updownScratch) {
 			destSw := keys[lo+k]
-			// distD: BFS over reversed down moves. A move s->n is "down"
-			// when up(n, s) holds (n is the up end); walking backward from
-			// the destination we extend via predecessors s with s->n down.
-			for i := 0; i < nsw; i++ {
-				s.distD[i] = -1
-				s.distU[i] = -1
-			}
-			s.distD[destSw] = 0
-			q := append(s.queue[:0], destSw)
-			for qi := 0; qi < len(q); qi++ {
-				n := q[qi]
-				for _, ed := range fv.adj[n] {
-					sp := ed.peer
-					if up(n, sp) && s.distD[sp] < 0 {
-						s.distD[sp] = s.distD[n] + 1
-						q = append(q, sp)
-					}
-				}
-			}
-			s.queue = q[:0]
-			// distU: seeded by distD, relaxed backward over up moves (s -> n
-			// is up). Seeds differ in value, so process with a monotone
-			// bucket scan instead of plain BFS.
-			for i := range s.buckets {
-				s.buckets[i] = s.buckets[i][:0]
-			}
-			for i, d := range s.distD {
-				s.distU[i] = d
-				if d >= 0 {
-					s.buckets[d] = append(s.buckets[d], i)
-				}
-			}
-			for d := 0; d < len(s.buckets); d++ {
-				for qi := 0; qi < len(s.buckets[d]); qi++ {
-					n := s.buckets[d][qi]
-					if s.distU[n] != d {
-						continue // stale entry
-					}
-					for _, eu := range fv.adj[n] {
-						sp := eu.peer
-						if !up(sp, n) {
-							continue // only up moves extend the U phase
-						}
-						if s.distU[sp] < 0 || s.distU[sp] > d+1 {
-							s.distU[sp] = d + 1
-							if d+1 < len(s.buckets) {
-								s.buckets[d+1] = append(s.buckets[d+1], sp)
-							}
-						}
-					}
-				}
-			}
-
-			// Candidates per switch: down-preferred.
 			cs := window[k]
-			cs.ports = cs.ports[:0]
-			for i := 0; i < nsw; i++ {
-				cs.off[i] = int32(len(cs.ports))
-				if i == destSw {
-					continue
-				}
-				if s.distD[i] > 0 {
-					for _, eu := range fv.adj[i] {
-						if up(eu.peer, i) && s.distD[eu.peer] == s.distD[i]-1 {
-							cs.ports = append(cs.ports, eu.port)
-						}
-					}
-				} else if s.distU[i] > 0 {
-					for _, eu := range fv.adj[i] {
-						if up(i, eu.peer) && s.distU[eu.peer] == s.distU[i]-1 {
-							cs.ports = append(cs.ports, eu.port)
-						}
-					}
-				}
+			updnCands(fv, up, destSw, s, cs)
+			if req.capture != nil {
+				req.capture.captureGroup(lo+k, s.distD, s.distU, cs)
 			}
-			cs.off[nsw] = int32(len(cs.ports))
 		})
 		clock.lap("bfs-fanout")
 

@@ -26,6 +26,7 @@ func All() []*scenario.Campaign {
 		migrationStorm(),
 		vmChurn(),
 		linkFlapStorm(),
+		linkFlapStormIncremental(),
 		switchReboot(),
 		handoverUnderLoad(),
 		faultyFabric(),
@@ -123,39 +124,65 @@ func vmChurn() *scenario.Campaign {
 	}
 }
 
-// linkFlapStorm flaps PRNG-chosen trunk links: down, resweep, reroute via
-// the API, run under load, restore, reroute again. Flaps that would
-// partition the fabric are skipped deterministically.
+// linkFlapScript is the shared flap schedule of the two link-flap-storm
+// variants: PRNG-chosen trunk links go down, resweep, reroute via the API,
+// run under load, restore, reroute again. Flaps that would partition the
+// fabric are skipped deterministically. The final beat logs the fabric's
+// LFT digest so same-seed runs of the two variants can prove they converged
+// to identical forwarding state.
+func linkFlapScript(h *scenario.Harness) {
+	const flaps = 6
+	seedVMs(h, 4)
+	start := 5 * step
+	h.E.Every(start, 4*step, flaps, "flap", func(i int) {
+		trunks := h.TrunkLinks()
+		l := trunks[h.E.Rand().Intn(len(trunks))]
+		failed, err := h.FailLink(l[0], l[1])
+		if err != nil {
+			h.E.Logf("flap error: %v", err)
+			return
+		}
+		if !failed {
+			return
+		}
+		h.Reconfigure() // reroute around the cut before anything audits
+		h.MigrateVM(fmt.Sprintf("vm%03d", i%4), randHyp(h))
+		h.Quiesce(fmt.Sprintf("degraded after flap %d", i))
+		if err := h.RestoreLink(l[0], l[1]); err != nil {
+			h.E.Logf("restore error: %v", err)
+			return
+		}
+		h.Reconfigure()
+		h.Quiesce(fmt.Sprintf("restored after flap %d", i))
+	})
+	h.E.At(start+time.Duration(flaps)*4*step, "digest", func() {
+		h.E.Logf("final LFT digest: %s", h.LFTDigest())
+	})
+}
+
+// linkFlapStorm flaps trunk links with traditional full reconfiguration.
 func linkFlapStorm() *scenario.Campaign {
 	return &scenario.Campaign{
 		Name:        "link-flap-storm",
 		Description: "repeated trunk-link failures with reroute and restore under load",
-		Script: func(h *scenario.Harness) {
-			const flaps = 6
-			seedVMs(h, 4)
-			start := 5 * step
-			h.E.Every(start, 4*step, flaps, "flap", func(i int) {
-				trunks := h.TrunkLinks()
-				l := trunks[h.E.Rand().Intn(len(trunks))]
-				failed, err := h.FailLink(l[0], l[1])
-				if err != nil {
-					h.E.Logf("flap error: %v", err)
-					return
-				}
-				if !failed {
-					return
-				}
-				h.Reconfigure() // reroute around the cut before anything audits
-				h.MigrateVM(fmt.Sprintf("vm%03d", i%4), randHyp(h))
-				h.Quiesce(fmt.Sprintf("degraded after flap %d", i))
-				if err := h.RestoreLink(l[0], l[1]); err != nil {
-					h.E.Logf("restore error: %v", err)
-					return
-				}
-				h.Reconfigure()
-				h.Quiesce(fmt.Sprintf("restored after flap %d", i))
-			})
+		Script:      linkFlapScript,
+	}
+}
+
+// linkFlapStormIncremental replays the exact same flap schedule with the
+// SM's dependency-tracked incremental routing and SMP block coalescing on:
+// every quiesce audit must stay clean and the final LFT digest must equal
+// the full-recompute variant's for the same seed (the cross-check lives in
+// TestIncrementalCampaignDigestMatchesFull).
+func linkFlapStormIncremental() *scenario.Campaign {
+	return &scenario.Campaign{
+		Name:        "link-flap-storm-incremental",
+		Description: "link-flap-storm under incremental delta recompute with SMP coalescing",
+		Tune: func(o *scenario.Options) {
+			o.IncrementalRouting = true
+			o.MaxBlocksPerSMP = 64
 		},
+		Script: linkFlapScript,
 	}
 }
 

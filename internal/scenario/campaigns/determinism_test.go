@@ -1,6 +1,7 @@
 package campaigns
 
 import (
+	"strings"
 	"testing"
 
 	"ibvsim/internal/scenario"
@@ -107,5 +108,42 @@ func TestCorruptionProbeDumpCarriesReplayCoordinates(t *testing.T) {
 	}
 	if res.LastDump.File == "" {
 		t.Fatal("dump not written to the flight directory")
+	}
+}
+
+// TestIncrementalCampaignDigestMatchesFull runs the two link-flap-storm
+// variants with the same seed and compares the "final LFT digest" each one
+// logs: the incremental variant (delta recompute + diff distribution + SMP
+// coalescing) must converge to byte-identical forwarding state, and its
+// audits must be as clean as the full-recompute variant's.
+func TestIncrementalCampaignDigestMatchesFull(t *testing.T) {
+	digestOf := func(name string) (string, *scenario.Result) {
+		t.Helper()
+		c := Get(name)
+		if c == nil {
+			t.Fatalf("campaign %q missing", name)
+		}
+		res, err := c.Run(smallBase(t, 7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Passed || res.Violations != 0 {
+			t.Fatalf("%s did not pass cleanly: %+v\nlog:\n%s", name, res, res.Log)
+		}
+		const marker = "final LFT digest: "
+		i := strings.LastIndex(res.Log, marker)
+		if i < 0 {
+			t.Fatalf("%s log carries no final LFT digest:\n%s", name, res.Log)
+		}
+		d := res.Log[i+len(marker):]
+		if j := strings.IndexByte(d, '\n'); j >= 0 {
+			d = d[:j]
+		}
+		return d, res
+	}
+	full, _ := digestOf("link-flap-storm")
+	inc, _ := digestOf("link-flap-storm-incremental")
+	if full != inc {
+		t.Fatalf("final LFT digests diverge: full=%s incremental=%s", full, inc)
 	}
 }

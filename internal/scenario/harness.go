@@ -36,6 +36,13 @@ type Options struct {
 	// SM default). Corruption campaigns set 1 so a single lost SMP sticks;
 	// fault-window campaigns raise it so losses always converge.
 	MaxAttempts int
+	// IncrementalRouting turns on the SM's dependency-tracked delta
+	// recompute: reconfigurations after topology deltas re-run only the
+	// affected destination trees and distribute a block diff.
+	IncrementalRouting bool
+	// MaxBlocksPerSMP sets the LFT distribution coalescing cap (0 keeps the
+	// SM default of classical one-block SMPs).
+	MaxBlocksPerSMP int
 	// Seed is the campaign seed: it seeds the engine PRNG and, separately,
 	// the fault transport's dice stream.
 	Seed int64
@@ -125,6 +132,10 @@ func NewHarness(opts Options) (*Harness, error) {
 	c.SM.Dist.Workers = 1
 	if opts.MaxAttempts > 0 {
 		c.SM.Dist.Retry.MaxAttempts = opts.MaxAttempts
+	}
+	c.SM.IncrementalRouting = opts.IncrementalRouting
+	if opts.MaxBlocksPerSMP > 0 {
+		c.SM.Dist.MaxBlocksPerSMP = opts.MaxBlocksPerSMP
 	}
 	ft := c.SM.InjectFaults(smp.FaultConfig{Seed: opts.Seed})
 

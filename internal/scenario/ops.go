@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
@@ -330,4 +332,20 @@ type QuiesceReport struct {
 	Violations int            `json:"violations"`
 	ByKind     map[string]int `json:"by_kind,omitempty"`
 	Dumps      int            `json:"dumps"`
+}
+
+// LFTDigest hashes every switch's programmed (active) forwarding table in
+// switch order into one SHA-256: the fabric's forwarding-state fingerprint.
+// Two runs that end with identical digests forward every LID identically,
+// which is how the incremental-routing campaign proves it converged to the
+// same final state as a full-recompute run.
+func (h *Harness) LFTDigest() string {
+	d := sha256.New()
+	for _, sw := range h.Topo.Switches() {
+		fmt.Fprintf(d, "switch %d\n", sw)
+		if lft := h.Cloud.SM.ProgrammedLFT(sw); lft != nil {
+			d.Write(lft.Bytes())
+		}
+	}
+	return hex.EncodeToString(d.Sum(nil))
 }

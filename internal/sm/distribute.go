@@ -62,10 +62,18 @@ type DistributionConfig struct {
 	Workers int
 	// Retry is the per-SMP retransmission policy.
 	Retry RetryPolicy
+	// MaxBlocksPerSMP bounds how many *adjacent* dirty 64-LID blocks one
+	// SMP may program (AttrMod..AttrMod+n-1). 0 and 1 keep the classical
+	// one-block-per-SMP wire format; raising it coalesces runs of adjacent
+	// dirty blocks into multi-block SMPs, cutting the SMP count of dense
+	// deltas at a small per-extra-block payload cost (CostModel.ExtraBlock).
+	// The retry unit is the whole run: a lost multi-block SMP retransmits
+	// every block it carried.
+	MaxBlocksPerSMP int
 }
 
-// DefaultDistributionConfig uses 8 parallel switch workers and the default
-// retry policy.
+// DefaultDistributionConfig uses 8 parallel switch workers, the default
+// retry policy, and classical one-block SMPs (no coalescing).
 func DefaultDistributionConfig() DistributionConfig {
 	return DistributionConfig{Workers: 8, Retry: DefaultRetryPolicy()}
 }
@@ -84,12 +92,18 @@ type DistributionStats struct {
 	// are committed to the programmed view, the rest stay pending for the
 	// next distribution.
 	SwitchesCancelled int
-	// SMPs counts unique LFT blocks acknowledged by switches. A block that
+	// SMPs counts unique LFT Set SMPs acknowledged by switches. An SMP that
 	// needed several attempts still counts once here; the extra attempts
-	// are SMPsRetried. SMPsAbandoned blocks exhausted the retry budget.
+	// are SMPsRetried. SMPsAbandoned SMPs exhausted the retry budget (each
+	// abandoning every block its run carried). With coalescing off
+	// (MaxBlocksPerSMP <= 1) one SMP is one block, so SMPs == Blocks.
 	SMPs          int
 	SMPsRetried   int
 	SMPsAbandoned int
+	// Blocks counts the 64-LID blocks actually delivered; BlocksCoalesced =
+	// Blocks - SMPs is how many SMPs multi-block coalescing saved.
+	Blocks          int
+	BlocksCoalesced int
 	// Workers is the configured pool size (clamped to at least 1): the
 	// parallelism available to the engine. The actual fan-out never exceeds
 	// the job count, but an up-to-date fabric still reports the configured
@@ -135,20 +149,46 @@ func (s *SubnetManager) DistributeFullCtx(ctx context.Context) (DistributionStat
 	return s.distribute(ctx, true, smp.DirectedRoute)
 }
 
-// distJob is one switch's share of a distribution: the blocks to push and
-// the target table they come from.
+// blockRun is a maximal (up to MaxBlocksPerSMP) run of adjacent dirty
+// blocks sent as one SMP: AttrMod = start, Blocks = n.
+type blockRun struct {
+	start, n int
+}
+
+// planRuns coalesces an ascending block list into runs of adjacent blocks,
+// each at most max long. max <= 1 degenerates to one block per run — the
+// classical wire format.
+func planRuns(blocks []int, max int) []blockRun {
+	if max < 1 {
+		max = 1
+	}
+	runs := make([]blockRun, 0, len(blocks))
+	for _, b := range blocks {
+		if n := len(runs); n > 0 && runs[n-1].start+runs[n-1].n == b && runs[n-1].n < max {
+			runs[n-1].n++
+			continue
+		}
+		runs = append(runs, blockRun{start: b, n: 1})
+	}
+	return runs
+}
+
+// distJob is one switch's share of a distribution: the block runs to push
+// (one SMP each) and the target table they come from.
 type distJob struct {
-	sw     topology.NodeID
-	tgt    *ib.LFT
-	blocks []int
+	sw      topology.NodeID
+	tgt     *ib.LFT
+	nblocks int
+	runs    []blockRun
 }
 
 // distResult is what one worker reports back for one job. Workers write
 // only their own slice slot, so no locking is needed until the join.
 type distResult struct {
 	delivered []int // blocks acknowledged by the switch
-	retried   int   // retransmissions beyond each block's first attempt
-	abandoned int   // blocks that exhausted the retry budget
+	smps      int   // SMPs (runs) acknowledged
+	retried   int   // retransmissions beyond each SMP's first attempt
+	abandoned int   // SMPs that exhausted the retry budget
 	cancelled bool  // context cancellation cut the job short
 	modelled  time.Duration
 	err       error // hard transport error (aborts the remaining blocks)
@@ -180,7 +220,7 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 		if tgt == nil {
 			return st, fmt.Errorf("sm: switch %q has no target LFT", s.Topo.Node(swID).Desc)
 		}
-		prog := s.programmed[swID]
+		prog := s.programmedActive(swID)
 		var blocks []int
 		if full || prog == nil {
 			top := tgt.TopPopulatedBlock()
@@ -193,7 +233,8 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 		if len(blocks) == 0 {
 			continue
 		}
-		jobs = append(jobs, distJob{sw: swID, tgt: tgt, blocks: blocks})
+		jobs = append(jobs, distJob{sw: swID, tgt: tgt, nblocks: len(blocks),
+			runs: planRuns(blocks, s.Dist.MaxBlocksPerSMP)})
 	}
 
 	// Report the configured pool size; the fan-out below is separately
@@ -213,6 +254,8 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 	defer func() {
 		span.SetAttr("workers", st.Workers)
 		span.SetAttr("smps", st.SMPs)
+		span.SetAttr("blocks", st.Blocks)
+		span.SetAttr("coalesced", st.BlocksCoalesced)
 		span.SetAttr("retried", st.SMPsRetried)
 		span.SetAttr("abandoned", st.SMPsAbandoned)
 		span.SetAttr("switches_updated", st.SwitchesUpdated)
@@ -238,7 +281,7 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 	// The fabric is about to mix Rold (programmed) and Rnew (target): give
 	// the transient-deadlock monitor its look before the first SMP flies.
 	if s.OnDistribute != nil {
-		s.OnDistribute(s.programmed, s.target)
+		s.OnDistribute(s.programmedView(), s.target)
 	}
 
 	fanout := workers
@@ -278,7 +321,8 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 	clocks := make([]time.Duration, fanout)
 	for i, r := range results {
 		job := jobs[i]
-		st.SMPs += len(r.delivered)
+		st.SMPs += r.smps
+		st.Blocks += len(r.delivered)
 		st.SMPsRetried += r.retried
 		st.SMPsAbandoned += r.abandoned
 		if r.err != nil && firstErr == nil {
@@ -289,42 +333,24 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 			// Shutdown cut this switch short: commit what was acknowledged,
 			// leave the rest for the next distribution.
 			st.SwitchesCancelled++
-			prog := s.programmed[job.sw]
-			if prog == nil {
-				prog = ib.NewLFTBlocks(job.tgt.NumBlocks())
-				s.programmed[job.sw] = prog
-			}
-			for _, b := range r.delivered {
-				prog.CopyBlockFrom(job.tgt, b)
-			}
-			prog.ClearDirty()
+			s.commitPartial(job, r.delivered)
 			s.log.Addf(EvDistribute, "distribute: %q cancelled: %d/%d blocks delivered",
-				s.Topo.Node(job.sw).Desc, len(r.delivered), len(job.blocks))
+				s.Topo.Node(job.sw).Desc, len(r.delivered), job.nblocks)
 		case r.err == nil && r.abandoned == 0:
 			st.SwitchesUpdated++
-			s.programmed[job.sw] = job.tgt.Clone()
-			s.programmed[job.sw].ClearDirty()
+			t := job.tgt.Clone()
+			t.ClearDirty()
+			s.commitProgrammed(job.sw, t)
 		default:
 			st.SwitchesFailed++
 			// Only the acknowledged blocks are known to be on the switch.
-			prog := s.programmed[job.sw]
-			if prog == nil {
-				// Size the fallback table from the target's geometry, not a
-				// reconstructed top LID, so the programmed view can never
-				// drift from the table it is shadowing.
-				prog = ib.NewLFTBlocks(job.tgt.NumBlocks())
-				s.programmed[job.sw] = prog
-			}
-			for _, b := range r.delivered {
-				prog.CopyBlockFrom(job.tgt, b)
-			}
-			prog.ClearDirty()
-			s.log.Addf(EvFailure, "distribute: %q incomplete: %d/%d blocks delivered, %d abandoned (%v)",
-				s.Topo.Node(job.sw).Desc, len(r.delivered), len(job.blocks), r.abandoned, r.err)
+			s.commitPartial(job, r.delivered)
+			s.log.Addf(EvFailure, "distribute: %q incomplete: %d/%d blocks delivered, %d SMPs abandoned (%v)",
+				s.Topo.Node(job.sw).Desc, len(r.delivered), job.nblocks, r.abandoned, r.err)
 		}
 		if r.retried > 0 {
-			s.log.Addf(EvRetry, "distribute: %q needed %d retransmissions for %d blocks",
-				s.Topo.Node(job.sw).Desc, r.retried, len(job.blocks))
+			s.log.Addf(EvRetry, "distribute: %q needed %d retransmissions for %d SMPs",
+				s.Topo.Node(job.sw).Desc, r.retried, len(job.runs))
 		}
 		// Greedy list scheduling: each switch goes to the earliest-free
 		// worker, so the modelled time is the makespan across channels.
@@ -341,10 +367,13 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 			st.ModelledTime = c
 		}
 	}
+	st.BlocksCoalesced = st.Blocks - st.SMPs
 
 	st.Duration = time.Since(start)
 	reg := s.tel.Registry()
 	reg.Counter("sm.dist.smps").Add(int64(st.SMPs))
+	reg.Counter("sm.dist.blocks").Add(int64(st.Blocks))
+	reg.Counter("sm.dist.coalesced").Add(int64(st.BlocksCoalesced))
 	reg.Counter("sm.dist.retried").Add(int64(st.SMPsRetried))
 	reg.Counter("sm.dist.abandoned").Add(int64(st.SMPsAbandoned))
 	reg.Histogram("sm.dist.makespan_modelled_us", nil).ObserveDuration(st.ModelledTime)
@@ -360,11 +389,36 @@ func (s *SubnetManager) distribute(ctx context.Context, full bool, mode smp.Mode
 	return st, firstErr
 }
 
-// attemptCost models the serial-channel time one block spent after the
-// given number of send attempts: an acknowledged attempt costs one SMP
-// round trip, a lost one costs the response timeout, and every retry pays
-// the (doubling) backoff preceding it.
-func (s *SubnetManager) attemptCost(mode smp.Mode, attempts int, err error) time.Duration {
+// commitPartial publishes a partially-delivered distribution outcome: the
+// next active table is the old active (or an empty table sized from the
+// target's geometry) with only the acknowledged blocks copied in, swapped
+// in atomically so readers never see a half-merged mixture.
+func (s *SubnetManager) commitPartial(job distJob, delivered []int) {
+	if len(delivered) == 0 && s.programmedActive(job.sw) != nil {
+		return // nothing landed; the old active table still holds
+	}
+	var next *ib.LFT
+	if cur := s.programmedActive(job.sw); cur != nil {
+		next = cur.Clone()
+	} else {
+		// Size the fallback table from the target's geometry, not a
+		// reconstructed top LID, so the programmed view can never drift
+		// from the table it is shadowing.
+		next = ib.NewLFTBlocks(job.tgt.NumBlocks())
+	}
+	for _, b := range delivered {
+		next.CopyBlockFrom(job.tgt, b)
+	}
+	next.ClearDirty()
+	s.commitProgrammed(job.sw, next)
+}
+
+// attemptCost models the serial-channel time one SMP spent after the given
+// number of send attempts: an acknowledged attempt costs one SMP round trip
+// (plus the per-extra-block surcharge for a coalesced run), a lost one
+// costs the response timeout, and every retry pays the (doubling) backoff
+// preceding it.
+func (s *SubnetManager) attemptCost(mode smp.Mode, nBlocks, attempts int, err error) time.Duration {
 	pol := s.Dist.Retry
 	timeouts := attempts - 1
 	if err != nil && errors.Is(err, smp.ErrTimeout) {
@@ -375,32 +429,35 @@ func (s *SubnetManager) attemptCost(mode smp.Mode, attempts int, err error) time
 		d += pol.backoffBefore(retry)
 	}
 	if err == nil {
-		d += s.Cost.SMPTime(mode)
+		d += s.Cost.MultiBlockSMPTime(mode, nBlocks)
 	}
 	return d
 }
 
-// runDistJob pushes one switch's blocks in order, retrying timeouts, and
-// accounts the modelled time of every attempt on this switch's serial
-// channel. Cancelling ctx stops the job after the block in flight; the
-// blocks already acknowledged are reported so the join can commit them.
+// runDistJob pushes one switch's block runs in order, retrying timeouts,
+// and accounts the modelled time of every attempt on this switch's serial
+// channel. Cancelling ctx stops the job after the SMP in flight; the blocks
+// already acknowledged are reported so the join can commit them.
 func (s *SubnetManager) runDistJob(ctx context.Context, job distJob, mode smp.Mode) distResult {
 	var res distResult
 	pol := s.Dist.Retry
 	smpHist := s.tel.Registry().Histogram("sm.dist.smp_modelled_us", nil)
-	for _, b := range job.blocks {
+	for _, run := range job.runs {
 		if ctx.Err() != nil {
 			res.cancelled = true
 			return res
 		}
-		attempts, err := s.sendBlockReliably(job.sw, b, mode, pol)
-		cost := s.attemptCost(mode, attempts, err)
+		attempts, err := s.sendRunReliably(job.sw, run, mode, pol)
+		cost := s.attemptCost(mode, run.n, attempts, err)
 		res.modelled += cost
 		smpHist.ObserveDuration(cost)
 		res.retried += attempts - 1
 		switch {
 		case err == nil:
-			res.delivered = append(res.delivered, b)
+			res.smps++
+			for b := run.start; b < run.start+run.n; b++ {
+				res.delivered = append(res.delivered, b)
+			}
 		case errors.Is(err, smp.ErrTimeout):
 			res.abandoned++
 		default:
@@ -411,14 +468,15 @@ func (s *SubnetManager) runDistJob(ctx context.Context, job distJob, mode smp.Mo
 	return res
 }
 
-// sendBlockReliably sends one LFT block, retrying on timeout per the
-// policy. It returns the attempts made and, when the block was never
-// acknowledged, an error: smp.ErrTimeout-wrapped when the retry budget ran
-// out, or the hard transport error that aborted the send.
-func (s *SubnetManager) sendBlockReliably(sw topology.NodeID, block int, mode smp.Mode, pol RetryPolicy) (int, error) {
+// sendRunReliably sends one LFT SMP (a run of one or more adjacent blocks),
+// retrying on timeout per the policy. It returns the attempts made and,
+// when the SMP was never acknowledged, an error: smp.ErrTimeout-wrapped
+// when the retry budget ran out, or the hard transport error that aborted
+// the send.
+func (s *SubnetManager) sendRunReliably(sw topology.NodeID, run blockRun, mode smp.Mode, pol RetryPolicy) (int, error) {
 	max := pol.attempts()
 	for attempt := 1; ; attempt++ {
-		err := s.sendLFTBlock(sw, block, mode)
+		err := s.sendLFTRun(sw, run, mode)
 		if err == nil {
 			return attempt, nil
 		}
@@ -426,19 +484,20 @@ func (s *SubnetManager) sendBlockReliably(sw topology.NodeID, block int, mode sm
 			return attempt, err
 		}
 		if attempt == max {
-			return attempt, fmt.Errorf("sm: LFT block %d for %q abandoned after %d attempts: %w",
-				block, s.Topo.Node(sw).Desc, max, err)
+			return attempt, fmt.Errorf("sm: LFT block %d(+%d) for %q abandoned after %d attempts: %w",
+				run.start, run.n-1, s.Topo.Node(sw).Desc, max, err)
 		}
 	}
 }
 
-// sendLFTBlock emits one LinearForwardingTable Set SMP for the given block
-// of the given switch, validating deliverability through the LFT sender
+// sendLFTRun emits one LinearForwardingTable Set SMP for the given block
+// run of the given switch, validating deliverability through the LFT sender
 // (the raw transport, or the fault-injecting wrapper when faults are on).
-func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mode) error {
+func (s *SubnetManager) sendLFTRun(sw topology.NodeID, run blockRun, mode smp.Mode) error {
 	p := &smp.SMP{
 		Attr:    smp.AttrLinearFwdTbl,
-		AttrMod: uint32(block),
+		AttrMod: uint32(run.start),
+		Blocks:  run.n,
 		IsSet:   true,
 	}
 	if mode == smp.DirectedRoute {
@@ -469,32 +528,39 @@ func (s *SubnetManager) sendLFTBlock(sw topology.NodeID, block int, mode smp.Mod
 
 // SetLFTEntries programs individual LFT entries on one switch (both the SM
 // shadow and the modelled physical switch), sending one SMP per touched
-// 64-LID block. This is the primitive the vSwitch reconfigurator uses: a
-// LID swap touches one or two blocks, a LID copy touches one (section V-C).
-// Mode selects directed vs destination-routed delivery — the paper's
-// improvement in eq. 5 uses destination routing because switch LIDs are
-// unaffected by VM migrations. Lost SMPs are retried per the distribution
-// config; exhausting the budget surfaces as an error.
+// 64-LID block run (adjacent dirty blocks coalesce per MaxBlocksPerSMP and
+// the return value counts the SMPs sent). This is the primitive the vSwitch
+// reconfigurator uses: a LID swap touches one or two blocks, a LID copy
+// touches one (section V-C). Mode selects directed vs destination-routed
+// delivery — the paper's improvement in eq. 5 uses destination routing
+// because switch LIDs are unaffected by VM migrations. Lost SMPs are
+// retried per the distribution config; exhausting the budget surfaces as an
+// error. The updated shadow is assembled off to the side and published with
+// one buffer swap, so concurrent readers never observe a half-applied set.
 func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.PortNum, mode smp.Mode) (int, error) {
-	prog := s.programmed[sw]
-	if prog == nil {
+	cur := s.programmedActive(sw)
+	if cur == nil {
 		return 0, fmt.Errorf("sm: switch %q not yet programmed", s.Topo.Node(sw).Desc)
 	}
-	prog.ClearDirty()
+	next := cur.Clone()
+	next.ClearDirty()
 	for l, p := range entries {
-		prog.Set(l, p)
+		next.Set(l, p)
 	}
-	blocks := prog.DirtyBlocks()
-	for _, b := range blocks {
-		// One SpanSMP per block: under an active migration scope these are
+	runs := planRuns(next.DirtyBlocks(), s.Dist.MaxBlocksPerSMP)
+	next.ClearDirty()
+	s.commitProgrammed(sw, next)
+	for _, run := range runs {
+		// One SpanSMP per SMP: under an active migration scope these are
 		// the n' x m' spans of the paper's equations 4/5.
-		bs := s.tel.Tracer().Start(telemetry.SpanSMP, fmt.Sprintf("%s block %d", s.Topo.Node(sw).Desc, b))
-		attempts, err := s.sendBlockReliably(sw, b, mode, s.Dist.Retry)
+		bs := s.tel.Tracer().Start(telemetry.SpanSMP, fmt.Sprintf("%s block %d", s.Topo.Node(sw).Desc, run.start))
+		attempts, err := s.sendRunReliably(sw, run, mode, s.Dist.Retry)
 		bs.SetAttr("switch", s.Topo.Node(sw).Desc)
-		bs.SetAttr("block", b)
+		bs.SetAttr("block", run.start)
+		bs.SetAttr("blocks", run.n)
 		bs.SetAttr("mode", mode.String())
 		bs.SetAttr("attempts", attempts)
-		bs.SetModelled(s.attemptCost(mode, attempts, err))
+		bs.SetModelled(s.attemptCost(mode, run.n, attempts, err))
 		bs.End()
 		if err != nil {
 			return 0, err
@@ -507,8 +573,7 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 			tgt.Set(l, p)
 		}
 	}
-	prog.ClearDirty()
-	return len(blocks), nil
+	return len(runs), nil
 }
 
 // SetVGUID models programming an alias GUID onto a hypervisor HCA port: one
@@ -570,5 +635,22 @@ func (s *SubnetManager) FullReconfigureCtx(ctx context.Context) (RouteStats, Dis
 		return RouteStats{}, DistributionStats{}, err
 	}
 	ds, err := s.DistributeFullCtx(ctx)
+	return RouteStats{Stats: rs}, ds, err
+}
+
+// ReconfigureCtx reconfigures after a topology change using the cheapest
+// strategy the configuration allows: with IncrementalRouting on, routes are
+// delta-recomputed and only the differing blocks are pushed
+// (DistributeDiff); otherwise it degrades to the traditional
+// FullReconfigureCtx of section VI-A.
+func (s *SubnetManager) ReconfigureCtx(ctx context.Context) (RouteStats, DistributionStats, error) {
+	if !s.IncrementalRouting {
+		return s.FullReconfigureCtx(ctx)
+	}
+	rs, err := s.ComputeRoutes()
+	if err != nil {
+		return RouteStats{}, DistributionStats{}, err
+	}
+	ds, err := s.DistributeDiffCtx(ctx)
 	return RouteStats{Stats: rs}, ds, err
 }

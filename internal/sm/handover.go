@@ -136,7 +136,7 @@ func (s *SubnetManager) AdoptFabricState(prev *SubnetManager) (AdoptStats, error
 	}
 	// Read back every switch's programmed LFT, one Get per populated block.
 	for _, sw := range s.Topo.Switches() {
-		lft := prev.programmed[sw]
+		lft := prev.programmedActive(sw)
 		if lft == nil {
 			continue
 		}
@@ -149,8 +149,9 @@ func (s *SubnetManager) AdoptFabricState(prev *SubnetManager) (AdoptStats, error
 			}
 			st.LFTBlockReads++
 		}
-		s.programmed[sw] = lft.Clone()
-		s.programmed[sw].ClearDirty()
+		adopted := lft.Clone()
+		adopted.ClearDirty()
+		s.commitProgrammed(sw, adopted)
 	}
 	// Recompute and reconcile.
 	if _, err := s.ComputeRoutes(); err != nil {

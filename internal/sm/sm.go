@@ -36,6 +36,12 @@ type SubnetManager struct {
 	// pool; 0 means one worker per CPU (GOMAXPROCS). Results are
 	// bit-identical for every value.
 	RouteWorkers int
+	// IncrementalRouting routes ComputeRoutes through a dependency-tracked
+	// delta-recompute wrapper: after a topology change only the destination
+	// trees the change can affect are re-run, and the merged tables are
+	// byte-identical to a from-scratch run (engines that cannot support
+	// deltas fall back to a full recompute, honestly reported in the stats).
+	IncrementalRouting bool
 	// LMC is the LID Mask Control value applied to CAs at AssignLIDs time:
 	// each CA receives 2^LMC consecutive, aligned LIDs, every one routed
 	// independently (the multipathing the prepopulated vSwitch model
@@ -56,14 +62,24 @@ type SubnetManager struct {
 	extra   map[ib.LID]topology.NodeID // additional (e.g. VF) LIDs per node
 	dirPath map[topology.NodeID][]ib.PortNum
 
-	target     map[topology.NodeID]*ib.LFT
-	programmed map[topology.NodeID]*ib.LFT
+	target map[topology.NodeID]*ib.LFT
+	// programmed double-buffers the per-switch view of what the physical
+	// switch holds: readers (the SMP router, the auditor, the API snapshot
+	// layer) always see a complete table through the buffer's atomic active
+	// pointer, and a distribution publishes its outcome with one pointer
+	// swap per switch — never an in-place, half-merged mutation.
+	programmed map[topology.NodeID]*ib.LFTBuffer
 	reachable  map[topology.NodeID]bool
 	portState  map[topology.NodeID][]bool // Up per port, as of the last (light) sweep
 
 	swept  bool
 	routed bool
 	state  SMState
+
+	// inc is the cached incremental wrapper around Engine; it is recreated
+	// whenever Engine is swapped and dropped when IncrementalRouting is off,
+	// so its dependency index always matches the engine it fronts.
+	inc *routing.Incremental
 
 	// sender, when set, replaces the raw transport for LFT distribution
 	// SMPs (the path that owns a retry policy). Discovery, LID assignment
@@ -99,7 +115,7 @@ func New(topo *topology.Topology, smNode topology.NodeID, engine routing.Engine)
 		extra:      map[ib.LID]topology.NodeID{},
 		dirPath:    map[topology.NodeID][]ib.PortNum{},
 		target:     map[topology.NodeID]*ib.LFT{},
-		programmed: map[topology.NodeID]*ib.LFT{},
+		programmed: map[topology.NodeID]*ib.LFTBuffer{},
 		reachable:  map[topology.NodeID]bool{},
 		portState:  map[topology.NodeID][]bool{},
 		tel:        hub,
@@ -418,6 +434,21 @@ func (s *SubnetManager) Targets() []routing.Target {
 	return out
 }
 
+// routingEngine returns the engine ComputeRoutes should run: the raw Engine,
+// or — with IncrementalRouting on — a cached incremental wrapper around it.
+// The wrapper owns a dependency index keyed to one engine instance, so it is
+// recreated whenever Engine is swapped out from under it.
+func (s *SubnetManager) routingEngine() routing.Engine {
+	if !s.IncrementalRouting {
+		s.inc = nil
+		return s.Engine
+	}
+	if s.inc == nil || s.inc.Inner() != s.Engine {
+		s.inc = routing.NewIncremental(s.Engine)
+	}
+	return s.inc
+}
+
 // ComputeRoutes runs the routing engine over all current targets and
 // installs the result as the target LFT state. The returned stats carry the
 // measured path-computation time PCt of equation 1.
@@ -426,8 +457,9 @@ func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
 		return routing.Stats{}, fmt.Errorf("sm: ComputeRoutes before Sweep")
 	}
 	req := &routing.Request{Topo: s.Topo, Targets: s.Targets(), Workers: s.RouteWorkers}
+	eng := s.routingEngine()
 	span := s.tel.Tracer().Start(telemetry.SpanPathCompute, s.Engine.Name())
-	res, err := s.Engine.Compute(req)
+	res, err := eng.Compute(req)
 	if err != nil {
 		span.SetAttr("error", err.Error())
 		span.End()
@@ -450,6 +482,21 @@ func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
 		c := span.Child(telemetry.SpanPhase, fmt.Sprintf("worker-%d", w))
 		c.EndWithWall(busy)
 	}
+	if inc := res.Stats.Incremental; inc.Attempted {
+		span.SetAttr("incremental_applied", inc.Applied)
+		reg := s.tel.Registry()
+		if inc.Applied {
+			reg.Counter("routing.incremental.applied").Inc()
+			reg.Counter("routing.incremental.dests_recomputed").Add(int64(inc.DestsRecomputed))
+			reg.Counter("routing.incremental.dests_patched").Add(int64(inc.DestsPatched))
+			reg.Counter("routing.incremental.dests_total").Add(int64(inc.DestsTotal))
+			span.SetAttr("dests_recomputed", inc.DestsRecomputed)
+			span.SetAttr("dests_total", inc.DestsTotal)
+		} else {
+			reg.Counter("routing.incremental.fallback").Inc()
+			span.SetAttr("incremental_fallback", inc.FallbackReason)
+		}
+	}
 	span.EndWithWall(res.Stats.Duration)
 	s.tel.Registry().Counter("sm.route_computes").Inc()
 	s.target = res.LFTs
@@ -461,7 +508,7 @@ func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
 
 // SwitchRoute implements smp.LFTResolver against the programmed state.
 func (s *SubnetManager) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum {
-	lft := s.programmed[sw]
+	lft := s.programmedActive(sw)
 	if lft == nil {
 		return ib.DropPort
 	}
@@ -469,8 +516,43 @@ func (s *SubnetManager) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum 
 }
 
 // ProgrammedLFT returns the LFT the SM believes the switch holds (nil
-// before first distribution).
-func (s *SubnetManager) ProgrammedLFT(sw topology.NodeID) *ib.LFT { return s.programmed[sw] }
+// before first distribution): the active side of the switch's double
+// buffer, published atomically by the last distribution commit.
+func (s *SubnetManager) ProgrammedLFT(sw topology.NodeID) *ib.LFT { return s.programmedActive(sw) }
+
+// programmedActive reads one switch's active programmed table (nil when the
+// switch was never programmed).
+func (s *SubnetManager) programmedActive(sw topology.NodeID) *ib.LFT {
+	if buf := s.programmed[sw]; buf != nil {
+		return buf.Active()
+	}
+	return nil
+}
+
+// programmedView materialises the active side of every switch's buffer into
+// a plain table map — the read-only shape the OnDistribute transient-CDG
+// hook and the handover reconciliation consume.
+func (s *SubnetManager) programmedView() map[topology.NodeID]*ib.LFT {
+	out := make(map[topology.NodeID]*ib.LFT, len(s.programmed))
+	for sw, buf := range s.programmed {
+		if lft := buf.Active(); lft != nil {
+			out[sw] = lft
+		}
+	}
+	return out
+}
+
+// commitProgrammed publishes t as the switch's programmed table with one
+// atomic swap (creating the buffer on first programming).
+func (s *SubnetManager) commitProgrammed(sw topology.NodeID, t *ib.LFT) {
+	buf := s.programmed[sw]
+	if buf == nil {
+		buf = ib.NewLFTBuffer(nil)
+		s.programmed[sw] = buf
+	}
+	buf.Stage(t)
+	buf.Commit()
+}
 
 // TargetLFT returns the routing engine's most recent table for a switch.
 func (s *SubnetManager) TargetLFT(sw topology.NodeID) *ib.LFT { return s.target[sw] }

@@ -94,6 +94,20 @@ type SMP struct {
 
 	// Hops is filled in by the transport on delivery.
 	Hops int
+
+	// Blocks is the number of adjacent LFT blocks this SMP programs
+	// (AttrMod..AttrMod+Blocks-1). 0 and 1 both mean the classical
+	// single-block SMP; values above 1 model the coalesced multi-block
+	// send the distribution engine can batch adjacent dirty blocks into.
+	Blocks int
+}
+
+// BlockCount returns the number of LFT blocks the SMP carries (at least 1).
+func (p *SMP) BlockCount() int {
+	if p.Blocks > 1 {
+		return p.Blocks
+	}
+	return 1
 }
 
 // Counters aggregates SMP traffic by attribute and mode; the experiments
@@ -318,12 +332,18 @@ type CostModel struct {
 	// pipelines LFT block updates); 1 means fully serial, matching the
 	// "assuming no pipelining" equations.
 	PipelineDepth int
+	// ExtraBlock is the marginal wire time of each additional LFT block
+	// carried by a coalesced multi-block SMP: the header/route cost is paid
+	// once, every extra 64-entry payload only adds serialisation time. Zero
+	// means extra blocks are free (pure header-cost model).
+	ExtraBlock time.Duration
 }
 
 // DefaultCostModel uses QDR-era magnitudes: ~5us wire+switch time per SMP
 // and ~2.5us directed-route processing overhead, serial distribution.
 func DefaultCostModel() CostModel {
-	return CostModel{K: 5 * time.Microsecond, R: 2500 * time.Nanosecond, PipelineDepth: 1}
+	return CostModel{K: 5 * time.Microsecond, R: 2500 * time.Nanosecond, PipelineDepth: 1,
+		ExtraBlock: 1250 * time.Nanosecond}
 }
 
 // SMPTime returns the modelled delivery time of one SMP in the given mode.
@@ -332,6 +352,17 @@ func (c CostModel) SMPTime(m Mode) time.Duration {
 		return c.K + c.R
 	}
 	return c.K
+}
+
+// MultiBlockSMPTime returns the modelled delivery time of one SMP carrying
+// nBlocks adjacent LFT blocks: the per-SMP header/route cost plus the
+// marginal serialisation cost of every block beyond the first.
+func (c CostModel) MultiBlockSMPTime(m Mode, nBlocks int) time.Duration {
+	t := c.SMPTime(m)
+	if nBlocks > 1 {
+		t += time.Duration(nBlocks-1) * c.ExtraBlock
+	}
+	return t
 }
 
 // DistributionTime models sending nSMPs of the given mode, honouring the
