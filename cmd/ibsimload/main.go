@@ -43,6 +43,7 @@ func main() {
 	wDestroy := flag.Int("destroy", 1, "destroy weight in the op mix")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	jsonOut := flag.Bool("json", false, "write the final report as JSON to stdout (progress text moves to stderr)")
+	recGoal := flag.String("reconcile", "", "after the load run, reconcile the fleet toward this goal (defrag|spread|drain:<node>) and report the batch cost")
 	flag.Parse()
 
 	// With -json, stdout carries exactly one JSON document so CI can pipe
@@ -102,14 +103,81 @@ func main() {
 	for _, msg := range total.failureMsgs {
 		fmt.Fprintln(os.Stderr, "failure:", msg)
 	}
+	var rec *reconcileReport
+	if *recGoal != "" {
+		rec = runReconcile(client, *addr, *recGoal, human)
+		if !rec.Converged || !rec.CostMatch {
+			total.failures++
+		}
+	}
 	if *jsonOut {
-		if err := writeReport(os.Stdout, *workers, elapsed, &total); err != nil {
+		if err := writeReport(os.Stdout, *workers, elapsed, &total, rec); err != nil {
 			fatal(err)
 		}
 	}
 	if total.failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// reconcileReport is the -reconcile block of the -json report: the planned
+// batch, its predicted and applied LFT SMP bills, and whether the dry run's
+// prediction survived contact with the fabric.
+type reconcileReport struct {
+	Goal             string `json:"goal"`
+	Moves            int    `json:"moves"`
+	Waves            int    `json:"waves"`
+	PredictedLFTSMPs int    `json:"predicted_lft_smps"`
+	AppliedLFTSMPs   int    `json:"applied_lft_smps"`
+	CostMatch        bool   `json:"cost_match"`
+	Converged        bool   `json:"converged"`
+	Error            string `json:"error,omitempty"`
+}
+
+// runReconcile dry-runs the goal, applies it, and re-dry-runs to confirm the
+// fleet converged — the CLI version of the reconciler's acceptance loop.
+func runReconcile(client *http.Client, addr, goal string, human io.Writer) *reconcileReport {
+	rep := &reconcileReport{Goal: goal}
+	post := func(query string) (api.ReconcileResponse, int, error) {
+		var out api.ReconcileResponse
+		resp, err := client.Post(addr+"/v1/reconcile?"+query, "application/json", nil)
+		if err != nil {
+			return out, 0, err
+		}
+		defer resp.Body.Close()
+		return out, resp.StatusCode, json.NewDecoder(resp.Body).Decode(&out)
+	}
+	q := "goal=" + goal
+	dry, st, err := post(q + "&dry_run=1")
+	if err != nil || st != http.StatusOK {
+		rep.Error = fmt.Sprintf("dry run: status %d: %v %s", st, err, dry.Error)
+		return rep
+	}
+	rep.Moves, rep.Waves = len(dry.Moves), dry.Waves
+	rep.PredictedLFTSMPs = dry.PredictedTotal.LFTSMPs + dry.PredictedTotal.InvalidationSMPs
+	if dry.Converged {
+		rep.Converged, rep.CostMatch = true, true
+		fmt.Fprintf(human, "reconcile %s: already converged\n", goal)
+		return rep
+	}
+	app, st, err := post(q)
+	if err != nil || st != http.StatusOK {
+		rep.Error = fmt.Sprintf("apply: status %d: %v %s", st, err, app.Error)
+		return rep
+	}
+	if app.AppliedTotal != nil {
+		rep.AppliedLFTSMPs = app.AppliedTotal.LFTSMPs + app.AppliedTotal.InvalidationSMPs
+	}
+	rep.CostMatch = rep.AppliedLFTSMPs == app.PredictedTotal.LFTSMPs+app.PredictedTotal.InvalidationSMPs
+	again, st, err := post(q + "&dry_run=1")
+	if err != nil || st != http.StatusOK {
+		rep.Error = fmt.Sprintf("re-check: status %d: %v", st, err)
+		return rep
+	}
+	rep.Converged = again.Converged
+	fmt.Fprintf(human, "reconcile %s: %d moves in %d waves, %d SMPs applied (cost match: %v, converged: %v)\n",
+		goal, rep.Moves, rep.Waves, rep.AppliedLFTSMPs, rep.CostMatch, rep.Converged)
+	return rep
 }
 
 // opReport is the per-operation block of the -json report (latencies in µs).
@@ -132,9 +200,10 @@ type loadReport struct {
 	Retries     int                 `json:"retries"`
 	PerOp       map[string]opReport `json:"per_op"`
 	FailureMsgs []string            `json:"failure_msgs,omitempty"`
+	Reconcile   *reconcileReport    `json:"reconcile,omitempty"`
 }
 
-func writeReport(w io.Writer, workers int, elapsed time.Duration, total *workerStats) error {
+func writeReport(w io.Writer, workers int, elapsed time.Duration, total *workerStats, rec *reconcileReport) error {
 	ops := 0
 	perOp := map[string]opReport{}
 	for _, op := range []opKind{opCreate, opMigrate, opDestroy} {
@@ -161,6 +230,7 @@ func writeReport(w io.Writer, workers int, elapsed time.Duration, total *workerS
 		Retries:     total.retries,
 		PerOp:       perOp,
 		FailureMsgs: total.failureMsgs,
+		Reconcile:   rec,
 	})
 }
 

@@ -194,6 +194,7 @@ func (s *Server) routes() {
 	s.handle("DELETE /v1/vms/{name}", "vms_destroy", s.handleDestroyVM)
 	s.handle("POST /v1/vms/{name}/migrate", "vms_migrate", s.handleMigrateVM)
 	s.handle("POST /v1/reconfigure", "reconfigure", s.handleReconfigure)
+	s.handle("POST /v1/reconcile", "reconcile", s.handleReconcile)
 }
 
 // reqIDKey carries the per-request ID through the request context.

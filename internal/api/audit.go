@@ -38,13 +38,16 @@ func (s *Server) Auditor() *audit.Auditor { return s.aud }
 // auditAfterMutation runs the fast invariant families against the snapshot
 // the loop just published. It runs on the actor goroutine — before the
 // client gets its reply — so a response to a corrupting mutation is always
-// preceded by the violation being counted and flight-recorded.
-func (s *Server) auditAfterMutation(sn *Snapshot) {
+// preceded by the violation being counted and flight-recorded. It returns
+// the violation count so multi-step operations (the reconciler's waves) can
+// gate each step on a clean fabric.
+func (s *Server) auditAfterMutation(sn *Snapshot) int {
 	rep := s.aud.Run(sn.AuditView(), audit.ScopeFast)
 	if rep.Total > 0 {
 		s.log.Warn("audit violations after mutation",
 			"generation", rep.Gen, "violations", rep.Total, "by_kind", rep.ByKind)
 	}
+	return rep.Total
 }
 
 // auditLoop is the cadence goroutine: a full-scope audit (reachability +

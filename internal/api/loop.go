@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"ibvsim/internal/audit"
+	"ibvsim/internal/reconcile"
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
@@ -20,16 +21,19 @@ const (
 	opDestroyVM
 	opMigrateVM
 	opReconfigure
+	opReconcile
 )
 
 // command is one admitted mutation. The loop executes it, publishes a new
 // snapshot, and delivers exactly one cmdReply on the buffered reply channel.
 type command struct {
-	kind  opKind
-	name  string          // VM name (create/destroy/migrate)
-	hyp   topology.NodeID // placement (create) or destination (migrate); NoNode = scheduler
-	reqID string          // request ID assigned by the handler chain
-	reply chan cmdReply
+	kind   opKind
+	name   string          // VM name (create/destroy/migrate) or goal (reconcile)
+	hyp    topology.NodeID // placement (create) or destination (migrate); NoNode = scheduler
+	spec   reconcile.Spec  // desired placement (reconcile)
+	dryRun bool            // plan only, mutate nothing (reconcile)
+	reqID  string          // request ID assigned by the handler chain
+	reply  chan cmdReply
 }
 
 // opName labels commands for logs and flight-recorder entries.
@@ -43,6 +47,8 @@ func (k opKind) opName() string {
 		return "migrate_vm"
 	case opReconfigure:
 		return "reconfigure"
+	case opReconcile:
+		return "reconcile"
 	}
 	return "unknown"
 }
@@ -233,6 +239,9 @@ func (s *Server) execute(cmd *command) cmdReply {
 			return errReply(err)
 		}
 		return cmdReply{http.StatusOK, resp}
+
+	case opReconcile:
+		return s.execReconcile(cmd)
 	}
 	return cmdReply{http.StatusInternalServerError, map[string]string{"error": "unknown command"}}
 }

@@ -1,0 +1,190 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"ibvsim/internal/reconcile"
+	"ibvsim/internal/telemetry"
+	"ibvsim/internal/topology"
+)
+
+// ReconcileRequest is the body of POST /v1/reconcile. The goal DSL is also
+// accepted on the query string (?goal=defrag&dry_run=1, ?goal=drain:12), so
+// a curl one-liner needs no body. An explicit placement map implies
+// goal=placement when the goal is omitted.
+type ReconcileRequest struct {
+	Goal      string                     `json:"goal,omitempty"`
+	Host      *topology.NodeID           `json:"host,omitempty"`
+	Placement map[string]topology.NodeID `json:"placement,omitempty"`
+	DryRun    bool                       `json:"dry_run,omitempty"`
+}
+
+// ReconcileMove is one planned migration in a reconcile response.
+type ReconcileMove struct {
+	VM        string          `json:"vm"`
+	From      topology.NodeID `json:"from"`
+	To        topology.NodeID `json:"to"`
+	Wave      int             `json:"wave"`
+	LeafLocal bool            `json:"leaf_local"`
+}
+
+// ReconcileResponse answers POST /v1/reconcile. Predicted costs come from
+// the planner's shadow simulation; Applied (absent on dry runs) holds the
+// per-wave costs the fabric actually paid, in the same vocabulary, so a
+// client can hold the planner to its prediction field by field.
+type ReconcileResponse struct {
+	Goal            string          `json:"goal"`
+	DryRun          bool            `json:"dry_run"`
+	Converged       bool            `json:"converged"`
+	Moves           []ReconcileMove `json:"moves"`
+	Waves           int             `json:"waves"`
+	Predicted       []CostReport    `json:"predicted,omitempty"`
+	PredictedTotal  CostReport      `json:"predicted_total"`
+	Applied         []CostReport    `json:"applied,omitempty"`
+	AppliedTotal    *CostReport     `json:"applied_total,omitempty"`
+	Generation      uint64          `json:"generation,omitempty"`
+	AuditViolations int             `json:"audit_violations,omitempty"`
+	Aborted         bool            `json:"aborted,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	TraceSpan       int             `json:"trace_span,omitempty"`
+}
+
+func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	var req ReconcileRequest
+	q := r.URL.Query()
+	if g := q.Get("goal"); g != "" {
+		req.Goal = g
+		req.DryRun = q.Get("dry_run") == "1" || q.Get("dry_run") == "true"
+	} else if r.Body != nil {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+			return
+		}
+	}
+
+	var spec reconcile.Spec
+	switch {
+	case req.Goal == "" && len(req.Placement) > 0,
+		req.Goal == string(reconcile.GoalPlacement):
+		if len(req.Placement) == 0 {
+			writeErr(w, http.StatusBadRequest, "goal %q needs a placement map", req.Goal)
+			return
+		}
+		spec = reconcile.Spec{Goal: reconcile.GoalPlacement, Placement: req.Placement}
+	case req.Goal == string(reconcile.GoalDrain) && req.Host != nil:
+		spec = reconcile.Spec{Goal: reconcile.GoalDrain, Host: *req.Host}
+	default:
+		var err error
+		spec, err = reconcile.ParseGoal(req.Goal)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	s.enqueue(w, r, &command{kind: opReconcile, name: string(spec.Goal), spec: spec, dryRun: req.DryRun})
+}
+
+// costFromStep converts a predicted StepCost into the wire vocabulary.
+// SpanSMPs is what the wave will emit into the trace: one smp span per LFT
+// block-write plus one per invalidation write.
+func costFromStep(c reconcile.StepCost) CostReport {
+	return CostReport{
+		SwitchesUpdated:  c.SwitchesUpdated,
+		LFTSMPs:          c.LFTSMPs,
+		InvalidationSMPs: c.InvalidationSMPs,
+		HostSMPs:         c.HostSMPs,
+		SpanSMPs:         c.LFTSMPs + c.InvalidationSMPs,
+		ModelledUS:       c.Modelled.Microseconds(),
+	}
+}
+
+// execReconcile runs on the actor goroutine: plan against live state, and —
+// unless the client asked for a dry run — execute the waves in order. Each
+// wave publishes a fresh snapshot and must pass the fast audit before the
+// next wave is released; a violation (or wave error) aborts the remainder,
+// with everything already applied reported faithfully.
+func (s *Server) execReconcile(cmd *command) cmdReply {
+	span := s.tr.Start(telemetry.SpanReconcile, string(cmd.spec.Goal))
+	s.tr.PushScope(span)
+	defer func() {
+		s.tr.PopScope()
+		span.End()
+	}()
+
+	p := &reconcile.Planner{C: s.c}
+	plan, err := p.Plan(cmd.spec)
+	if err != nil {
+		return errReply(err)
+	}
+
+	resp := ReconcileResponse{
+		Goal:           string(plan.Goal),
+		DryRun:         cmd.dryRun,
+		Converged:      plan.Converged,
+		Moves:          make([]ReconcileMove, len(plan.Moves)),
+		Waves:          len(plan.Waves),
+		PredictedTotal: costFromStep(plan.Total),
+		TraceSpan:      span.ID(),
+	}
+	for i, mv := range plan.Moves {
+		resp.Moves[i] = ReconcileMove{VM: mv.VM, From: mv.From, To: mv.To, Wave: mv.Wave, LeafLocal: mv.LeafLocal}
+	}
+	for _, c := range plan.Predicted {
+		resp.Predicted = append(resp.Predicted, costFromStep(c))
+	}
+	span.SetAttr("goal", string(plan.Goal))
+	span.SetAttr("moves", len(plan.Moves))
+	span.SetAttr("waves", len(plan.Waves))
+	span.SetAttr("dry_run", cmd.dryRun)
+	span.SetModelled(plan.Total.Modelled)
+
+	if cmd.dryRun || plan.Converged {
+		return cmdReply{http.StatusOK, resp}
+	}
+
+	var total CostReport
+	for _, wave := range plan.Waves {
+		before := s.tr.LastSpanID()
+		wr, werr := s.c.MigrateWave(wave)
+		// Publish what the wave did (even a failed wave may have moved VMs
+		// before erroring) and gate on the fast audit before continuing.
+		sn := s.buildSnapshot(s.snap.Load())
+		s.snap.Store(sn)
+		resp.Generation = sn.Gen
+		viol := s.auditAfterMutation(sn)
+		resp.AuditViolations += viol
+		if werr != nil {
+			resp.Aborted = true
+			resp.Error = werr.Error()
+			resp.AppliedTotal = &total
+			return cmdReply{classifyErr(werr), resp}
+		}
+		applied := s.costFromWindow(before)
+		applied.SwitchesUpdated = wr.Plan.SwitchesUpdated
+		applied.LFTSMPs = wr.Plan.SMPs
+		applied.InvalidationSMPs = wr.Plan.InvalidationSMPs
+		applied.HostSMPs = wr.HostSMPs
+		applied.ModelledUS = wr.Plan.ModelledTime.Microseconds()
+		resp.Applied = append(resp.Applied, applied)
+		total.SwitchesUpdated += applied.SwitchesUpdated
+		total.LFTSMPs += applied.LFTSMPs
+		total.InvalidationSMPs += applied.InvalidationSMPs
+		total.HostSMPs += applied.HostSMPs
+		total.SpanSMPs += applied.SpanSMPs
+		total.ModelledUS += applied.ModelledUS
+		if viol > 0 {
+			resp.Aborted = true
+			resp.Error = "fast audit found violations; remaining waves aborted"
+			resp.AppliedTotal = &total
+			return cmdReply{http.StatusInternalServerError, resp}
+		}
+	}
+	resp.AppliedTotal = &total
+
+	// Confirm convergence: re-planning the achieved state must be a no-op.
+	if again, err := p.Plan(cmd.spec); err == nil {
+		resp.Converged = again.Converged
+	}
+	return cmdReply{http.StatusOK, resp}
+}

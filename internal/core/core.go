@@ -133,6 +133,16 @@ func NewReconfigurator(mgr *sm.SubnetManager) *Reconfigurator {
 	return &Reconfigurator{SM: mgr, Mode: smp.DestinationRouted, Scope: ScopeAllSwitches}
 }
 
+// PlanView is the fabric state a migration plan is computed against: the
+// programmed LFT of every switch plus LID ownership. *sm.SubnetManager
+// satisfies it directly (the live fabric); planners that look several
+// migration waves ahead satisfy it with a shadow overlay, so wave N+1's
+// plan sees the LFT edits wave N will have applied.
+type PlanView interface {
+	ProgrammedLFT(sw topology.NodeID) *ib.LFT
+	NodeOfLID(l ib.LID) topology.NodeID
+}
+
 // MigrationPlan is the exact set of LFT edits one migration needs.
 type MigrationPlan struct {
 	Kind    PlanKind
@@ -150,8 +160,9 @@ type MigrationPlan struct {
 	SMPs            int
 }
 
-// planEntries builds a plan from a per-switch editing rule.
-func (r *Reconfigurator) planEntries(kind PlanKind, vmLID, peerLID ib.LID,
+// planEntries builds a plan from a per-switch editing rule, reading fabric
+// state through v.
+func (r *Reconfigurator) planEntries(v PlanView, kind PlanKind, vmLID, peerLID ib.LID,
 	edit func(lft *ib.LFT) map[ib.LID]ib.PortNum) (*MigrationPlan, error) {
 
 	if vmLID == peerLID {
@@ -164,7 +175,7 @@ func (r *Reconfigurator) planEntries(kind PlanKind, vmLID, peerLID ib.LID,
 		Updates: map[topology.NodeID]map[ib.LID]ib.PortNum{},
 	}
 	for _, sw := range r.SM.Topo.Switches() {
-		lft := r.SM.ProgrammedLFT(sw)
+		lft := v.ProgrammedLFT(sw)
 		if lft == nil {
 			return nil, fmt.Errorf("core: switch %q not programmed; bootstrap the SM first",
 				r.SM.Topo.Node(sw).Desc)
@@ -195,10 +206,17 @@ func (r *Reconfigurator) planEntries(kind PlanKind, vmLID, peerLID ib.LID,
 // (the n' < n case of section VI-B). With ScopeMinimal only switches whose
 // VM-LID forwarding must change for correctness are touched.
 func (r *Reconfigurator) PlanSwap(vmLID, destVFLID ib.LID) (*MigrationPlan, error) {
-	if err := r.checkLIDs(vmLID, destVFLID); err != nil {
+	return r.PlanSwapOn(r.SM, vmLID, destVFLID)
+}
+
+// PlanSwapOn is PlanSwap computed against an arbitrary fabric view instead
+// of the live SM state. Batch planners use it to plan wave N+1 against the
+// shadow state wave N leaves behind.
+func (r *Reconfigurator) PlanSwapOn(v PlanView, vmLID, destVFLID ib.LID) (*MigrationPlan, error) {
+	if err := r.checkLIDs(v, vmLID, destVFLID); err != nil {
 		return nil, err
 	}
-	plan, err := r.planEntries(PlanSwap, vmLID, destVFLID, func(lft *ib.LFT) map[ib.LID]ib.PortNum {
+	plan, err := r.planEntries(v, PlanSwap, vmLID, destVFLID, func(lft *ib.LFT) map[ib.LID]ib.PortNum {
 		pv, pd := lft.Get(vmLID), lft.Get(destVFLID)
 		return map[ib.LID]ib.PortNum{vmLID: pd, destVFLID: pv}
 	})
@@ -206,7 +224,7 @@ func (r *Reconfigurator) PlanSwap(vmLID, destVFLID ib.LID) (*MigrationPlan, erro
 		return nil, err
 	}
 	if r.Scope == ScopeMinimal {
-		r.restrictToCorrectness(plan)
+		r.restrictToCorrectness(v, plan)
 	}
 	return plan, nil
 }
@@ -216,26 +234,32 @@ func (r *Reconfigurator) PlanSwap(vmLID, destVFLID ib.LID) (*MigrationPlan, erro
 // entry (section V-C2). At most one LID changes per switch, so at most one
 // SMP per switch is ever needed.
 func (r *Reconfigurator) PlanCopy(vmLID, destPFLID ib.LID) (*MigrationPlan, error) {
-	if err := r.checkLIDs(vmLID, destPFLID); err != nil {
+	return r.PlanCopyOn(r.SM, vmLID, destPFLID)
+}
+
+// PlanCopyOn is PlanCopy computed against an arbitrary fabric view instead
+// of the live SM state.
+func (r *Reconfigurator) PlanCopyOn(v PlanView, vmLID, destPFLID ib.LID) (*MigrationPlan, error) {
+	if err := r.checkLIDs(v, vmLID, destPFLID); err != nil {
 		return nil, err
 	}
-	plan, err := r.planEntries(PlanCopy, vmLID, destPFLID, func(lft *ib.LFT) map[ib.LID]ib.PortNum {
+	plan, err := r.planEntries(v, PlanCopy, vmLID, destPFLID, func(lft *ib.LFT) map[ib.LID]ib.PortNum {
 		return map[ib.LID]ib.PortNum{vmLID: lft.Get(destPFLID)}
 	})
 	if err != nil {
 		return nil, err
 	}
 	if r.Scope == ScopeMinimal {
-		r.restrictToCorrectness(plan)
+		r.restrictToCorrectness(v, plan)
 	}
 	return plan, nil
 }
 
-func (r *Reconfigurator) checkLIDs(vmLID, peerLID ib.LID) error {
-	if r.SM.NodeOfLID(vmLID) == topology.NoNode {
+func (r *Reconfigurator) checkLIDs(v PlanView, vmLID, peerLID ib.LID) error {
+	if v.NodeOfLID(vmLID) == topology.NoNode {
 		return fmt.Errorf("core: VM LID %d is not assigned", vmLID)
 	}
-	if r.SM.NodeOfLID(peerLID) == topology.NoNode {
+	if v.NodeOfLID(peerLID) == topology.NoNode {
 		return fmt.Errorf("core: peer LID %d is not assigned", peerLID)
 	}
 	return nil
@@ -250,8 +274,8 @@ func (r *Reconfigurator) checkLIDs(vmLID, peerLID ib.LID) error {
 // so exactly one switch is updated, regardless of topology. For a swap the
 // paired VF-LID edit is also dropped (the freed VF has no VM to reach),
 // trading the balance of the initial routing for fewer SMPs.
-func (r *Reconfigurator) restrictToCorrectness(plan *MigrationPlan) {
-	dstNode := r.SM.NodeOfLID(plan.PeerLID)
+func (r *Reconfigurator) restrictToCorrectness(v PlanView, plan *MigrationPlan) {
+	dstNode := v.NodeOfLID(plan.PeerLID)
 	destLeaf := r.SM.Topo.LeafSwitchOf(dstNode)
 
 	// oldChainReachesLeaf follows the programmed (pre-plan) forwarding of
@@ -270,7 +294,7 @@ func (r *Reconfigurator) restrictToCorrectness(plan *MigrationPlan) {
 		}
 		reach[sw] = -1 // cycle guard; confirmed below
 		ok := false
-		lft := r.SM.ProgrammedLFT(sw)
+		lft := v.ProgrammedLFT(sw)
 		if lft != nil {
 			out := lft.Get(plan.VMLID)
 			n := r.SM.Topo.Node(sw)

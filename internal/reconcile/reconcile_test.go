@@ -1,0 +1,322 @@
+package reconcile
+
+import (
+	"math/rand"
+	"testing"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// testCloud builds the small fat-tree cloud the cloud package tests use:
+// 16 CAs, CA 0 hosts the SM, the other 15 are hypervisors with 3 VFs each.
+func testCloud(t *testing.T, model sriov.Model) *cloud.Cloud {
+	t.Helper()
+	topo, err := topology.BuildXGFT(topology.XGFTSpec{M: []int{4, 4}, W: []int{1, 4}}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            model,
+		VFsPerHypervisor: 3,
+		Scheduler:        cloud.Spread{},
+		RouteWorkers:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func applyPlan(t *testing.T, c *cloud.Cloud, plan *Plan) []cloud.WaveReport {
+	t.Helper()
+	reps := make([]cloud.WaveReport, 0, len(plan.Waves))
+	for i, wave := range plan.Waves {
+		wr, err := c.MigrateWave(wave)
+		if err != nil {
+			t.Fatalf("wave %d: %v", i, err)
+		}
+		reps = append(reps, wr)
+	}
+	return reps
+}
+
+func occupied(c *cloud.Cloud) int {
+	n := 0
+	for _, hn := range c.Hypervisors() {
+		if c.VMCountOn(hn) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func TestParseGoal(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		err  bool
+	}{
+		{in: "defrag", want: Spec{Goal: GoalDefrag}},
+		{in: "spread", want: Spec{Goal: GoalSpread}},
+		{in: "drain:7", want: Spec{Goal: GoalDrain, Host: 7}},
+		{in: "drain(7)", want: Spec{Goal: GoalDrain, Host: 7}},
+		{in: "drain:x", err: true},
+		{in: "drain", err: true},
+		{in: "", err: true},
+		{in: "consolidate", err: true},
+	}
+	for _, tc := range cases {
+		got, err := ParseGoal(tc.in)
+		if tc.err != (err != nil) {
+			t.Errorf("ParseGoal(%q) error = %v, want error %v", tc.in, err, tc.err)
+			continue
+		}
+		if !tc.err && (got.Goal != tc.want.Goal || got.Host != tc.want.Host) {
+			t.Errorf("ParseGoal(%q) = %+v, want %+v", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestDryRunMatchesApplied is the fidelity contract: the shadow-simulated
+// per-wave costs of a plan must equal, field for field, what actually hits
+// the wire when the same waves are applied — switches updated, LFT SMPs
+// (including block-run coalescing), host SMPs and modelled time — for every
+// SR-IOV model.
+func TestDryRunMatchesApplied(t *testing.T) {
+	for _, model := range []sriov.Model{sriov.VSwitchPrepopulated, sriov.VSwitchDynamic, sriov.SharedPort} {
+		t.Run(model.String(), func(t *testing.T) {
+			c := testCloud(t, model)
+			hyps := c.Hypervisors()
+			// Fragment: 2 VMs on each of 6 hosts = 12 VMs, minimal is 4.
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 2; j++ {
+					name := "fr-" + string(rune('a'+i)) + string(rune('0'+j))
+					if _, err := c.CreateVMOn(name, hyps[i*2]); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			p := &Planner{C: c}
+			plan, err := p.Plan(Spec{Goal: GoalDefrag})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if plan.Converged || len(plan.Waves) == 0 {
+				t.Fatalf("fragmented cloud must plan waves, got %+v", plan)
+			}
+			reps := applyPlan(t, c, plan)
+			for i, wr := range reps {
+				pred := plan.Predicted[i]
+				if wr.Plan.SwitchesUpdated != pred.SwitchesUpdated {
+					t.Errorf("wave %d: switches applied %d != predicted %d", i, wr.Plan.SwitchesUpdated, pred.SwitchesUpdated)
+				}
+				if wr.Plan.SMPs != pred.LFTSMPs {
+					t.Errorf("wave %d: LFT SMPs applied %d != predicted %d", i, wr.Plan.SMPs, pred.LFTSMPs)
+				}
+				if wr.Plan.InvalidationSMPs != pred.InvalidationSMPs {
+					t.Errorf("wave %d: invalidation SMPs applied %d != predicted %d", i, wr.Plan.InvalidationSMPs, pred.InvalidationSMPs)
+				}
+				if wr.HostSMPs != pred.HostSMPs {
+					t.Errorf("wave %d: host SMPs applied %d != predicted %d", i, wr.HostSMPs, pred.HostSMPs)
+				}
+				if wr.Plan.ModelledTime != pred.Modelled {
+					t.Errorf("wave %d: modelled applied %v != predicted %v", i, wr.Plan.ModelledTime, pred.Modelled)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanIdempotent: re-planning an achieved placement must converge with
+// zero moves, for every goal.
+func TestPlanIdempotent(t *testing.T) {
+	c := testCloud(t, sriov.VSwitchPrepopulated)
+	hyps := c.Hypervisors()
+	for i := 0; i < 8; i++ {
+		if _, err := c.CreateVMOn("vm-"+string(rune('a'+i)), hyps[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Planner{C: c}
+
+	for _, spec := range []Spec{
+		{Goal: GoalDefrag},
+		{Goal: GoalDrain, Host: hyps[0]},
+		{Goal: GoalSpread},
+	} {
+		plan, err := p.Plan(spec)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Goal, err)
+		}
+		applyPlan(t, c, plan)
+		again, err := p.Plan(spec)
+		if err != nil {
+			t.Fatalf("%s re-plan: %v", spec.Goal, err)
+		}
+		if !again.Converged || len(again.Moves) != 0 {
+			t.Fatalf("%s: re-planning the achieved state must converge, got %d moves", spec.Goal, len(again.Moves))
+		}
+	}
+}
+
+// TestConvergenceUnderChurn interleaves seeded create/destroy churn with
+// reconciliation rounds and asserts every round converges: after apply, the
+// plan is a fixpoint and occupancy is minimal. Runs under -race in CI.
+func TestConvergenceUnderChurn(t *testing.T) {
+	c := testCloud(t, sriov.VSwitchDynamic)
+	hyps := c.Hypervisors()
+	rng := rand.New(rand.NewSource(42))
+	p := &Planner{C: c}
+	next := 0
+	live := []string{}
+
+	for round := 0; round < 8; round++ {
+		// Churn: a burst of random creations on random hosts plus some
+		// destructions, leaving a fragmented layout.
+		for i := 0; i < 6; i++ {
+			hn := hyps[rng.Intn(len(hyps))]
+			if c.VMCountOn(hn) >= 3 {
+				continue
+			}
+			name := "churn-" + string(rune('a'+next%26)) + string(rune('0'+(next/26)%10))
+			next++
+			if _, err := c.CreateVMOn(name, hn); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, name)
+		}
+		for i := 0; i < 3 && len(live) > 1; i++ {
+			k := rng.Intn(len(live))
+			if err := c.DestroyVM(live[k]); err != nil {
+				t.Fatal(err)
+			}
+			live = append(live[:k], live[k+1:]...)
+		}
+
+		plan, err := p.Plan(Spec{Goal: GoalDefrag})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		applyPlan(t, c, plan)
+
+		again, err := p.Plan(Spec{Goal: GoalDefrag})
+		if err != nil {
+			t.Fatalf("round %d re-plan: %v", round, err)
+		}
+		if !again.Converged {
+			t.Fatalf("round %d: reconcile did not converge (%d moves left)", round, len(again.Moves))
+		}
+		want := (len(live) + 2) / 3 // ceil(VMs / VFs-per-host)
+		if got := occupied(c); got != want {
+			t.Fatalf("round %d: occupied hosts = %d, want minimal %d (%d VMs)", round, got, want, len(live))
+		}
+	}
+}
+
+// TestDrainGoal empties the host and reports infeasibility honestly.
+func TestDrainGoal(t *testing.T) {
+	c := testCloud(t, sriov.VSwitchPrepopulated)
+	hyps := c.Hypervisors()
+	for i := 0; i < 3; i++ {
+		if _, err := c.CreateVMOn("dr-"+string(rune('0'+i)), hyps[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Planner{C: c}
+	plan, err := p.Plan(Spec{Goal: GoalDrain, Host: hyps[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 3 {
+		t.Fatalf("want 3 drain moves, got %d", len(plan.Moves))
+	}
+	applyPlan(t, c, plan)
+	if got := c.VMCountOn(hyps[0]); got != 0 {
+		t.Fatalf("host still has %d VMs after drain", got)
+	}
+
+	if _, err := p.Plan(Spec{Goal: GoalDrain, Host: topology.NodeID(99999)}); err == nil {
+		t.Error("draining a non-hypervisor must fail")
+	}
+}
+
+// TestSpreadGoal levels loads to within one VM.
+func TestSpreadGoal(t *testing.T) {
+	c := testCloud(t, sriov.VSwitchDynamic)
+	hyps := c.Hypervisors()
+	for i := 0; i < 3; i++ {
+		if _, err := c.CreateVMOn("sp-a"+string(rune('0'+i)), hyps[0]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.CreateVMOn("sp-b"+string(rune('0'+i)), hyps[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p := &Planner{C: c}
+	plan, err := p.Plan(Spec{Goal: GoalSpread})
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyPlan(t, c, plan)
+	min, max := 1<<30, 0
+	for _, hn := range hyps {
+		n := c.VMCountOn(hn)
+		if n < min {
+			min = n
+		}
+		if n > max {
+			max = n
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("spread left load range [%d,%d]", min, max)
+	}
+}
+
+// TestPlacementGoal applies an explicit map and validates it.
+func TestPlacementGoal(t *testing.T) {
+	c := testCloud(t, sriov.VSwitchPrepopulated)
+	hyps := c.Hypervisors()
+	if _, err := c.CreateVMOn("pl-a", hyps[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateVMOn("pl-b", hyps[1]); err != nil {
+		t.Fatal(err)
+	}
+	p := &Planner{C: c}
+
+	plan, err := p.Plan(Spec{Goal: GoalPlacement, Placement: map[string]topology.NodeID{
+		"pl-a": hyps[5],
+		"pl-b": hyps[1], // already there: no move
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 1 || plan.Moves[0].VM != "pl-a" {
+		t.Fatalf("want one move for pl-a, got %+v", plan.Moves)
+	}
+	applyPlan(t, c, plan)
+	if got := c.VM("pl-a").Hyp; got != hyps[5] {
+		t.Fatalf("pl-a on %d, want %d", got, hyps[5])
+	}
+
+	if _, err := p.Plan(Spec{Goal: GoalPlacement, Placement: map[string]topology.NodeID{"ghost": hyps[0]}}); err == nil {
+		t.Error("placement of unknown VM must fail")
+	}
+	over := map[string]topology.NodeID{}
+	for i := 0; i < 2; i++ {
+		name := "ov-" + string(rune('0'+i))
+		if _, err := c.CreateVMOn(name, hyps[6+i]); err != nil {
+			t.Fatal(err)
+		}
+		over[name] = hyps[5]
+	}
+	over["pl-b"] = hyps[5]
+	// hyps[5] already hosts pl-a; 3 more arrivals overflow its 3 VFs.
+	if _, err := p.Plan(Spec{Goal: GoalPlacement, Placement: over}); err == nil {
+		t.Error("overfilling placement must fail")
+	}
+}

@@ -32,6 +32,7 @@ func All() []*scenario.Campaign {
 		faultyFabric(),
 		lidPressure(),
 		corruptionProbe(),
+		defragUnderChurn(),
 	}
 }
 
@@ -324,6 +325,63 @@ func lidPressure() *scenario.Campaign {
 					h.CreateVM(fmt.Sprintf("re%03d", i))
 				}
 				h.Quiesce("refilled")
+			})
+		},
+	}
+}
+
+// defragUnderChurn interleaves VM churn with periodic declarative
+// reconciliation: the fleet fragments across hypervisors, reconcile(defrag)
+// repacks it in batched swap waves (prepopulated model, so every wave is
+// merged LID-swap LFT edits), and each round must leave a clean full-scope
+// audit. The final beat dry-runs defrag to prove the achieved placement is a
+// fixpoint.
+func defragUnderChurn() *scenario.Campaign {
+	return &scenario.Campaign{
+		Name:        "defrag-under-churn",
+		Description: "periodic reconcile(defrag) repacking a churning fleet in batched swap waves",
+		Tune: func(o *scenario.Options) {
+			o.Model = sriov.VSwitchPrepopulated
+		},
+		Script: func(h *scenario.Harness) {
+			live := map[string]bool{}
+			next := 0
+			h.E.At(0, "fragment", func() {
+				// One VM on every other hypervisor: maximal fragmentation.
+				hs := hyps(h)
+				for i := 0; i < len(hs) && i < 12; i += 2 {
+					name := fmt.Sprintf("frag%03d", next)
+					next++
+					if h.CreateVMOn(name, hs[i]) == 201 {
+						live[name] = true
+					}
+				}
+			})
+			const rounds = 4
+			h.E.Every(2*step, 4*step, rounds, "churn-reconcile", func(i int) {
+				// A churn burst: two creations on PRNG hosts, one destroy of
+				// the lexically smallest live VM, then reconcile and audit.
+				for j := 0; j < 2; j++ {
+					name := fmt.Sprintf("churn%03d", next)
+					next++
+					if h.CreateVMOn(name, randHyp(h)) == 201 {
+						live[name] = true
+					}
+				}
+				victim := ""
+				for name := range live {
+					if victim == "" || name < victim {
+						victim = name
+					}
+				}
+				if victim != "" && h.DestroyVM(victim) == 200 {
+					delete(live, victim)
+				}
+				h.Reconcile("defrag", false)
+				h.Quiesce(fmt.Sprintf("after reconcile %d", i))
+			})
+			h.E.At(2*step+rounds*4*step, "fixpoint", func() {
+				h.Reconcile("defrag", true) // must log converged=true
 			})
 		},
 	}

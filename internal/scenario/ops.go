@@ -78,6 +78,19 @@ func (h *Harness) MigrateVM(name string, dst topology.NodeID) int {
 	return st
 }
 
+// Reconcile posts a declarative placement goal to /v1/reconcile and logs the
+// deterministic plan summary (move/wave counts and the modelled SMP bill; no
+// wall-clock fields). Dry runs plan without mutating.
+func (h *Harness) Reconcile(goal string, dryRun bool) int {
+	st, body := h.do("POST", "/v1/reconcile", map[string]any{"goal": goal, "dry_run": dryRun})
+	moves, _ := body["moves"].([]any)
+	pred, _ := body["predicted_total"].(map[string]any)
+	converged, _ := body["converged"].(bool)
+	h.E.Logf("reconcile %s (dry_run=%v): status=%d moves=%d waves=%d lft_smps=%d converged=%v",
+		goal, dryRun, st, len(moves), num(body, "waves"), num(pred, "lft_smps"), converged)
+	return st
+}
+
 // Reconfigure runs a full routing recomputation + distribution through the
 // API. Its post-mutation audit runs against the rerouted fabric, so call it
 // immediately after a resweep that changed the topology.

@@ -30,6 +30,7 @@ const (
 	SpanPhase         SpanKind = "phase"
 	SpanHandover      SpanKind = "sm-handover"
 	SpanAudit         SpanKind = "audit"
+	SpanReconcile     SpanKind = "reconcile"
 )
 
 // Span is one timed, attributed step of a trace. IDs are sequential per
