@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover bench bench-incremental bench-incremental-short bench-all fuzz chaos experiments experiments-full fmt vet clean
+.PHONY: all build test test-short race cover bench bench-incremental bench-incremental-short bench-shards bench-all fuzz chaos experiments experiments-full fmt vet clean
 
 all: build test
 
@@ -46,6 +46,14 @@ bench-incremental:
 bench-incremental-short:
 	$(GO) test -run '^$$' -short -bench 'IncrementalReroute' -benchtime 1x -benchmem . | $(GO) run ./cmd/benchjson -o BENCH_incremental.json \
 		-gate 'BenchmarkIncrementalReroute/link-flap/minhop/648/incremental<BenchmarkIncrementalReroute/link-flap/minhop/648/full'
+
+# Control-plane scaling sweep: the closed-loop VM-lifecycle workload on the
+# in-process 11664-node paper fat tree at shards=1/2/4/8, teed into
+# BENCH_controlplane.json. The gate fails the run unless shards=4 at least
+# doubles single-shard throughput; every point must also finish with zero
+# failed requests and a clean post-run full audit.
+bench-shards:
+	$(GO) run ./cmd/ibsimload -nodes 11664 -c 256 -duration 8s -create 4 -migrate 1 -destroy 4 -sweep 1,2,4,8 -bench-out BENCH_controlplane.json
 
 # Every benchmark in the repo, including reconfiguration and fabric-sim ones.
 bench-all:

@@ -11,6 +11,7 @@
 //	ibsimd -topo torus -rows 4 -cols 4 -cas 2 -engine dfsssp -sched pack
 //	ibsimd -topo ring -switches 8 -cas 2 -model prepopulated -vfs 8
 //	ibsimd -audit-interval 5s -flight-dir /var/tmp/ibsim -pprof :6060
+//	ibsimd -topo fattree -nodes 11664 -model prepopulated -vfs 2 -shards auto
 //
 // Then:
 //
@@ -29,6 +30,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -55,6 +57,7 @@ func main() {
 	vfs := flag.Int("vfs", 4, "VFs per hypervisor")
 	sched := flag.String("sched", "spread", "VM scheduler: firstfit|spread|pack")
 	queue := flag.Int("queue", api.DefaultQueueDepth, "admission queue depth (429 past this)")
+	shards := flag.String("shards", "0", "sharded control plane: N zones, auto (one per pod/leaf group), 0 or 1 = single actor")
 	workers := flag.Int("workers", 0, "routing worker pool size (0 = one per CPU)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	auditInterval := flag.Duration("audit-interval", 0, "cadence of background full-scope fabric audits (0 = post-mutation audits only)")
@@ -78,6 +81,10 @@ func main() {
 		fatal(logger, err)
 	}
 	scheduler, err := parseSched(*sched)
+	if err != nil {
+		fatal(logger, err)
+	}
+	nshards, err := parseShards(*shards)
 	if err != nil {
 		fatal(logger, err)
 	}
@@ -109,7 +116,11 @@ func main() {
 		AuditInterval: *auditInterval,
 		FlightDir:     *flightDir,
 		Logger:        newLogger(*logJSON).With("component", "api"),
+		Shards:        nshards,
 	})
+	if co := apiSrv.Coordinator(); co != nil {
+		logger.Info("sharded control plane", "shards", co.Shards())
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: apiSrv.Handler()}
 
 	// pprof gets its own mux on its own listener: the profiling surface
@@ -181,6 +192,17 @@ func parseModel(s string) (sriov.Model, error) {
 	default:
 		return 0, fmt.Errorf("unknown SR-IOV model %q", s)
 	}
+}
+
+func parseShards(s string) (int, error) {
+	if s == "auto" {
+		return api.ShardsAuto, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad -shards %q (want a non-negative count or auto)", s)
+	}
+	return n, nil
 }
 
 func parseSched(s string) (cloud.Scheduler, error) {

@@ -14,10 +14,24 @@
 //	ibsimd -topo fattree -nodes 324 &
 //	ibsimload -addr http://127.0.0.1:8080 -c 32 -duration 5s
 //	ibsimload -json -duration 5s | jq .failures   # machine-readable report
+//
+// With -nodes the tool skips the network entirely: it boots a paper
+// fat-tree in process (prepopulated LIDs, 2 VFs per hypervisor — the
+// largest preset that fits the unicast LID space) and drives the API
+// handler directly, so the 11664-node scaling run is one command:
+//
+//	ibsimload -nodes 11664 -shards 4 -c 256 -duration 10s -json
+//	ibsimload -nodes 11664 -sweep 1,2,4,8 -c 256 -duration 10s \
+//	    -bench-out BENCH_controlplane.json   # gate: shards=4 >= 2x shards=1
+//
+// In sharded mode the report includes per-shard ops/s and queue depths,
+// and migrations prefer zone-local destinations with a seeded fraction
+// (-cross) forced across zones to exercise the two-phase path.
 package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,6 +39,7 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -44,7 +59,25 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request timeout")
 	jsonOut := flag.Bool("json", false, "write the final report as JSON to stdout (progress text moves to stderr)")
 	recGoal := flag.String("reconcile", "", "after the load run, reconcile the fleet toward this goal (defrag|spread|drain:<node>) and report the batch cost")
+	nodes := flag.Int("nodes", 0, "boot an in-process paper fat tree of this size (324|648|5832|11664) instead of driving -addr")
+	shards := flag.String("shards", "0", "in-process mode: shard the control plane (N zones, auto, 0 or 1 = single actor)")
+	queue := flag.Int("queue", api.DefaultQueueDepth, "in-process mode: admission queue depth")
+	sweep := flag.String("sweep", "", "comma-separated shard counts (e.g. 1,2,4,8): run the workload once per count on a fresh in-process fabric and gate shards=4 >= 2x shards=1")
+	benchOut := flag.String("bench-out", "", "sweep mode: write the scaling results to this JSON artifact (e.g. BENCH_controlplane.json)")
+	cross := flag.Int("cross", 8, "sharded mode: force one in N migrations cross-zone (0 = no zone preference)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	// With -json, stdout carries exactly one JSON document so CI can pipe
 	// the run straight into a parser; everything human goes to stderr.
@@ -53,34 +86,117 @@ func main() {
 		human = os.Stderr
 	}
 
-	client := &http.Client{Timeout: *timeout}
-	topo, err := fetchTopology(client, *addr)
-	if err != nil {
-		fatal(fmt.Errorf("cannot reach daemon at %s: %w", *addr, err))
-	}
-	fmt.Fprintf(human, "target: %s — %s, model=%s, %d hypervisors\n",
-		*addr, topo.Fabric, topo.Model, len(topo.Hypervisors))
-
-	coord := newCoordinator(topo.Hypervisors)
 	mix := opMix{create: *wCreate, migrate: *wMigrate, destroy: *wDestroy}
 	if mix.total() <= 0 {
 		fatal(fmt.Errorf("op mix weights sum to zero"))
 	}
+	cfg := runCfg{workers: *workers, duration: *duration, seed: *seed, mix: mix, cross: *cross}
 
-	deadline := time.Now().Add(*duration)
-	results := make([]workerStats, *workers)
+	if *sweep != "" {
+		if *nodes == 0 {
+			*nodes = 11664
+		}
+		code := runSweep(*nodes, *sweep, *queue, *timeout, cfg, *benchOut, human, *jsonOut)
+		pprof.StopCPUProfile() // flush before the explicit exit (no-op when off)
+		os.Exit(code)
+	}
+
+	target := *addr
+	var client *http.Client
+	var srv *api.Server
+	if *nodes > 0 {
+		var err error
+		srv, client, err = bootEmbedded(*nodes, *shards, *queue, *timeout, human)
+		if err != nil {
+			fatal(err)
+		}
+		target = embeddedAddr
+	} else {
+		client = &http.Client{Timeout: *timeout}
+	}
+
+	rep, total := runLoad(client, target, cfg, human)
+	if srv != nil {
+		viol, err := fullAudit(client, target)
+		if err != nil {
+			total.fail("full audit: %v", err)
+		} else {
+			rep.AuditViolations = &viol
+			if viol > 0 {
+				total.fail("full audit after load: %d violations", viol)
+			}
+		}
+	}
+	if *recGoal != "" {
+		rep.Reconcile = runReconcile(client, target, *recGoal, human)
+		if !rep.Reconcile.Converged || !rep.Reconcile.CostMatch {
+			total.failures++
+		}
+	}
+	rep.Failures = total.failures
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	}
+	if srv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		srv.Shutdown(ctx) //nolint:errcheck // exiting anyway
+		cancel()
+	}
+	if total.failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runCfg is one workload run's shape, shared by the single-run and sweep
+// entry points.
+type runCfg struct {
+	workers  int
+	duration time.Duration
+	seed     int64
+	mix      opMix
+	cross    int // 1-in-N migrations forced cross-zone (0 = no preference)
+}
+
+// runLoad drives one complete closed-loop workload against client/addr and
+// returns the report plus the merged worker stats (for callers that append
+// further failures before deciding the exit code).
+func runLoad(client *http.Client, addr string, cfg runCfg, human io.Writer) (*loadReport, *workerStats) {
+	topo, err := fetchTopology(client, addr)
+	if err != nil {
+		fatal(fmt.Errorf("cannot reach daemon at %s: %w", addr, err))
+	}
+	fmt.Fprintf(human, "target: %s — %s, model=%s, %d hypervisors",
+		addr, topo.Fabric, topo.Model, len(topo.Hypervisors))
+	if topo.Shards > 0 {
+		fmt.Fprintf(human, ", %d shards", topo.Shards)
+	}
+	fmt.Fprintln(human)
+
+	coord := newCoordinator(topo.Hypervisors, topo.Shards > 1)
+	opsBefore := map[int]uint64{}
+	for _, st := range topo.ShardStats {
+		opsBefore[st.Shard] = st.Ops
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	results := make([]workerStats, cfg.workers)
 	var wg sync.WaitGroup
 	start := time.Now()
-	for i := 0; i < *workers; i++ {
+	for i := 0; i < cfg.workers; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
 			w := &worker{
 				client: client,
-				addr:   *addr,
+				addr:   addr,
 				coord:  coord,
-				rng:    rand.New(rand.NewSource(*seed + int64(i))),
-				mix:    mix,
+				rng:    rand.New(rand.NewSource(cfg.seed + int64(i))),
+				mix:    cfg.mix,
+				cross:  cfg.cross,
 				stats:  &results[i],
 			}
 			w.run(deadline)
@@ -93,31 +209,35 @@ func main() {
 	for i := range results {
 		total.merge(&results[i])
 	}
-	ops := len(total.lat[opCreate]) + len(total.lat[opMigrate]) + len(total.lat[opDestroy])
-	fmt.Fprintf(human, "\nran %v with %d workers\n", elapsed.Round(time.Millisecond), *workers)
-	fmt.Fprintf(human, "ops: %d total, %.1f ops/s (%d failed, %d backpressure retries)\n",
-		ops, float64(ops)/elapsed.Seconds(), total.failures, total.retries)
+	rep := buildReport(cfg.workers, elapsed, cfg.duration, &total)
+	if topo.Shards > 0 {
+		if after, err := fetchTopology(client, addr); err == nil {
+			rep.Shards = after.Shards
+			for _, st := range after.ShardStats {
+				rep.PerShard = append(rep.PerShard, shardLoadReport{
+					Shard:     st.Shard,
+					Ops:       st.Ops - opsBefore[st.Shard],
+					OpsPerSec: float64(st.Ops-opsBefore[st.Shard]) / elapsed.Seconds(),
+					QueueLen:  st.QueueLen,
+				})
+			}
+		}
+	}
+
+	fmt.Fprintf(human, "\nran %v with %d workers\n", elapsed.Round(time.Millisecond), cfg.workers)
+	fmt.Fprintf(human, "ops: %d total, %d in the %v window, %.1f ops/s (%d failed, %d backpressure retries)\n",
+		rep.OpsTotal, rep.OpsInWindow, cfg.duration, rep.OpsPerSec, total.failures, total.retries)
 	for _, op := range []opKind{opCreate, opMigrate, opDestroy} {
 		printLatencies(human, op.String(), total.lat[op])
+	}
+	for _, sh := range rep.PerShard {
+		fmt.Fprintf(human, "shard %d: %d ops, %.1f ops/s, queue %d\n",
+			sh.Shard, sh.Ops, sh.OpsPerSec, sh.QueueLen)
 	}
 	for _, msg := range total.failureMsgs {
 		fmt.Fprintln(os.Stderr, "failure:", msg)
 	}
-	var rec *reconcileReport
-	if *recGoal != "" {
-		rec = runReconcile(client, *addr, *recGoal, human)
-		if !rec.Converged || !rec.CostMatch {
-			total.failures++
-		}
-	}
-	if *jsonOut {
-		if err := writeReport(os.Stdout, *workers, elapsed, &total, rec); err != nil {
-			fatal(err)
-		}
-	}
-	if total.failures > 0 {
-		os.Exit(1)
-	}
+	return rep, &total
 }
 
 // reconcileReport is the -reconcile block of the -json report: the planned
@@ -189,21 +309,35 @@ type opReport struct {
 	MaxUS int64 `json:"max_us"`
 }
 
-// loadReport is the -json document ibsimload writes to stdout: one run,
-// machine-readable, stable field names for CI assertions.
-type loadReport struct {
-	ElapsedMS   int64               `json:"elapsed_ms"`
-	Workers     int                 `json:"workers"`
-	OpsTotal    int                 `json:"ops_total"`
-	OpsPerSec   float64             `json:"ops_per_sec"`
-	Failures    int                 `json:"failures"`
-	Retries     int                 `json:"retries"`
-	PerOp       map[string]opReport `json:"per_op"`
-	FailureMsgs []string            `json:"failure_msgs,omitempty"`
-	Reconcile   *reconcileReport    `json:"reconcile,omitempty"`
+// shardLoadReport is one shard's share of the run: ops executed by its
+// actor during the run window and its queue depth at the end.
+type shardLoadReport struct {
+	Shard     int     `json:"shard"`
+	Ops       uint64  `json:"ops"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	QueueLen  int     `json:"queue_len"`
 }
 
-func writeReport(w io.Writer, workers int, elapsed time.Duration, total *workerStats, rec *reconcileReport) error {
+// loadReport is the -json document ibsimload writes to stdout: one run,
+// machine-readable, stable field names for CI assertions. Shards, PerShard
+// and AuditViolations appear only for sharded / in-process targets.
+type loadReport struct {
+	ElapsedMS       int64               `json:"elapsed_ms"`
+	Workers         int                 `json:"workers"`
+	OpsTotal        int                 `json:"ops_total"`
+	OpsInWindow     int                 `json:"ops_in_window"`
+	OpsPerSec       float64             `json:"ops_per_sec"`
+	Failures        int                 `json:"failures"`
+	Retries         int                 `json:"retries"`
+	Shards          int                 `json:"shards,omitempty"`
+	PerShard        []shardLoadReport   `json:"per_shard,omitempty"`
+	AuditViolations *int                `json:"audit_violations,omitempty"`
+	PerOp           map[string]opReport `json:"per_op"`
+	FailureMsgs     []string            `json:"failure_msgs,omitempty"`
+	Reconcile       *reconcileReport    `json:"reconcile,omitempty"`
+}
+
+func buildReport(workers int, elapsed, window time.Duration, total *workerStats) *loadReport {
 	ops := 0
 	perOp := map[string]opReport{}
 	for _, op := range []opKind{opCreate, opMigrate, opDestroy} {
@@ -219,19 +353,22 @@ func writeReport(w io.Writer, workers int, elapsed time.Duration, total *workerS
 		}
 		perOp[op.String()] = r
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(loadReport{
+	// Throughput is ops completed inside the fixed issuing window over that
+	// window, not total ops over total elapsed: workers stop issuing at the
+	// deadline but in-flight requests drain to completion, and a drain tail
+	// of deep-queued migrations would otherwise skew the denominator
+	// differently at every sweep point.
+	return &loadReport{
 		ElapsedMS:   elapsed.Milliseconds(),
 		Workers:     workers,
 		OpsTotal:    ops,
-		OpsPerSec:   float64(ops) / elapsed.Seconds(),
+		OpsInWindow: total.inWindow,
+		OpsPerSec:   float64(total.inWindow) / window.Seconds(),
 		Failures:    total.failures,
 		Retries:     total.retries,
 		PerOp:       perOp,
 		FailureMsgs: total.failureMsgs,
-		Reconcile:   rec,
-	})
+	}
 }
 
 func fetchTopology(client *http.Client, addr string) (api.TopologyResponse, error) {
@@ -292,16 +429,21 @@ type coordinator struct {
 	mu     sync.Mutex
 	freeVF map[topology.NodeID]int
 	idle   map[string]topology.NodeID
+	zone   map[topology.NodeID]int
+	zoned  bool // migrations steer by zone (sharded target with > 1 zone)
 	nextID int
 }
 
-func newCoordinator(hyps []api.HypInfo) *coordinator {
+func newCoordinator(hyps []api.HypInfo, zoned bool) *coordinator {
 	c := &coordinator{
 		freeVF: map[topology.NodeID]int{},
 		idle:   map[string]topology.NodeID{},
+		zone:   map[topology.NodeID]int{},
+		zoned:  zoned,
 	}
 	for _, h := range hyps {
 		c.freeVF[h.Node] = h.VFs - h.Attached
+		c.zone[h.Node] = h.Zone
 	}
 	return c
 }
@@ -334,18 +476,34 @@ func (c *coordinator) releaseVF(node topology.NodeID) {
 }
 
 // checkoutMigrate removes an idle VM from circulation and reserves a VF on
-// a different hypervisor.
-func (c *coordinator) checkoutMigrate() (name string, src, dst topology.NodeID, ok bool) {
+// a different hypervisor. Against a sharded target it steers by zone:
+// wantCross asks for a cross-zone destination (exercising the two-phase
+// path), otherwise zone-local ones are preferred; either way a destination
+// of the other kind serves as fallback so capacity pressure never stalls
+// the mix.
+func (c *coordinator) checkoutMigrate(wantCross bool) (name string, src, dst topology.NodeID, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for n, s := range c.idle {
+		fallback := topology.NoNode
 		for d, free := range c.freeVF {
 			if d == s || free == 0 {
+				continue
+			}
+			if c.zoned && (c.zone[d] != c.zone[s]) != wantCross {
+				if fallback == topology.NoNode {
+					fallback = d
+				}
 				continue
 			}
 			delete(c.idle, n)
 			c.freeVF[d]--
 			return n, s, d, true
+		}
+		if fallback != topology.NoNode {
+			delete(c.idle, n)
+			c.freeVF[fallback]--
+			return n, s, fallback, true
 		}
 		break // one VM tried, no destination: capacity is tight everywhere
 	}
@@ -384,6 +542,7 @@ func (c *coordinator) undoDestroy(name string, node topology.NodeID) {
 
 type workerStats struct {
 	lat         [numOps][]time.Duration
+	inWindow    int // ops that completed before the issuing deadline
 	retries     int
 	failures    int
 	failureMsgs []string
@@ -393,6 +552,7 @@ func (s *workerStats) merge(o *workerStats) {
 	for i := range s.lat {
 		s.lat[i] = append(s.lat[i], o.lat[i]...)
 	}
+	s.inWindow += o.inWindow
 	s.retries += o.retries
 	s.failures += o.failures
 	for _, m := range o.failureMsgs {
@@ -410,15 +570,30 @@ func (s *workerStats) fail(format string, args ...any) {
 }
 
 type worker struct {
-	client *http.Client
-	addr   string
-	coord  *coordinator
-	rng    *rand.Rand
-	mix    opMix
-	stats  *workerStats
+	client   *http.Client
+	addr     string
+	coord    *coordinator
+	rng      *rand.Rand
+	mix      opMix
+	cross    int // 1-in-N migrations ask for a cross-zone destination
+	stats    *workerStats
+	deadline time.Time
+}
+
+// done records one successful operation. Only ops that complete inside the
+// issuing window count toward throughput: workers stop issuing at the
+// deadline but in-flight requests are allowed to drain, and including the
+// drain tail in the denominator would turn queue-depth luck into ops/s
+// noise between sweep points.
+func (w *worker) done(op opKind, d time.Duration) {
+	w.stats.lat[op] = append(w.stats.lat[op], d)
+	if time.Now().Before(w.deadline) {
+		w.stats.inWindow++
+	}
 }
 
 func (w *worker) run(deadline time.Time) {
+	w.deadline = deadline
 	for time.Now().Before(deadline) {
 		op := w.mix.pick(w.rng)
 		if !w.attempt(op) {
@@ -450,19 +625,20 @@ func (w *worker) attempt(op opKind) bool {
 		st, body, d := w.do("POST", "/v1/vms", api.CreateVMRequest{Name: name, Hypervisor: &node})
 		if st == http.StatusCreated {
 			w.coord.commitCreate(name, node)
-			w.stats.lat[opCreate] = append(w.stats.lat[opCreate], d)
+			w.done(opCreate, d)
 		} else {
 			w.coord.releaseVF(node)
 			w.stats.fail("create %s on %d: status %d: %s", name, node, st, body)
 		}
 	case opMigrate:
-		name, src, dst, ok := w.coord.checkoutMigrate()
+		wantCross := w.cross > 0 && w.rng.Intn(w.cross) == 0
+		name, src, dst, ok := w.coord.checkoutMigrate(wantCross)
 		if !ok {
 			return false
 		}
 		st, body, d := w.do("POST", "/v1/vms/"+name+"/migrate", api.MigrateVMRequest{Destination: dst})
 		if st == http.StatusOK {
-			w.stats.lat[opMigrate] = append(w.stats.lat[opMigrate], d)
+			w.done(opMigrate, d)
 		} else {
 			w.stats.fail("migrate %s %d->%d: status %d: %s", name, src, dst, st, body)
 		}
@@ -475,7 +651,7 @@ func (w *worker) attempt(op opKind) bool {
 		st, body, d := w.do("DELETE", "/v1/vms/"+name, nil)
 		if st == http.StatusOK {
 			w.coord.releaseVF(node)
-			w.stats.lat[opDestroy] = append(w.stats.lat[opDestroy], d)
+			w.done(opDestroy, d)
 		} else {
 			w.coord.undoDestroy(name, node)
 			w.stats.fail("destroy %s: status %d: %s", name, st, body)

@@ -38,6 +38,7 @@ import (
 	"ibvsim/internal/audit"
 	"ibvsim/internal/cloud"
 	"ibvsim/internal/ib"
+	"ibvsim/internal/shard"
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
@@ -63,7 +64,18 @@ type Config struct {
 	// Logger receives structured request/mutation/audit logs. nil means
 	// discard.
 	Logger *slog.Logger
+	// Shards selects the sharded control plane: 0 or 1 runs the classic
+	// single-actor loop (one shard IS one actor owning the whole fabric —
+	// a 1-zone coordinator would add dispatch overhead and change the
+	// per-mutation audit scope without buying any isolation, so sharding
+	// begins at 2), ShardsAuto partitions one shard per pod (or leaf
+	// group on 2-level fabrics), any positive count folds the pods into
+	// that many zones. See internal/shard.
+	Shards int
 }
+
+// ShardsAuto asks Config.Shards for one shard per derived fat-tree zone.
+const ShardsAuto = -1
 
 // DefaultQueueDepth is the admission-queue bound when Config leaves it 0.
 const DefaultQueueDepth = 64
@@ -101,6 +113,11 @@ type Server struct {
 	auditStop chan struct{} // nil when no cadence goroutine is running
 	auditDone chan struct{}
 
+	// co is the sharded control plane (nil in single-actor mode). When set,
+	// the loop never starts: mutations run through the coordinator on their
+	// request goroutines, and s.snap caches the lazily composed snapshot.
+	co *shard.Coordinator
+
 	// Loop-owned state (never touched by handlers).
 	gen     uint64
 	lftRevs map[topology.NodeID]lftIdentity
@@ -114,6 +131,10 @@ type Server struct {
 
 // NewServer wraps a freshly bootstrapped cloud. The server takes exclusive
 // ownership: the caller must not call cloud methods directly afterwards.
+// With cfg.Shards > 1 (or ShardsAuto) the control plane is sharded (see
+// internal/shard);
+// an invalid shard setup (e.g. no hypervisors) panics, as it would have
+// failed cloud bootstrap anyway.
 func NewServer(c *cloud.Cloud, cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = DefaultQueueDepth
@@ -140,9 +161,17 @@ func NewServer(c *cloud.Cloud, cfg Config) *Server {
 	s.aud = audit.New(hub, s.rec, audit.Config{})
 	s.WireTransitionMonitor()
 	s.opCtx, s.opCancel = context.WithCancel(context.Background())
-	s.snap.Store(s.buildSnapshot(nil))
 	s.routes()
-	go s.loop()
+	if cfg.Shards != 0 && cfg.Shards != 1 {
+		if err := s.startSharded(cfg.Shards, cfg.QueueDepth); err != nil {
+			panic(fmt.Sprintf("api: sharded control plane: %v", err))
+		}
+		close(s.loopDone) // no loop in sharded mode
+		s.compose()
+	} else {
+		s.snap.Store(s.buildSnapshot(nil))
+		go s.loop()
+	}
 	if cfg.AuditInterval > 0 {
 		s.auditStop = make(chan struct{})
 		s.auditDone = make(chan struct{})
@@ -244,6 +273,20 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 // --- read endpoints -------------------------------------------------------
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.co != nil {
+		vms := 0
+		for _, sn := range s.co.Snaps() {
+			vms += len(sn.VMs)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":     "ok",
+			"generation": s.co.Gen(),
+			"queue":      s.co.QueueLen(),
+			"vms":        vms,
+			"shards":     s.co.Shards(),
+		})
+		return
+	}
 	sn := s.snap.Load()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
@@ -273,7 +316,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// TopologyResponse describes the fabric being served.
+// TopologyResponse describes the fabric being served. Shards and
+// ShardStats appear only in sharded mode.
 type TopologyResponse struct {
 	Fabric      string          `json:"fabric"`
 	Switches    int             `json:"switches"`
@@ -281,12 +325,14 @@ type TopologyResponse struct {
 	Model       string          `json:"model"`
 	SMNode      topology.NodeID `json:"sm_node"`
 	Generation  uint64          `json:"generation"`
+	Shards      int             `json:"shards,omitempty"`
+	ShardStats  []shard.Stats   `json:"shard_stats,omitempty"`
 	Hypervisors []HypInfo       `json:"hypervisors"`
 }
 
 func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
-	writeJSON(w, http.StatusOK, TopologyResponse{
+	sn := s.snapshot()
+	resp := TopologyResponse{
 		Fabric:      sn.Fabric,
 		Switches:    len(sn.topo.Switches()),
 		CAs:         len(sn.topo.CAs()),
@@ -294,11 +340,16 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 		SMNode:      sn.SMNode,
 		Generation:  sn.Gen,
 		Hypervisors: sn.Hyps,
-	})
+	}
+	if s.co != nil {
+		resp.Shards = s.co.Shards()
+		resp.ShardStats = s.co.Stats()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleListVMs(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
+	sn := s.snapshot()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"generation": sn.Gen,
 		"vms":        sn.VMs,
@@ -306,7 +357,7 @@ func (s *Server) handleListVMs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleGetVM(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
+	sn := s.snapshot()
 	name := r.PathValue("name")
 	for i := range sn.VMs {
 		if sn.VMs[i].Name == name {
@@ -318,7 +369,7 @@ func (s *Server) handleGetVM(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePath(w http.ResponseWriter, r *http.Request) {
-	sn := s.snap.Load()
+	sn := s.snapshot()
 	resp, err := sn.Path(r.PathValue("src"), r.PathValue("dst"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)
@@ -346,6 +397,10 @@ func (s *Server) handleCreateVM(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing VM name")
 		return
 	}
+	if s.co != nil {
+		s.shardCreate(w, r, req)
+		return
+	}
 	cmd := &command{kind: opCreateVM, name: req.Name}
 	if req.Hypervisor != nil {
 		cmd.hyp = *req.Hypervisor
@@ -356,6 +411,10 @@ func (s *Server) handleCreateVM(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDestroyVM(w http.ResponseWriter, r *http.Request) {
+	if s.co != nil {
+		s.shardDestroy(w, r, r.PathValue("name"))
+		return
+	}
 	s.enqueue(w, r, &command{kind: opDestroyVM, name: r.PathValue("name")})
 }
 
@@ -370,10 +429,21 @@ func (s *Server) handleMigrateVM(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
+	if s.co != nil {
+		s.shardMigrate(w, r, r.PathValue("name"), req.Destination)
+		return
+	}
 	s.enqueue(w, r, &command{kind: opMigrateVM, name: r.PathValue("name"), hyp: req.Destination})
 }
 
 func (s *Server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	if s.co != nil {
+		// Full rerouting needs the whole fabric quiesced: freeze every
+		// shard, reroute, resync (a reroute does not move VMs, but the
+		// composed snapshot must pick up the new tables via a fresh gen).
+		s.runFrozen(w, &command{kind: opReconfigure, reqID: requestID(r)}, true)
+		return
+	}
 	s.enqueue(w, r, &command{kind: opReconfigure})
 }
 
@@ -428,6 +498,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = ctx.Err()
 		s.opCancel()
 		<-s.loopDone
+	}
+	if s.co != nil {
+		if e := s.co.Shutdown(ctx); e != nil && err == nil {
+			err = e
+		}
 	}
 	if s.auditDone != nil {
 		<-s.auditDone

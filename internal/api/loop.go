@@ -8,7 +8,9 @@ import (
 	"time"
 
 	"ibvsim/internal/audit"
+	"ibvsim/internal/ib"
 	"ibvsim/internal/reconcile"
+	"ibvsim/internal/sriov"
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
@@ -56,6 +58,17 @@ func (k opKind) opName() string {
 type cmdReply struct {
 	status int
 	body   any
+	// auditLIDs are the LID columns the command touched; the loop audits
+	// exactly these after the mutation (auditOpScoped) instead of walking
+	// the whole fabric. Failed migrations still carry the VM's LID — a
+	// half-applied reconfiguration strands precisely that column, and the
+	// audit must flag it before the client sees the error.
+	auditLIDs []ib.LID
+	auditVMs  []audit.VMBinding
+	// auditFull asks for the fabric-wide fast pass instead: set by the
+	// fabric-wide commands (reconfigure, reconcile), whose touched set is
+	// the whole fabric.
+	auditFull bool
 }
 
 // CostReport states what one operation cost the fabric, in the paper's
@@ -146,7 +159,11 @@ func (s *Server) loop() {
 			"op", cmd.kind.opName(), "name", cmd.name, "request_id", cmd.reqID,
 			"status", rep.status, "generation", sn.Gen,
 			"duration", time.Since(start).Round(time.Microsecond))
-		s.auditAfterMutation(sn)
+		if rep.auditFull {
+			s.auditAfterMutation(sn)
+		} else {
+			s.auditOpScoped(sn.Gen, rep.auditLIDs, rep.auditVMs)
+		}
 		cmd.reply <- rep
 	}
 	depth.Set(0)
@@ -170,32 +187,61 @@ func (s *Server) execute(cmd *command) cmdReply {
 		if n := s.c.SM.Topo.Node(vm.Hyp); n != nil {
 			hypDesc = n.Desc
 		}
-		return cmdReply{http.StatusCreated, VMResponse{
-			VMInfo: VMInfo{
-				Name:    vm.Name,
-				Node:    vm.Hyp,
-				HypDesc: hypDesc,
-				VF:      vm.VF,
-				LID:     uint16(vm.Addr.LID),
-				GUID:    vm.Addr.GUID.String(),
-				GID:     vm.Addr.GID.String(),
+		return cmdReply{
+			status: http.StatusCreated,
+			body: VMResponse{
+				VMInfo: VMInfo{
+					Name:    vm.Name,
+					Node:    vm.Hyp,
+					HypDesc: hypDesc,
+					VF:      vm.VF,
+					LID:     uint16(vm.Addr.LID),
+					GUID:    vm.Addr.GUID.String(),
+					GID:     vm.Addr.GID.String(),
+				},
+				Cost: s.costFromWindow(before),
 			},
-			Cost: s.costFromWindow(before),
-		}}
+			auditLIDs: []ib.LID{vm.Addr.LID},
+			auditVMs:  []audit.VMBinding{{Name: vm.Name, LID: vm.Addr.LID, Hyp: vm.Hyp}},
+		}
 
 	case opDestroyVM:
+		var freedLID ib.LID
+		if vm := s.c.VM(cmd.name); vm != nil {
+			freedLID = vm.Addr.LID
+		}
 		if err := s.c.DestroyVM(cmd.name); err != nil {
 			return errReply(err)
 		}
-		return cmdReply{http.StatusOK, DestroyResponse{
+		r := cmdReply{status: http.StatusOK, body: DestroyResponse{
 			Name: cmd.name,
 			Cost: s.costFromWindow(before),
 		}}
+		// Under prepopulated LIDs the VF keeps its LID after teardown, so
+		// the freed column is still auditable; under dynamic assignment the
+		// LID is gone and there is no column left to check.
+		if s.c.Model == sriov.VSwitchPrepopulated && freedLID != ib.LIDUnassigned {
+			r.auditLIDs = []ib.LID{freedLID}
+		}
+		return r
 
 	case opMigrateVM:
+		var vmLID ib.LID
+		var srcHyp topology.NodeID
+		srcVF := -1
+		if vm := s.c.VM(cmd.name); vm != nil {
+			vmLID, srcHyp, srcVF = vm.Addr.LID, vm.Hyp, vm.VF
+		}
 		rep, err := s.c.MigrateVM(cmd.name, cmd.hyp)
 		if err != nil {
-			return errReply(err)
+			r := errReply(err)
+			// A failed migration may have half-applied its plan (e.g. the
+			// invalidation pre-pass landed and the updates died), stranding
+			// exactly the VM's column — audit it before the client hears.
+			if vmLID != ib.LIDUnassigned {
+				r.auditLIDs = []ib.LID{vmLID}
+			}
+			return r
 		}
 		cost := s.costFromWindow(before)
 		// The migration report is authoritative; the span window fills in
@@ -206,15 +252,28 @@ func (s *Server) execute(cmd *command) cmdReply {
 		cost.HostSMPs = rep.HostSMPs
 		cost.ModelledUS = rep.Plan.ModelledTime.Microseconds()
 		vm := s.c.VM(cmd.name)
-		return cmdReply{http.StatusOK, MigrateResponse{
-			Name:             cmd.name,
-			From:             rep.From,
-			To:               rep.To,
-			LID:              uint16(vm.Addr.LID),
-			AddressesChanged: rep.AddressesChanged,
-			DowntimeUS:       rep.Downtime.Microseconds(),
-			Cost:             cost,
-		}}
+		lids := []ib.LID{vm.Addr.LID}
+		// Under the prepopulated swap the source VF now holds the partner
+		// column of the exchange — both changed, audit both.
+		if s.c.Model == sriov.VSwitchPrepopulated && srcVF >= 0 {
+			if h := s.c.Hypervisor(srcHyp); h != nil && srcVF < len(h.HCA.VFs) {
+				lids = append(lids, h.HCA.VFs[srcVF].LID)
+			}
+		}
+		return cmdReply{
+			status: http.StatusOK,
+			body: MigrateResponse{
+				Name:             cmd.name,
+				From:             rep.From,
+				To:               rep.To,
+				LID:              uint16(vm.Addr.LID),
+				AddressesChanged: rep.AddressesChanged,
+				DowntimeUS:       rep.Downtime.Microseconds(),
+				Cost:             cost,
+			},
+			auditLIDs: lids,
+			auditVMs:  []audit.VMBinding{{Name: vm.Name, LID: vm.Addr.LID, Hyp: vm.Hyp}},
+		}
 
 	case opReconfigure:
 		rs, ds, err := s.c.SM.ReconfigureCtx(s.opCtx)
@@ -233,17 +292,21 @@ func (s *Server) execute(cmd *command) cmdReply {
 		}
 		if errors.Is(err, context.Canceled) {
 			resp.Cancelled = true
-			return cmdReply{http.StatusServiceUnavailable, resp}
+			return cmdReply{status: http.StatusServiceUnavailable, body: resp, auditFull: true}
 		}
 		if err != nil {
-			return errReply(err)
+			r := errReply(err)
+			r.auditFull = true
+			return r
 		}
-		return cmdReply{http.StatusOK, resp}
+		return cmdReply{status: http.StatusOK, body: resp, auditFull: true}
 
 	case opReconcile:
-		return s.execReconcile(cmd)
+		r := s.execReconcile(cmd)
+		r.auditFull = true
+		return r
 	}
-	return cmdReply{http.StatusInternalServerError, map[string]string{"error": "unknown command"}}
+	return cmdReply{status: http.StatusInternalServerError, body: map[string]string{"error": "unknown command"}}
 }
 
 // costFromWindow derives a cost report from the spans the operation just
@@ -272,7 +335,7 @@ func (s *Server) costFromWindow(before int) CostReport {
 }
 
 func errReply(err error) cmdReply {
-	return cmdReply{classifyErr(err), map[string]string{"error": err.Error()}}
+	return cmdReply{status: classifyErr(err), body: map[string]string{"error": err.Error()}}
 }
 
 // classifyErr maps the cloud's error vocabulary onto HTTP statuses. The
@@ -283,6 +346,7 @@ func classifyErr(err error) int {
 	switch {
 	case strings.Contains(msg, "already exists"),
 		strings.Contains(msg, "is already on node"),
+		strings.Contains(msg, "is busy"),
 		strings.Contains(msg, "free VF"):
 		return http.StatusConflict
 	case strings.Contains(msg, "no VM "):

@@ -82,7 +82,16 @@ func (s *Server) handleReconcile(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.enqueue(w, r, &command{kind: opReconcile, name: string(spec.Goal), spec: spec, dryRun: req.DryRun})
+	cmd := &command{kind: opReconcile, name: string(spec.Goal), spec: spec, dryRun: req.DryRun}
+	if s.co != nil {
+		// Reconciliation waves move VMs without going through the shards, so
+		// the whole run executes under a coordinator freeze; each wave
+		// resyncs the shards itself (see snapAudit), so no final resync.
+		cmd.reqID = requestID(r)
+		s.runFrozen(w, cmd, false)
+		return
+	}
+	s.enqueue(w, r, cmd)
 }
 
 // costFromStep converts a predicted StepCost into the wire vocabulary.
@@ -140,7 +149,7 @@ func (s *Server) execReconcile(cmd *command) cmdReply {
 	span.SetModelled(plan.Total.Modelled)
 
 	if cmd.dryRun || plan.Converged {
-		return cmdReply{http.StatusOK, resp}
+		return cmdReply{status: http.StatusOK, body: resp}
 	}
 
 	var total CostReport
@@ -149,16 +158,14 @@ func (s *Server) execReconcile(cmd *command) cmdReply {
 		wr, werr := s.c.MigrateWave(wave)
 		// Publish what the wave did (even a failed wave may have moved VMs
 		// before erroring) and gate on the fast audit before continuing.
-		sn := s.buildSnapshot(s.snap.Load())
-		s.snap.Store(sn)
-		resp.Generation = sn.Gen
-		viol := s.auditAfterMutation(sn)
+		gen, viol := s.snapAudit()
+		resp.Generation = gen
 		resp.AuditViolations += viol
 		if werr != nil {
 			resp.Aborted = true
 			resp.Error = werr.Error()
 			resp.AppliedTotal = &total
-			return cmdReply{classifyErr(werr), resp}
+			return cmdReply{status: classifyErr(werr), body: resp}
 		}
 		applied := s.costFromWindow(before)
 		applied.SwitchesUpdated = wr.Plan.SwitchesUpdated
@@ -177,7 +184,7 @@ func (s *Server) execReconcile(cmd *command) cmdReply {
 			resp.Aborted = true
 			resp.Error = "fast audit found violations; remaining waves aborted"
 			resp.AppliedTotal = &total
-			return cmdReply{http.StatusInternalServerError, resp}
+			return cmdReply{status: http.StatusInternalServerError, body: resp}
 		}
 	}
 	resp.AppliedTotal = &total
@@ -186,5 +193,5 @@ func (s *Server) execReconcile(cmd *command) cmdReply {
 	if again, err := p.Plan(cmd.spec); err == nil {
 		resp.Converged = again.Converged
 	}
-	return cmdReply{http.StatusOK, resp}
+	return cmdReply{status: http.StatusOK, body: resp}
 }

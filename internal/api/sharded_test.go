@@ -1,0 +1,212 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"ibvsim/internal/cloud"
+	"ibvsim/internal/routing"
+	"ibvsim/internal/sriov"
+	"ibvsim/internal/topology"
+)
+
+// newShardedServer boots a 324-node paper fat tree (prepopulated, 2 VFs per
+// hypervisor) behind a sharded Server.
+func newShardedServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	topo, err := topology.BuildPaperFatTree(324)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := routing.New("minhop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cas := topo.CAs()
+	c, _, err := cloud.New(topo, cas[0], cas[1:], cloud.Config{
+		Model:            sriov.VSwitchPrepopulated,
+		VFsPerHypervisor: 2,
+		Engine:           eng,
+		Scheduler:        cloud.Spread{},
+		RouteWorkers:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(c, cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Shutdown(context.Background()) //nolint:errcheck
+	})
+	return srv, ts
+}
+
+// TestShardedEndpoints exercises the full endpoint surface in sharded mode:
+// every response shape matches single-actor mode, the topology reports
+// per-shard stats and zones, and cross-shard migration keeps the audit clean.
+func TestShardedEndpoints(t *testing.T) {
+	_, ts := newShardedServer(t, Config{Shards: 2})
+	client := ts.Client()
+
+	var topoResp TopologyResponse
+	if st := doJSON(t, client, "GET", ts.URL+"/v1/topology", nil, &topoResp); st != http.StatusOK {
+		t.Fatalf("topology: status %d", st)
+	}
+	if topoResp.Shards != 2 || len(topoResp.ShardStats) != 2 {
+		t.Fatalf("topology shards = %d, stats = %d, want 2/2", topoResp.Shards, len(topoResp.ShardStats))
+	}
+	// Find one hypervisor per zone for an explicit cross-shard migration.
+	byZone := map[int]topology.NodeID{}
+	for _, h := range topoResp.Hypervisors {
+		if _, ok := byZone[h.Zone]; !ok {
+			byZone[h.Zone] = h.Node
+		}
+	}
+	if len(byZone) != 2 {
+		t.Fatalf("hypervisors span %d zones, want 2", len(byZone))
+	}
+
+	var created VMResponse
+	req := CreateVMRequest{Name: "vm0", Hypervisor: ptr(byZone[0])}
+	if st := doJSON(t, client, "POST", ts.URL+"/v1/vms", req, &created); st != http.StatusCreated {
+		t.Fatalf("create: status %d", st)
+	}
+	if created.Node != byZone[0] {
+		t.Fatalf("created on node %d, want %d", created.Node, byZone[0])
+	}
+
+	var mig MigrateResponse
+	if st := doJSON(t, client, "POST", ts.URL+"/v1/vms/vm0/migrate",
+		MigrateVMRequest{Destination: byZone[1]}, &mig); st != http.StatusOK {
+		t.Fatalf("cross-shard migrate: status %d", st)
+	}
+	if mig.To != byZone[1] {
+		t.Fatalf("migrated to %d, want %d", mig.To, byZone[1])
+	}
+	if mig.Cost.SwitchesUpdated == 0 {
+		t.Fatal("cross-shard migrate cost report is empty")
+	}
+
+	var got VMInfo
+	if st := doJSON(t, client, "GET", ts.URL+"/v1/vms/vm0", nil, &got); st != http.StatusOK || got.Node != byZone[1] {
+		t.Fatalf("get after migrate: status %d node %d", st, got.Node)
+	}
+
+	var audit map[string]any
+	if st := doJSON(t, client, "GET", ts.URL+"/v1/audit?run=full", nil, &audit); st != http.StatusOK {
+		t.Fatalf("audit: status %d", st)
+	}
+	if v := audit["violations_total"]; v != float64(0) {
+		t.Fatalf("audit violations = %v, want 0", v)
+	}
+
+	var health map[string]any
+	if st := doJSON(t, client, "GET", ts.URL+"/healthz", nil, &health); st != http.StatusOK {
+		t.Fatalf("healthz: status %d", st)
+	}
+	if health["shards"] != float64(2) {
+		t.Fatalf("healthz shards = %v, want 2", health["shards"])
+	}
+
+	if st := doJSON(t, client, "DELETE", ts.URL+"/v1/vms/vm0", nil, nil); st != http.StatusOK {
+		t.Fatalf("destroy: status %d", st)
+	}
+	// Duplicate destroy surfaces 404 through the shard error mapping.
+	if st := doJSON(t, client, "DELETE", ts.URL+"/v1/vms/vm0", nil, nil); st != http.StatusNotFound {
+		t.Fatalf("double destroy: status %d, want 404", st)
+	}
+}
+
+// TestShardedBackpressure429 pins the queue-saturation contract: a saturated
+// shard queue answers 429 with a Retry-After header instead of blocking.
+func TestShardedBackpressure429(t *testing.T) {
+	srv, ts := newShardedServer(t, Config{Shards: 2, QueueDepth: 1})
+	client := ts.Client()
+	co := srv.Coordinator()
+	hyp := co.Part.Zones[0].Hyps[0]
+
+	frozen := make(chan struct{})
+	thaw := make(chan struct{})
+	go co.Freeze(func() { close(frozen); <-thaw }) //nolint:errcheck
+	<-frozen
+
+	firstDone := make(chan int, 1)
+	go func() {
+		st, _ := doJSONE(client, "POST", ts.URL+"/v1/vms", CreateVMRequest{Name: "a", Hypervisor: ptr(hyp)}, nil)
+		firstDone <- st
+	}()
+	deadline := time.After(5 * time.Second)
+	for co.QueueLen() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("first create never queued")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	reqBody := CreateVMRequest{Name: "b", Hypervisor: ptr(hyp)}
+	resp := doRaw(t, client, "POST", ts.URL+"/v1/vms", reqBody)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated create: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+
+	close(thaw)
+	if st := <-firstDone; st != http.StatusCreated {
+		t.Fatalf("queued create after thaw: status %d", st)
+	}
+}
+
+// TestShardedReconfigure runs a fabric-wide reroute under the coordinator
+// freeze and checks reads pick up the new generation.
+func TestShardedReconfigure(t *testing.T) {
+	_, ts := newShardedServer(t, Config{Shards: 2})
+	client := ts.Client()
+
+	var before TopologyResponse
+	doJSON(t, client, "GET", ts.URL+"/v1/topology", nil, &before)
+
+	var rec map[string]any
+	if st := doJSON(t, client, "POST", ts.URL+"/v1/reconfigure", map[string]string{"engine": "minhop"}, &rec); st != http.StatusOK {
+		t.Fatalf("reconfigure: status %d: %v", st, rec)
+	}
+
+	var after TopologyResponse
+	doJSON(t, client, "GET", ts.URL+"/v1/topology", nil, &after)
+	if after.Generation <= before.Generation {
+		t.Fatalf("generation %d after reconfigure, want > %d", after.Generation, before.Generation)
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// doRaw issues one JSON request and returns the raw response (body closed),
+// for tests that need response headers.
+func doRaw(t *testing.T, client *http.Client, method, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(method, url, bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp
+}

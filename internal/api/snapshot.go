@@ -19,13 +19,15 @@ type VMInfo struct {
 	GID     string          `json:"gid,omitempty"`
 }
 
-// HypInfo is one hypervisor in a snapshot.
+// HypInfo is one hypervisor in a snapshot. Zone is the owning shard's zone
+// in sharded mode (always 0 — and omitted — in single-actor mode).
 type HypInfo struct {
 	Node     topology.NodeID `json:"node"`
 	Desc     string          `json:"desc"`
 	LID      uint16          `json:"lid"`
 	VFs      int             `json:"vfs"`
 	Attached int             `json:"attached"`
+	Zone     int             `json:"zone,omitempty"`
 }
 
 // Snapshot is an immutable view of the fabric at one generation, published
@@ -67,29 +69,28 @@ func (s *Server) buildSnapshot(prev *Snapshot) *Snapshot {
 	s.gen++
 	topo := s.c.SM.Topo
 	sn := &Snapshot{
-		Gen:       s.gen,
-		Fabric:    topo.String(),
-		Model:     s.c.Model.String(),
-		SMNode:    s.c.SM.SMNode,
-		topo:      topo,
-		lidOf:     map[topology.NodeID]ib.LID{},
-		nodeOfLID: map[ib.LID]topology.NodeID{},
+		Gen:    s.gen,
+		Fabric: topo.String(),
+		Model:  s.c.Model.String(),
+		SMNode: s.c.SM.SMNode,
+		topo:   topo,
+		lidOf:  map[topology.NodeID]ib.LID{},
+		// One pass over the SM's address maps. The per-node alternative
+		// (ExtraLIDsOf for every CA) rescans the whole extra-LID map per
+		// node — O(CAs x LIDs) per snapshot, which at 10^4 nodes turned
+		// every mutation into seconds of map iteration.
+		nodeOfLID: s.c.SM.AddressView(),
 		lfts:      map[topology.NodeID]*ib.LFT{},
 	}
 
 	for _, id := range topo.Switches() {
 		if lid := s.c.SM.LIDOf(id); lid != ib.LIDUnassigned {
 			sn.lidOf[id] = lid
-			sn.nodeOfLID[lid] = id
 		}
 	}
 	for _, id := range topo.CAs() {
 		if lid := s.c.SM.LIDOf(id); lid != ib.LIDUnassigned {
 			sn.lidOf[id] = lid
-			sn.nodeOfLID[lid] = id
-		}
-		for _, lid := range s.c.SM.ExtraLIDsOf(id) {
-			sn.nodeOfLID[lid] = id
 		}
 	}
 

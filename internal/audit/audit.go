@@ -67,12 +67,21 @@ const (
 	// ScopeFull adds the deadlock check (CDG of the installed routing),
 	// which walks every (destination, switch) pair. Run on a cadence.
 	ScopeFull
+	// ScopeReach runs reachability and the VM-binding checks but skips the
+	// stale-entry sweep (which walks every switch × every LID and needs a
+	// complete LID map). It is the op-scoped pass sharded control planes
+	// run after each mutation, with ActiveLIDs = just the LID columns the
+	// op touched; fabric-wide hygiene runs at quiesce points instead.
+	ScopeReach
 )
 
 // String implements fmt.Stringer.
 func (s Scope) String() string {
-	if s == ScopeFull {
+	switch s {
+	case ScopeFull:
 		return "full"
+	case ScopeReach:
+		return "reach"
 	}
 	return "fast"
 }
@@ -161,7 +170,10 @@ func (a *Auditor) Run(v *View, scope Scope) *Report {
 	c.max = a.cfg.MaxViolations
 
 	checkReachability(v, &c)
-	checkHygiene(v, &c)
+	checkBindings(v, &c)
+	if scope != ScopeReach {
+		checkStaleEntries(v, &c)
+	}
 	if scope == ScopeFull {
 		checkInstalledCDG(v, &c)
 	}

@@ -18,13 +18,27 @@ type View struct {
 	// LFTs holds the programmed forwarding table of each switch. A missing
 	// or nil entry means the switch forwards nothing.
 	LFTs map[topology.NodeID]*ib.LFT
-	// NodeOfLID maps every owned LID (base and extra/VF) to its node.
+	// LFTOf, when non-nil, overrides LFTs lookups. Sharded control planes
+	// set it to the SM's live (atomically published, immutable) active
+	// tables so an op-scoped pass needs no per-run map materialisation.
+	LFTOf func(topology.NodeID) *ib.LFT
+	// NodeOfLID maps every owned LID (base and extra/VF) to its node. An
+	// op-scoped (ScopeReach) view may carry only the LIDs it audits.
 	NodeOfLID map[ib.LID]topology.NodeID
 	// ActiveLIDs are the destinations whose reachability the audit proves:
-	// switch LIDs, PF base LIDs and VF LIDs with a VM behind them.
+	// switch LIDs, PF base LIDs and VF LIDs with a VM behind them — or,
+	// for an op-scoped pass, just the LID columns one mutation touched.
 	ActiveLIDs []ib.LID
 	// VMs are the control plane's VM→(LID, hypervisor) bindings.
 	VMs []VMBinding
+}
+
+// lft resolves one switch's table through LFTOf or the LFTs map.
+func (v *View) lft(sw topology.NodeID) *ib.LFT {
+	if v.LFTOf != nil {
+		return v.LFTOf(sw)
+	}
+	return v.LFTs[sw]
 }
 
 // NodeOf implements cdg.LFTRoutes for the view's LID map.
@@ -37,7 +51,7 @@ func (v *View) NodeOf(l ib.LID) topology.NodeID {
 
 // SwitchRoute implements cdg.LFTRoutes over the view's LFT clones.
 func (v *View) SwitchRoute(sw topology.NodeID, dlid ib.LID) ib.PortNum {
-	lft := v.LFTs[sw]
+	lft := v.lft(sw)
 	if lft == nil {
 		return ib.DropPort
 	}
@@ -71,25 +85,28 @@ const stateVisiting = Kind("__visiting") // DFS grey marker, never reported
 // so a memoised DFS classifies all switches in O(#switches) and the pass
 // overall is O(#LIDs × #switches).
 func checkReachability(v *View, c *collector) {
-	// The fabric entry switch of every node that sources traffic: a CA
-	// injects at its leaf switch, a switch sources SMPs at itself.
-	entryOf := map[topology.NodeID]topology.NodeID{}
+	// The fabric entry switches of the nodes that source traffic: a CA
+	// injects at its leaf switch, a switch sources SMPs at itself. Distinct
+	// entry switches are what the DFS classifies, so deduplicating here
+	// (many CAs share one leaf) shrinks the per-destination loop from
+	// O(#nodes) to O(#switches) without changing the violation set — every
+	// path to a CA destination transits its leaf, so the destination's own
+	// entry switch is classified either way.
+	entrySet := map[topology.NodeID]bool{}
 	for _, dlid := range v.ActiveLIDs {
 		node, ok := v.NodeOfLID[dlid]
-		if !ok {
-			continue
-		}
-		if _, seen := entryOf[node]; seen {
-			continue
-		}
-		if v.Topo.Node(node) == nil {
+		if !ok || v.Topo.Node(node) == nil {
 			continue
 		}
 		if v.Topo.Node(node).IsSwitch() {
-			entryOf[node] = node
+			entrySet[node] = true
 		} else if leaf := v.Topo.LeafSwitchOf(node); leaf != topology.NoNode {
-			entryOf[node] = leaf
+			entrySet[leaf] = true
 		}
+	}
+	entries := make([]topology.NodeID, 0, len(entrySet))
+	for e := range entrySet {
+		entries = append(entries, e)
 	}
 
 	state := map[topology.NodeID]swState{}
@@ -101,10 +118,7 @@ func checkReachability(v *View, c *collector) {
 		}
 		clear(state)
 		reported := map[topology.NodeID]bool{} // one violation per (dlid, origin)
-		for src, entry := range entryOf {
-			if src == dst {
-				continue
-			}
+		for _, entry := range entries {
 			st := classify(v, dlid, dst, entry, state)
 			if st.kind == "" || reported[st.origin] {
 				continue
@@ -138,7 +152,7 @@ func classify(v *View, dlid ib.LID, dst, sw topology.NodeID, state map[topology.
 	state[sw] = swState{kind: stateVisiting}
 
 	st := func() swState {
-		lft := v.LFTs[sw]
+		lft := v.lft(sw)
 		if lft == nil {
 			return swState{kind: KindBlackhole, origin: sw, msg: "switch has no programmed LFT"}
 		}
@@ -170,13 +184,14 @@ func classify(v *View, dlid ib.LID, dst, sw topology.NodeID, state map[topology.
 	return st
 }
 
-// checkHygiene proves invariant family (b): the forwarding state, the LID
-// address map and the VM bindings agree.
-func checkHygiene(v *View, c *collector) {
-	// Every non-drop forwarding entry must point at a LID somebody owns;
-	// anything else is a leaked route (e.g. left behind by a migration).
+// checkStaleEntries proves the forwarding half of invariant family (b):
+// every non-drop forwarding entry must point at a LID somebody owns;
+// anything else is a leaked route (e.g. left behind by a migration). It
+// walks every switch × every LID and therefore needs a complete NodeOfLID
+// map — op-scoped (ScopeReach) passes skip it.
+func checkStaleEntries(v *View, c *collector) {
 	for _, sw := range v.Topo.Switches() {
-		lft := v.LFTs[sw]
+		lft := v.lft(sw)
 		if lft == nil {
 			continue
 		}
@@ -191,9 +206,12 @@ func checkHygiene(v *View, c *collector) {
 			}
 		}
 	}
+}
 
-	// VM bindings: each VM's LID must be owned by its hypervisor, and no
-	// two VMs may claim the same LID.
+// checkBindings proves the addressing half of invariant family (b): each
+// VM's LID must be owned by its hypervisor, and no two VMs may claim the
+// same LID.
+func checkBindings(v *View, c *collector) {
 	byLID := map[ib.LID]string{}
 	for _, vm := range v.VMs {
 		if prev, dup := byLID[vm.LID]; dup {
@@ -226,7 +244,7 @@ func checkHygiene(v *View, c *collector) {
 // spine to spine through a leaf) legally violate up/down ordering, so
 // including them would flag every fat-tree as deadlocked.
 func checkInstalledCDG(v *View, c *collector) {
-	g := cdg.BuildFromLFTs(v.Topo, v, dataLIDs(v.Topo, v.ActiveLIDs, v.NodeOf))
+	g := cdg.BuildSwitchCDG(v.Topo, v, dataLIDs(v.Topo, v.ActiveLIDs, v.NodeOf))
 	if cyc := g.FindCycle(); cyc != nil {
 		c.add(Violation{
 			Kind:   KindDeadlock,

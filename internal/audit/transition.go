@@ -50,8 +50,11 @@ func (a *Auditor) CheckTransition(t *topology.Topology, old, target map[topology
 	c.max = a.cfg.MaxViolations
 
 	dlids = dataLIDs(t, dlids, nodeOf)
-	gOld := cdg.BuildFromLFTs(t, mapRoutes{old, nodeOf}, dlids)
-	gNew := cdg.BuildFromLFTs(t, mapRoutes{target, nodeOf}, dlids)
+	// The switch-only builder: cycle verdicts are identical (CA injection
+	// channels are sources) and this check runs on every distribution
+	// fan-out, so its cost matters at scale.
+	gOld := cdg.BuildSwitchCDG(t, mapRoutes{old, nodeOf}, dlids)
+	gNew := cdg.BuildSwitchCDG(t, mapRoutes{target, nodeOf}, dlids)
 	union := cdg.Union(gOld, gNew)
 	span.SetAttr("old_edges", gOld.NumEdges())
 	span.SetAttr("new_edges", gNew.NumEdges())

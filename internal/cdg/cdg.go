@@ -288,3 +288,54 @@ func BuildFromLFTs(t *topology.Topology, r LFTRoutes, dlids []ib.LID) *Graph {
 	}
 	return g
 }
+
+// BuildSwitchCDG constructs the switch-to-switch restriction of the same
+// CDG: it omits CA injection channels, which have no incoming dependencies
+// and therefore can never lie on a cycle. Any caller that only consults the
+// graph for cycles (FindCycle, the transition union check) gets identical
+// verdicts from this builder.
+//
+// The build follows each switch's egress channel forward to its successor
+// — two route lookups per (destination, switch) instead of BuildFromLFTs's
+// scan of every port of every switch per destination. On the 11664-node
+// fabric (13k destinations × 1620 switches × 36 ports) that asymptotic cut
+// plus the elimination of ~136M CA-edge insertions turns the full-scope
+// audit's CDG pass from minutes into seconds.
+func BuildSwitchCDG(t *topology.Topology, r LFTRoutes, dlids []ib.LID) *Graph {
+	g := NewGraph()
+	sws := t.Switches()
+	for _, dlid := range dlids {
+		dst := r.NodeOf(dlid)
+		if dst == topology.NoNode {
+			continue
+		}
+		for _, swID := range sws {
+			if swID == dst {
+				continue
+			}
+			out := r.SwitchRoute(swID, dlid)
+			if out == ib.DropPort || out == 0 {
+				continue
+			}
+			sw := t.Node(swID)
+			if int(out) >= len(sw.Ports) {
+				continue
+			}
+			p := sw.Ports[out]
+			if p.Peer == topology.NoNode || !p.Up || p.Peer == dst {
+				continue
+			}
+			peer := t.Node(p.Peer)
+			if !peer.IsSwitch() {
+				continue
+			}
+			out2 := r.SwitchRoute(p.Peer, dlid)
+			if out2 == ib.DropPort || out2 == 0 ||
+				int(out2) >= len(peer.Ports) || peer.Ports[out2].Peer == topology.NoNode {
+				continue
+			}
+			g.AddDep(Channel{Node: swID, Port: out}, Channel{Node: p.Peer, Port: out2})
+		}
+	}
+	return g
+}

@@ -250,6 +250,92 @@ func TestBuildFromLFTsStarAcyclic(t *testing.T) {
 	}
 }
 
+// TestBuildSwitchCDGCycleEquivalence pins the contract BuildSwitchCDG is
+// allowed to exist under: identical cycle verdicts to the complete graph,
+// with the switch-to-switch edge set being exactly the complete graph's
+// edges minus those sourced at CA injection channels.
+func TestBuildSwitchCDGCycleEquivalence(t *testing.T) {
+	// Cyclic fixture: the clockwise ring.
+	topo, err := topology.BuildRing(4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &ringRoutes{
+		topo: topo,
+		cas:  map[ib.LID]topology.NodeID{},
+		home: map[topology.NodeID]int{},
+		idx:  map[topology.NodeID]int{},
+	}
+	for i, sw := range topo.Switches() {
+		r.sw = append(r.sw, sw)
+		r.idx[sw] = i
+	}
+	var dlids []ib.LID
+	for i, ca := range topo.CAs() {
+		lid := ib.LID(i + 1)
+		r.cas[lid] = ca
+		r.home[ca] = r.idx[topo.LeafSwitchOf(ca)]
+		dlids = append(dlids, lid)
+	}
+	full := BuildFromLFTs(topo, r, dlids)
+	sw := BuildSwitchCDG(topo, r, dlids)
+	if full.HasCycle() != sw.HasCycle() {
+		t.Errorf("ring: full cyclic=%v, switch-only cyclic=%v", full.HasCycle(), sw.HasCycle())
+	}
+	if !sw.HasCycle() {
+		t.Error("switch-only CDG of the clockwise ring must be cyclic")
+	}
+
+	// Acyclic fixture: the star.
+	star := topology.New("star")
+	hub := star.AddSwitch(8, "hub")
+	sr := &starRoutes{topo: star, cas: map[ib.LID]topology.NodeID{}}
+	var sdlids []ib.LID
+	for i := 0; i < 3; i++ {
+		leaf := star.AddSwitch(4, "leaf")
+		if _, _, err := star.Link(hub, leaf); err != nil {
+			t.Fatal(err)
+		}
+		ca := star.AddCA("ca")
+		if _, _, err := star.Link(ca, leaf); err != nil {
+			t.Fatal(err)
+		}
+		lid := ib.LID(i + 1)
+		sr.cas[lid] = ca
+		sdlids = append(sdlids, lid)
+	}
+	sfull := BuildFromLFTs(star, sr, sdlids)
+	sonly := BuildSwitchCDG(star, sr, sdlids)
+	if sonly.HasCycle() {
+		t.Errorf("star switch-only CDG should be acyclic; cycle: %v", sonly.FindCycle())
+	}
+	// Edge-set containment: the switch-only edges are exactly the complete
+	// graph's edges minus those sourced at CA injection channels.
+	check := func(name string, tp *topology.Topology, fullG, onlyG *Graph) {
+		fullSet := map[[2]Channel]bool{}
+		for _, e := range fullG.Edges() {
+			fullSet[e] = true
+		}
+		onlySet := map[[2]Channel]bool{}
+		for _, e := range onlyG.Edges() {
+			onlySet[e] = true
+			if !fullSet[e] {
+				t.Errorf("%s: switch-only edge %v->%v missing from complete graph", name, e[0], e[1])
+			}
+		}
+		for e := range fullSet {
+			if n := tp.Node(e[0].Node); n == nil || !n.IsSwitch() {
+				continue // CA injection channel: deliberately omitted
+			}
+			if !onlySet[e] {
+				t.Errorf("%s: switch-switch edge %v->%v missing from switch-only graph", name, e[0], e[1])
+			}
+		}
+	}
+	check("ring", topo, full, sw)
+	check("star", star, sfull, sonly)
+}
+
 func TestChannelString(t *testing.T) {
 	c := Channel{Node: 3, Port: 7}
 	if c.String() != "ch(3:7)" {

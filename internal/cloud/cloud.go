@@ -16,6 +16,8 @@ package cloud
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ibvsim/internal/core"
@@ -66,17 +68,22 @@ type Cloud struct {
 
 	hyps     map[topology.NodeID]*Hypervisor
 	hypOrder []topology.NodeID
-	vms      map[string]*VM
 	sched    Scheduler
-	nextGUID ib.GUID
+	nextGUID uint64 // atomically bumped: shard actors create VMs concurrently
+
+	// mu guards the vms registry map. VM *contents* are owned by whoever
+	// owns the VM's zone (in sharded mode: its shard actor, or, mid
+	// cross-shard migration, the coordinator holding the VM busy); the
+	// single-actor control plane owns everything.
+	mu  sync.RWMutex
+	vms map[string]*VM
 }
 
 // allocGUID returns a fresh subnet-unique vGUID for a VM. Unlike per-VF
 // default GUIDs, per-VM GUIDs stay unique when VMs migrate away and new
 // VMs reuse the freed VF.
 func (c *Cloud) allocGUID() ib.GUID {
-	c.nextGUID++
-	return c.nextGUID
+	return ib.GUID(atomic.AddUint64(&c.nextGUID, 1))
 }
 
 // BootstrapReport carries the subnet bring-up statistics.
@@ -181,16 +188,22 @@ func (c *Cloud) Hypervisor(n topology.NodeID) *Hypervisor { return c.hyps[n] }
 
 // VMs returns the VM names in lexical order.
 func (c *Cloud) VMs() []string {
+	c.mu.RLock()
 	names := make([]string, 0, len(c.vms))
 	for n := range c.vms {
 		names = append(names, n)
 	}
+	c.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }
 
 // VM returns a VM by name (nil if unknown).
-func (c *Cloud) VM(name string) *VM { return c.vms[name] }
+func (c *Cloud) VM(name string) *VM {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.vms[name]
+}
 
 // VMCountOn returns the number of VMs on a hypervisor.
 func (c *Cloud) VMCountOn(n topology.NodeID) int {
@@ -212,66 +225,94 @@ func (c *Cloud) CreateVM(name string) (*VM, error) {
 
 // CreateVMOn places a VM on a specific hypervisor.
 func (c *Cloud) CreateVMOn(name string, hyp topology.NodeID) (*VM, error) {
-	if _, ok := c.vms[name]; ok {
-		return nil, fmt.Errorf("cloud: VM %q already exists", name)
+	vm, _, err := c.CreateVMOnVF(name, hyp, -1)
+	return vm, err
+}
+
+// CreateVMOnVF places a VM on a specific hypervisor and VF (vf < 0 picks
+// the first free one), returning the LFT-boot cost (non-zero only under
+// dynamic LID assignment). Sharded control planes pass an explicit VF so
+// the shard's reservation ledger — not FreeVF — decides placement.
+func (c *Cloud) CreateVMOnVF(name string, hyp topology.NodeID, vf int) (*VM, core.BootStats, error) {
+	var boot core.BootStats
+	c.mu.RLock()
+	_, exists := c.vms[name]
+	c.mu.RUnlock()
+	if exists {
+		return nil, boot, fmt.Errorf("cloud: VM %q already exists", name)
 	}
 	h := c.hyps[hyp]
 	if h == nil {
-		return nil, fmt.Errorf("cloud: node %d is not a hypervisor", hyp)
+		return nil, boot, fmt.Errorf("cloud: node %d is not a hypervisor", hyp)
 	}
-	vf := h.HCA.FreeVF()
 	if vf < 0 {
-		return nil, fmt.Errorf("cloud: hypervisor %d has no free VF", hyp)
+		vf = h.HCA.FreeVF()
+	}
+	if vf < 0 {
+		return nil, boot, fmt.Errorf("cloud: hypervisor %d has no free VF", hyp)
 	}
 	if c.Model == sriov.VSwitchDynamic {
-		boot, err := c.RC.BootVMLID(hyp)
-		if err != nil {
-			return nil, err
+		var err error
+		if boot, err = c.RC.BootVMLID(hyp); err != nil {
+			return nil, boot, err
 		}
 		if err := h.HCA.SetVFLID(vf, boot.LID); err != nil {
-			return nil, err
+			return nil, boot, err
 		}
 	}
 	if err := h.HCA.SetVFGUID(vf, c.allocGUID()); err != nil {
-		return nil, err
+		return nil, boot, err
 	}
 	if err := h.HCA.Attach(vf); err != nil {
-		return nil, err
+		return nil, boot, err
 	}
 	addr, err := h.HCA.VFAddresses(vf)
 	if err != nil {
-		return nil, err
+		return nil, boot, err
 	}
 	vm := &VM{Name: name, Hyp: hyp, VF: vf, Addr: addr}
+	c.mu.Lock()
 	c.vms[name] = vm
+	c.mu.Unlock()
 	c.SA.Register(addr.GID, sa.PathRecord{DLID: addr.LID})
 	c.SM.Log().Addf(sm.EvVM, "created VM %q on node %d VF %d (LID %d)", name, hyp, vf, addr.LID)
-	return vm, nil
+	return vm, boot, nil
 }
 
 // DestroyVM removes a VM, releasing its VF (and, under dynamic assignment,
 // its LID).
 func (c *Cloud) DestroyVM(name string) error {
-	vm, ok := c.vms[name]
-	if !ok {
-		return fmt.Errorf("cloud: no VM %q", name)
+	_, err := c.DestroyVMStats(name)
+	return err
+}
+
+// DestroyVMStats is DestroyVM returning the LFT-invalidation cost (non-zero
+// only under dynamic LID assignment).
+func (c *Cloud) DestroyVMStats(name string) (core.BootStats, error) {
+	var boot core.BootStats
+	vm := c.VM(name)
+	if vm == nil {
+		return boot, fmt.Errorf("cloud: no VM %q", name)
 	}
 	h := c.hyps[vm.Hyp]
 	if err := h.HCA.Detach(vm.VF); err != nil {
-		return err
+		return boot, err
 	}
 	if c.Model == sriov.VSwitchDynamic {
-		if _, err := c.RC.DestroyVMLID(vm.Addr.LID); err != nil {
-			return err
+		var err error
+		if boot, err = c.RC.DestroyVMLID(vm.Addr.LID); err != nil {
+			return boot, err
 		}
 		if err := h.HCA.SetVFLID(vm.VF, ib.LIDUnassigned); err != nil {
-			return err
+			return boot, err
 		}
 	}
 	c.SA.Unregister(vm.Addr.GID)
+	c.mu.Lock()
 	delete(c.vms, name)
+	c.mu.Unlock()
 	c.SM.Log().Addf(sm.EvVM, "destroyed VM %q", name)
-	return nil
+	return boot, nil
 }
 
 // MigrationReport describes one live migration.
@@ -286,13 +327,23 @@ type MigrationReport struct {
 	// Downtime is the modelled network downtime: the reconfiguration time
 	// (the VM memory copy overlaps it and is not modelled here).
 	Downtime time.Duration
+	// Span is the root migration span's trace ID, so a client can audit the
+	// report against the telemetry trace without scanning span windows.
+	Span int
 }
 
 // MigrateVM performs the four-step workflow of section VII-B.
 func (c *Cloud) MigrateVM(name string, dst topology.NodeID) (MigrationReport, error) {
+	return c.MigrateVMVF(name, dst, -1)
+}
+
+// MigrateVMVF is MigrateVM with an explicit destination VF (dstVF < 0 picks
+// the first free one). Shard actors choose the VF themselves so in-flight
+// cross-shard reservations on the destination HCA are respected.
+func (c *Cloud) MigrateVMVF(name string, dst topology.NodeID, dstVF int) (MigrationReport, error) {
 	var rep MigrationReport
-	vm, ok := c.vms[name]
-	if !ok {
+	vm := c.VM(name)
+	if vm == nil {
 		return rep, fmt.Errorf("cloud: no VM %q", name)
 	}
 	dstH := c.hyps[dst]
@@ -303,7 +354,9 @@ func (c *Cloud) MigrateVM(name string, dst topology.NodeID) (MigrationReport, er
 		return rep, fmt.Errorf("cloud: VM %q is already on node %d", name, dst)
 	}
 	srcH := c.hyps[vm.Hyp]
-	dstVF := dstH.HCA.FreeVF()
+	if dstVF < 0 {
+		dstVF = dstH.HCA.FreeVF()
+	}
 	if dstVF < 0 {
 		return rep, fmt.Errorf("cloud: destination %d has no free VF", dst)
 	}
@@ -311,6 +364,7 @@ func (c *Cloud) MigrateVM(name string, dst topology.NodeID) (MigrationReport, er
 
 	tr := c.SM.Telemetry().Tracer()
 	span := tr.Start(telemetry.SpanMigration, name)
+	rep.Span = span.ID()
 	tr.PushScope(span)
 	defer func() {
 		tr.PopScope()

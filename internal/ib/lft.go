@@ -3,33 +3,73 @@ package ib
 import (
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 )
+
+// lftGen hands out globally unique ownership generations for the
+// copy-on-write sharing below. Every Clone assigns fresh generations to
+// both sides, so no table ever believes it owns storage another table can
+// still reach.
+var lftGen atomic.Uint64
+
+// lftFanout is the number of 64-entry blocks per superblock. With 64×64 =
+// 4096 entries per superblock, a cluster-scale table (tens of thousands of
+// LIDs) is a single-digit number of superblock pointers, which is all a
+// Clone has to copy.
+const lftFanout = 64
+
+// lftBlock is one 64-entry run of the table plus the generation of the LFT
+// that may mutate it in place. A block whose generation differs from its
+// table's is shared with at least one clone and is copied before the first
+// write (see mutableBlock). A nil block reads as all-DropPort.
+type lftBlock struct {
+	gen   uint64
+	ports [LFTBlockSize]PortNum
+}
+
+// lftSuper is one level-1 node: 64 block pointers plus the owning
+// generation. A nil superblock reads as 64 nil blocks.
+type lftSuper struct {
+	gen    uint64
+	blocks [lftFanout]*lftBlock
+}
 
 // LFT is a linear forwarding table: a dense map from destination LID to
 // egress port number, held by every switch. Entries are organised in blocks
 // of LFTBlockSize LIDs because the subnet manager reads and writes them with
 // one SMP per block.
 //
+// Storage is a two-level copy-on-write radix: a short slice of superblocks,
+// each holding 64 block pointers. Clone copies only the superblock pointer
+// slice (a few entries even at 100k-LID scale), and a later Set copies just
+// the one superblock and one 64-entry block it lands in. This is what makes
+// the control plane's clone-mutate-publish cycle O(blocks touched) instead
+// of O(table size) — at cluster scale one VM migration edits two LIDs on
+// each of ~10^3 switches, and cloning full multi-kilobyte tables per switch
+// dominated the whole operation (and its allocation rate dominated GC).
+// Nil superblocks and nil blocks mean "all entries DropPort", so fresh
+// tables allocate almost nothing.
+//
+// Concurrency: Get is safe against concurrent Clone of the same table, and
+// concurrent Clones of one table are safe against each other (snapshot
+// builders clone live published tables). Set must not race with any other
+// method on the same table — callers serialise writers per switch exactly
+// as they did when Clone was a deep copy.
+//
 // The zero value is not usable; construct with NewLFT. A port value of 255
 // (DropPort) or an entry outside the populated range means "drop".
 type LFT struct {
-	ports []PortNum // indexed by LID; length is a multiple of LFTBlockSize
-	dirty []uint64  // bitmap over block indices, set by Set since last ClearDirty
-	rev   uint64    // bumped on every effective Set; never reset (unlike dirty)
+	supers  []*lftSuper
+	nblocks int      // logical geometry in 64-entry blocks (supers over-cover)
+	dirty   []uint64 // bitmap over block indices, set by Set since last ClearDirty
+	rev     uint64   // bumped on every effective Set; never reset (unlike dirty)
+	gen     atomic.Uint64
 }
 
 // NewLFT returns an LFT able to hold entries for LIDs 0..topLID (rounded up
 // to a whole number of blocks). All entries start as DropPort.
 func NewLFT(topLID LID) *LFT {
-	nblocks := BlocksForLIDCount(topLID)
-	t := &LFT{
-		ports: make([]PortNum, nblocks*LFTBlockSize),
-		dirty: make([]uint64, (nblocks+63)/64),
-	}
-	for i := range t.ports {
-		t.ports[i] = DropPort
-	}
-	return t
+	return NewLFTBlocks(BlocksForLIDCount(topLID))
 }
 
 // NewLFTBlocks returns an LFT backed by exactly nblocks 64-entry blocks
@@ -41,24 +81,29 @@ func NewLFTBlocks(nblocks int) *LFT {
 		nblocks = 1
 	}
 	t := &LFT{
-		ports: make([]PortNum, nblocks*LFTBlockSize),
-		dirty: make([]uint64, (nblocks+63)/64),
+		supers:  make([]*lftSuper, (nblocks+lftFanout-1)/lftFanout),
+		nblocks: nblocks,
+		dirty:   make([]uint64, (nblocks+63)/64),
 	}
-	for i := range t.ports {
-		t.ports[i] = DropPort
-	}
+	t.gen.Store(lftGen.Add(1))
 	return t
 }
 
-// Clone returns a deep copy of the table, including dirty state.
+// Clone returns an independent copy of the table, including dirty state.
+// Only the superblock pointer slice is copied; superblocks and blocks are
+// shared until either side writes into them. Both tables move to fresh
+// generations, so neither will mutate shared storage in place.
 func (t *LFT) Clone() *LFT {
 	c := &LFT{
-		ports: make([]PortNum, len(t.ports)),
-		dirty: make([]uint64, len(t.dirty)),
-		rev:   t.rev,
+		supers:  make([]*lftSuper, len(t.supers)),
+		nblocks: t.nblocks,
+		dirty:   make([]uint64, len(t.dirty)),
+		rev:     t.rev,
 	}
-	copy(c.ports, t.ports)
+	copy(c.supers, t.supers)
 	copy(c.dirty, t.dirty)
+	c.gen.Store(lftGen.Add(1))
+	t.gen.Store(lftGen.Add(1))
 	return c
 }
 
@@ -69,14 +114,39 @@ func (t *LFT) Clone() *LFT {
 func (t *LFT) Rev() uint64 { return t.rev }
 
 // NumBlocks returns the number of 64-entry blocks backing the table.
-func (t *LFT) NumBlocks() int { return len(t.ports) / LFTBlockSize }
+func (t *LFT) NumBlocks() int { return t.nblocks }
+
+// blockAt returns the block at index b, or nil when b is out of range or
+// unmaterialised (an implicit all-DropPort block).
+func (t *LFT) blockAt(b int) *lftBlock {
+	if b >= t.nblocks {
+		return nil
+	}
+	sp := t.supers[b/lftFanout]
+	if sp == nil {
+		return nil
+	}
+	return sp.blocks[b%lftFanout]
+}
+
+// blockEntry reads one entry of a possibly-nil block.
+func blockEntry(blk *lftBlock, i int) PortNum {
+	if blk == nil {
+		return DropPort
+	}
+	return blk.ports[i]
+}
 
 // Bytes returns a copy of the dense port array — a canonical byte
 // representation for equality checks between independently computed tables.
 func (t *LFT) Bytes() []byte {
-	out := make([]byte, len(t.ports))
-	for i, p := range t.ports {
-		out[i] = byte(p)
+	out := make([]byte, t.nblocks*LFTBlockSize)
+	for b := 0; b < t.nblocks; b++ {
+		base := b * LFTBlockSize
+		blk := t.blockAt(b)
+		for i := 0; i < LFTBlockSize; i++ {
+			out[base+i] = byte(blockEntry(blk, i))
+		}
 	}
 	return out
 }
@@ -85,13 +155,20 @@ func (t *LFT) Bytes() []byte {
 // different lengths are compared as if the shorter were padded with
 // DropPort (which is exactly how Get treats out-of-range LIDs).
 func (t *LFT) Equal(o *LFT) bool {
-	n := len(t.ports)
-	if len(o.ports) > n {
-		n = len(o.ports)
+	nb := t.nblocks
+	if o.nblocks > nb {
+		nb = o.nblocks
 	}
-	for l := LID(0); int(l) < n; l++ {
-		if t.Get(l) != o.Get(l) {
-			return false
+	for b := 0; b < nb; b++ {
+		tb := t.blockAt(b)
+		ob := o.blockAt(b)
+		if tb == ob { // same shared block, or both nil
+			continue
+		}
+		for i := 0; i < LFTBlockSize; i++ {
+			if blockEntry(tb, i) != blockEntry(ob, i) {
+				return false
+			}
 		}
 	}
 	return true
@@ -100,22 +177,64 @@ func (t *LFT) Equal(o *LFT) bool {
 // Get returns the egress port for the given LID, or DropPort if the LID is
 // outside the populated range.
 func (t *LFT) Get(l LID) PortNum {
-	if int(l) >= len(t.ports) {
+	b := int(l) / LFTBlockSize
+	if b >= t.nblocks {
 		return DropPort
 	}
-	return t.ports[l]
+	sp := t.supers[b/lftFanout]
+	if sp == nil {
+		return DropPort
+	}
+	blk := sp.blocks[b%lftFanout]
+	if blk == nil {
+		return DropPort
+	}
+	return blk.ports[int(l)%LFTBlockSize]
+}
+
+// mutableBlock returns the block with index b with this table as its
+// exclusive owner, copying shared storage (or materialising nil storage)
+// level by level first.
+func (t *LFT) mutableBlock(b int) *lftBlock {
+	g := t.gen.Load()
+	si := b / lftFanout
+	sp := t.supers[si]
+	switch {
+	case sp == nil:
+		sp = &lftSuper{gen: g}
+		t.supers[si] = sp
+	case sp.gen != g:
+		cp := &lftSuper{gen: g, blocks: sp.blocks}
+		sp = cp
+		t.supers[si] = cp
+	}
+	bi := b % lftFanout
+	blk := sp.blocks[bi]
+	switch {
+	case blk == nil:
+		blk = &lftBlock{gen: g}
+		for i := range blk.ports {
+			blk.ports[i] = DropPort
+		}
+		sp.blocks[bi] = blk
+	case blk.gen != g:
+		cp := &lftBlock{gen: g, ports: blk.ports}
+		blk = cp
+		sp.blocks[bi] = cp
+	}
+	return blk
 }
 
 // Set programs the egress port for a LID, growing the table if needed, and
 // marks the containing block dirty if the value changed.
 func (t *LFT) Set(l LID, p PortNum) {
 	t.ensure(l)
-	if t.ports[l] == p {
+	b := BlockOf(l)
+	if blockEntry(t.blockAt(b), int(l)%LFTBlockSize) == p {
 		return
 	}
-	t.ports[l] = p
+	t.mutableBlock(b).ports[int(l)%LFTBlockSize] = p
 	t.rev++
-	b := BlockOf(l)
 	t.dirty[b/64] |= 1 << (uint(b) % 64)
 }
 
@@ -129,19 +248,20 @@ func (t *LFT) Swap(a, b LID) {
 }
 
 func (t *LFT) ensure(l LID) {
-	if int(l) < len(t.ports) {
+	nblocks := BlockOf(l) + 1
+	if nblocks <= t.nblocks {
 		return
 	}
-	nblocks := BlockOf(l) + 1
-	np := make([]PortNum, nblocks*LFTBlockSize)
-	copy(np, t.ports)
-	for i := len(t.ports); i < len(np); i++ {
-		np[i] = DropPort
+	nsupers := (nblocks + lftFanout - 1) / lftFanout
+	if nsupers > len(t.supers) {
+		ns := make([]*lftSuper, nsupers)
+		copy(ns, t.supers)
+		t.supers = ns
 	}
-	t.ports = np
 	nd := make([]uint64, (nblocks+63)/64)
 	copy(nd, t.dirty)
 	t.dirty = nd
+	t.nblocks = nblocks
 }
 
 // CopyBlockFrom overwrites one 64-entry block of t with the corresponding
@@ -193,16 +313,24 @@ func (t *LFT) ClearDirty() {
 // which is what Table I's "Min SMPs Full RC" counts per switch.
 func (t *LFT) PopulatedBlocks() []int {
 	var out []int
-	for b := 0; b < t.NumBlocks(); b++ {
-		base := b * LFTBlockSize
-		for i := 0; i < LFTBlockSize; i++ {
-			if t.ports[base+i] != DropPort {
-				out = append(out, b)
-				break
-			}
+	for b := 0; b < t.nblocks; b++ {
+		if blockPopulated(t.blockAt(b)) {
+			out = append(out, b)
 		}
 	}
 	return out
+}
+
+func blockPopulated(blk *lftBlock) bool {
+	if blk == nil {
+		return false
+	}
+	for _, p := range blk.ports {
+		if p != DropPort {
+			return true
+		}
+	}
+	return false
 }
 
 // TopPopulatedBlock returns the highest block index containing a non-drop
@@ -212,12 +340,9 @@ func (t *LFT) PopulatedBlocks() []int {
 // the effect described in section VII-C: a single node using LID 49151
 // forces 768 blocks onto every switch.
 func (t *LFT) TopPopulatedBlock() int {
-	for b := t.NumBlocks() - 1; b >= 0; b-- {
-		base := b * LFTBlockSize
-		for i := 0; i < LFTBlockSize; i++ {
-			if t.ports[base+i] != DropPort {
-				return b
-			}
+	for b := t.nblocks - 1; b >= 0; b-- {
+		if blockPopulated(t.blockAt(b)) {
+			return b
 		}
 	}
 	return -1
@@ -233,10 +358,13 @@ func (t *LFT) Diff(other *LFT) []int {
 	}
 	var out []int
 	for b := 0; b < nb; b++ {
-		base := b * LFTBlockSize
+		tb := t.blockAt(b)
+		ob := other.blockAt(b)
+		if tb == ob {
+			continue
+		}
 		for i := 0; i < LFTBlockSize; i++ {
-			l := LID(base + i)
-			if t.Get(l) != other.Get(l) {
+			if blockEntry(tb, i) != blockEntry(ob, i) {
 				out = append(out, b)
 				break
 			}

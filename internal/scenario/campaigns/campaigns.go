@@ -12,6 +12,7 @@ import (
 
 	"ibvsim/internal/core"
 	"ibvsim/internal/scenario"
+	"ibvsim/internal/shard"
 	"ibvsim/internal/smp"
 	"ibvsim/internal/sriov"
 	"ibvsim/internal/topology"
@@ -33,6 +34,7 @@ func All() []*scenario.Campaign {
 		lidPressure(),
 		corruptionProbe(),
 		defragUnderChurn(),
+		crossShardStorm(),
 	}
 }
 
@@ -382,6 +384,82 @@ func defragUnderChurn() *scenario.Campaign {
 			})
 			h.E.At(2*step+rounds*4*step, "fixpoint", func() {
 				h.Reconcile("defrag", true) // must log converged=true
+			})
+		},
+	}
+}
+
+// crossShardStorm runs the sharded control plane (2 zones) through a seeded
+// cross-shard migration storm: every move crosses zones through the
+// coordinator's two-phase plan (reserve + stage, commit, adopt), with full
+// audits at every quiesce. Two commit-gate windows exercise the protocol's
+// seams deterministically: a stall window holds one migration mid-commit
+// while zone-local creates land on both shards (pinning the source-VF
+// reservation), and a veto window aborts one commit, which must release the
+// staged reservation without fabric damage.
+func crossShardStorm() *scenario.Campaign {
+	return &scenario.Campaign{
+		Name:        "cross-shard-storm",
+		Description: "cross-shard two-phase migration storm with a mid-commit stall window (2 shards)",
+		Tune: func(o *scenario.Options) {
+			o.Model = sriov.VSwitchPrepopulated
+			o.Shards = 2
+		},
+		Script: func(h *scenario.Harness) {
+			co := h.Srv.Coordinator()
+			zoneHyp := func(zone, i int) topology.NodeID {
+				hs := co.Part.Zones[zone].Hyps
+				return hs[i%len(hs)]
+			}
+			const vms = 6
+			h.E.Every(0, step, vms, "seed-vm", func(i int) {
+				h.CreateVMOn(fmt.Sprintf("vm%03d", i), zoneHyp(i%2, i))
+			})
+			start := time.Duration(vms+1) * step
+			const moves = 24
+			h.E.Every(start, step, moves, "cross-migrate", func(i int) {
+				name := fmt.Sprintf("vm%03d", i%vms)
+				vm := h.Cloud.VM(name)
+				if vm == nil {
+					return
+				}
+				from := co.Part.ZoneOfHyp(vm.Hyp)
+				h.MigrateVM(name, zoneHyp(1-from, i+h.E.Rand().Intn(4)))
+				if (i+1)%8 == 0 {
+					h.Quiesce(fmt.Sprintf("after %d cross-shard migrations", i+1))
+				}
+			})
+			stallAt := start + time.Duration(moves+1)*step
+			h.E.At(stallAt, "stall-window", func() {
+				co.SetCommitGate(func(x shard.XMigration) error {
+					h.E.Logf("commit gate: stalling %s mid-commit (shard %d -> %d), mutating both shards",
+						x.VM, x.FromShard, x.ToShard)
+					h.CreateVMOn("stall-src", zoneHyp(x.FromShard, 3))
+					h.CreateVMOn("stall-dst", zoneHyp(x.ToShard, 3))
+					return nil
+				})
+				vm := h.Cloud.VM("vm000")
+				from := co.Part.ZoneOfHyp(vm.Hyp)
+				h.MigrateVM("vm000", zoneHyp(1-from, 5))
+				co.SetCommitGate(nil)
+				h.Quiesce("after mid-commit stall window")
+			})
+			h.E.At(stallAt+step, "veto-window", func() {
+				co.SetCommitGate(func(x shard.XMigration) error {
+					h.E.Logf("commit gate: vetoing %s (shard %d -> %d)", x.VM, x.FromShard, x.ToShard)
+					return fmt.Errorf("injected commit veto")
+				})
+				vm := h.Cloud.VM("vm001")
+				from := co.Part.ZoneOfHyp(vm.Hyp)
+				h.MigrateVM("vm001", zoneHyp(1-from, 7))
+				co.SetCommitGate(nil)
+				h.Quiesce("after vetoed commit")
+			})
+			h.E.At(stallAt+2*step, "drain", func() {
+				for _, name := range h.Cloud.VMs() {
+					h.DestroyVM(name)
+				}
+				h.Quiesce("drained")
 			})
 		},
 	}

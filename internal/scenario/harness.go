@@ -50,6 +50,12 @@ type Options struct {
 	FlightDir string
 	// QueueDepth bounds the API admission queue (0 means the API default).
 	QueueDepth int
+	// Shards selects the sharded control plane (see api.Config.Shards):
+	// 0 keeps the single-actor loop, N partitions the fabric into N zones.
+	// Campaign determinism holds because the engine issues mutations one at
+	// a time — actors run on their own goroutines but each operation's
+	// reply channel gives the schedule a total order.
+	Shards int
 	// Logger receives the control plane's structured logs (wall-clock
 	// noise included — it is NOT part of the deterministic event log). nil
 	// discards.
@@ -147,6 +153,7 @@ func NewHarness(opts Options) (*Harness, error) {
 		QueueDepth: opts.QueueDepth,
 		FlightDir:  opts.FlightDir,
 		Logger:     logger,
+		Shards:     opts.Shards,
 	})
 
 	h := &Harness{

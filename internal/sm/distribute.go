@@ -537,7 +537,15 @@ func (s *SubnetManager) sendLFTRun(sw topology.NodeID, run blockRun, mode smp.Mo
 // retried per the distribution config; exhausting the budget surfaces as an
 // error. The updated shadow is assembled off to the side and published with
 // one buffer swap, so concurrent readers never observe a half-applied set.
+//
+// A per-switch stripe lock covers the whole clone→send→commit cycle (and
+// the target-view patch below), so concurrent shard actors touching
+// different LID columns of the same switch merge rather than lose entries,
+// and each switch's SMPs stay strictly ordered.
 func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.PortNum, mode smp.Mode) (int, error) {
+	mu := s.lftLock(sw)
+	mu.Lock()
+	defer mu.Unlock()
 	cur := s.programmedActive(sw)
 	if cur == nil {
 		return 0, fmt.Errorf("sm: switch %q not yet programmed", s.Topo.Node(sw).Desc)
@@ -550,18 +558,18 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 	runs := planRuns(next.DirtyBlocks(), s.Dist.MaxBlocksPerSMP)
 	next.ClearDirty()
 	s.commitProgrammed(sw, next)
+	desc := s.Topo.Node(sw).Desc
 	for _, run := range runs {
 		// One SpanSMP per SMP: under an active migration scope these are
-		// the n' x m' spans of the paper's equations 4/5.
-		bs := s.tel.Tracer().Start(telemetry.SpanSMP, fmt.Sprintf("%s block %d", s.Topo.Node(sw).Desc, run.start))
+		// the n' x m' spans of the paper's equations 4/5. This loop runs
+		// once per touched switch of every reconfiguration, so the span is
+		// emitted fully formed in one tracer call — no Start/End lock
+		// churn, no name assembly (the block lives in the attrs).
 		attempts, err := s.sendRunReliably(sw, run, mode, s.Dist.Retry)
-		bs.SetAttr("switch", s.Topo.Node(sw).Desc)
-		bs.SetAttr("block", run.start)
-		bs.SetAttr("blocks", run.n)
-		bs.SetAttr("mode", mode.String())
-		bs.SetAttr("attempts", attempts)
-		bs.SetModelled(s.attemptCost(mode, run.n, attempts, err))
-		bs.End()
+		s.tel.Tracer().Emit(telemetry.SpanSMP, desc, 0,
+			s.attemptCost(mode, run.n, attempts, err),
+			"switch", desc, "block", run.start, "blocks", run.n,
+			"mode", mode.String(), "attempts", attempts)
 		if err != nil {
 			return 0, err
 		}

@@ -13,6 +13,7 @@ package sm
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"ibvsim/internal/ib"
@@ -21,6 +22,12 @@ import (
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
+
+// lftStripes is the size of the per-switch lock stripe set guarding
+// SetLFTEntries. Sharded control planes update different switches (and
+// different LID columns of the same switch) from concurrent actors; a
+// stripe serializes the clone→send→commit read-modify-write per switch.
+const lftStripes = 256
 
 // SubnetManager manages one IB subnet.
 type SubnetManager struct {
@@ -61,6 +68,17 @@ type SubnetManager struct {
 	nodeOf  map[ib.LID]topology.NodeID
 	extra   map[ib.LID]topology.NodeID // additional (e.g. VF) LIDs per node
 	dirPath map[topology.NodeID][]ib.PortNum
+
+	// addrMu guards the LID state that concurrent shard actors mutate
+	// after bootstrap: the allocation pool and the extra (VF) LID
+	// bindings. The base maps (lidOf, nodeOf, dirPath) are static once
+	// AssignLIDs/Sweep complete and are read without it; sweeps and full
+	// reconfigurations only run with the control plane quiesced.
+	addrMu sync.Mutex
+	// lftMu stripes per-switch locks over SetLFTEntries so concurrent
+	// actors updating different LID columns of one switch serialize their
+	// clone→send→commit cycles instead of losing each other's entries.
+	lftMu [lftStripes]sync.Mutex
 
 	target map[topology.NodeID]*ib.LFT
 	// programmed double-buffers the per-switch view of what the physical
@@ -334,10 +352,44 @@ func (s *SubnetManager) NodeOfLID(l ib.LID) topology.NodeID {
 	if n, ok := s.nodeOf[l]; ok {
 		return n
 	}
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
 	if n, ok := s.extra[l]; ok {
 		return n
 	}
 	return topology.NoNode
+}
+
+// ResolveLIDs resolves a small set of LIDs to their owning nodes in one
+// lock acquisition — the shape an op-scoped audit view needs.
+func (s *SubnetManager) ResolveLIDs(lids []ib.LID) map[ib.LID]topology.NodeID {
+	out := make(map[ib.LID]topology.NodeID, len(lids))
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	for _, l := range lids {
+		if n, ok := s.nodeOf[l]; ok {
+			out[l] = n
+		} else if n, ok := s.extra[l]; ok {
+			out[l] = n
+		}
+	}
+	return out
+}
+
+// AddressView copies the complete LID→node map (base + extra) under the
+// address lock: the consistent, immutable shape composed fabric-wide
+// snapshots and full audit views are built from.
+func (s *SubnetManager) AddressView() map[ib.LID]topology.NodeID {
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	out := make(map[ib.LID]topology.NodeID, len(s.nodeOf)+len(s.extra))
+	for l, n := range s.nodeOf {
+		out[l] = n
+	}
+	for l, n := range s.extra {
+		out[l] = n
+	}
+	return out
 }
 
 // AllocExtraLID allocates and binds an additional LID (a vSwitch VF LID) to
@@ -346,6 +398,8 @@ func (s *SubnetManager) AllocExtraLID(node topology.NodeID) (ib.LID, error) {
 	if s.Topo.Node(node) == nil {
 		return 0, fmt.Errorf("sm: no node %d", node)
 	}
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
 	lid, err := s.pool.Alloc()
 	if err != nil {
 		return 0, err
@@ -360,6 +414,8 @@ func (s *SubnetManager) ReserveExtraLID(lid ib.LID, node topology.NodeID) error 
 	if s.Topo.Node(node) == nil {
 		return fmt.Errorf("sm: no node %d", node)
 	}
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
 	if err := s.pool.Reserve(lid); err != nil {
 		return err
 	}
@@ -369,6 +425,8 @@ func (s *SubnetManager) ReserveExtraLID(lid ib.LID, node topology.NodeID) error 
 
 // ReleaseExtraLID unbinds and frees an additional LID.
 func (s *SubnetManager) ReleaseExtraLID(lid ib.LID) {
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
 	if _, ok := s.extra[lid]; !ok {
 		return
 	}
@@ -379,11 +437,13 @@ func (s *SubnetManager) ReleaseExtraLID(lid ib.LID) {
 // RebindExtraLID points an existing extra LID at a different node (the LID
 // follows a migrating VM).
 func (s *SubnetManager) RebindExtraLID(lid ib.LID, node topology.NodeID) error {
-	if _, ok := s.extra[lid]; !ok {
-		return fmt.Errorf("sm: LID %d is not an extra LID", lid)
-	}
 	if s.Topo.Node(node) == nil {
 		return fmt.Errorf("sm: no node %d", node)
+	}
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	if _, ok := s.extra[lid]; !ok {
+		return fmt.Errorf("sm: LID %d is not an extra LID", lid)
 	}
 	s.extra[lid] = node
 	return nil
@@ -392,11 +452,13 @@ func (s *SubnetManager) RebindExtraLID(lid ib.LID, node topology.NodeID) error {
 // ExtraLIDsOf lists the extra LIDs currently bound to a node, ascending.
 func (s *SubnetManager) ExtraLIDsOf(node topology.NodeID) []ib.LID {
 	var out []ib.LID
+	s.addrMu.Lock()
 	for l, n := range s.extra {
 		if n == node {
 			out = append(out, l)
 		}
 	}
+	s.addrMu.Unlock()
 	for i := 1; i < len(out); i++ {
 		for j := i; j > 0 && out[j-1] > out[j]; j-- {
 			out[j-1], out[j] = out[j], out[j-1]
@@ -406,14 +468,24 @@ func (s *SubnetManager) ExtraLIDsOf(node topology.NodeID) []ib.LID {
 }
 
 // LIDCount returns the number of assigned LIDs (base + extra).
-func (s *SubnetManager) LIDCount() int { return s.pool.Count() }
+func (s *SubnetManager) LIDCount() int {
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	return s.pool.Count()
+}
 
 // TopLID returns the highest assigned LID.
-func (s *SubnetManager) TopLID() ib.LID { return s.pool.TopUsed() }
+func (s *SubnetManager) TopLID() ib.LID {
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
+	return s.pool.TopUsed()
+}
 
 // Targets builds the routing-engine target list from the current LID
 // state, excluding nodes the latest sweep could not reach.
 func (s *SubnetManager) Targets() []routing.Target {
+	s.addrMu.Lock()
+	defer s.addrMu.Unlock()
 	out := make([]routing.Target, 0, len(s.nodeOf)+len(s.extra))
 	for l, n := range s.nodeOf {
 		if s.reachable[n] {
@@ -540,6 +612,11 @@ func (s *SubnetManager) programmedView() map[topology.NodeID]*ib.LFT {
 		}
 	}
 	return out
+}
+
+// lftLock returns the stripe lock serializing SetLFTEntries for a switch.
+func (s *SubnetManager) lftLock(sw topology.NodeID) *sync.Mutex {
+	return &s.lftMu[uint64(sw)%lftStripes]
 }
 
 // commitProgrammed publishes t as the switch's programmed table with one

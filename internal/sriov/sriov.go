@@ -118,6 +118,18 @@ func (h *HCA) FreeVF() int {
 	return -1
 }
 
+// AttachedCount returns how many VFs are bound to VMs, without allocating.
+// Shard snapshots call it per hypervisor after every mutation.
+func (h *HCA) AttachedCount() int {
+	n := 0
+	for i := range h.VFs {
+		if h.VFs[i].Attached {
+			n++
+		}
+	}
+	return n
+}
+
 // AttachedVFs returns the indices of VFs bound to VMs.
 func (h *HCA) AttachedVFs() []int {
 	var out []int

@@ -82,6 +82,38 @@ func (s *Span) SetAttr(key string, value any) {
 	s.attrs[key] = value
 }
 
+// SetAttrs records attributes from alternating key/value pairs under one
+// lock acquisition, with the same type widening as SetAttr. Hot paths that
+// stamp several attributes per span (the SM emits one smp span per LFT
+// block run, tens of thousands per fabric-wide operation) use this to avoid
+// paying the lock and map setup per attribute.
+func (s *Span) SetAttrs(kv ...any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]any, len(kv)/2)
+	}
+	for i := 0; i+1 < len(kv); i += 2 {
+		key, ok := kv[i].(string)
+		if !ok {
+			continue
+		}
+		value := kv[i+1]
+		switch v := value.(type) {
+		case int:
+			value = int64(v)
+		case time.Duration:
+			value = int64(v)
+		case fmt.Stringer:
+			value = v.String()
+		}
+		s.attrs[key] = value
+	}
+}
+
 // SetModelled sets the span's modelled duration (cost-model time, exactly
 // reproducible run to run).
 func (s *Span) SetModelled(d time.Duration) {
@@ -157,6 +189,7 @@ type Tracer struct {
 	spans    []*Span
 	events   []Event
 	eventCap int
+	spanCap  int
 	nextSeq  int
 	nextID   int
 	scope    []int // span-ID stack; Start parents new spans to the top
@@ -165,9 +198,36 @@ type Tracer struct {
 // DefaultEventCap bounds the event stream when no cap is set explicitly.
 const DefaultEventCap = 65536
 
+// DefaultSpanCap bounds the retained span list when no cap is set
+// explicitly. Span IDs keep growing past the cap; only retention is
+// bounded, oldest first — the same sliding-window model as the event
+// stream. The default is sized so one fabric-wide operation on an O(10^4)
+// node fabric (a migration emits one smp span per touched switch block
+// run) always fits, while a long-running daemon cannot grow without bound.
+const DefaultSpanCap = 1 << 19
+
 // NewTracer returns an empty tracer.
 func NewTracer() *Tracer {
-	return &Tracer{eventCap: DefaultEventCap}
+	return &Tracer{eventCap: DefaultEventCap, spanCap: DefaultSpanCap}
+}
+
+// SetSpanCap bounds the retained span list (oldest dropped first). Values
+// below 1 clamp to 1. Consumers that bracket an operation with LastSpanID +
+// SpansSince are unaffected as long as the window they read back fits the
+// cap.
+func (t *Tracer) SetSpanCap(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spanCap = n
+	if len(t.spans) > n {
+		t.spans = append([]*Span(nil), t.spans[len(t.spans)-n:]...)
+	}
 }
 
 // SetEventCap bounds the retained event stream (oldest dropped first).
@@ -211,8 +271,60 @@ func (t *Tracer) start(kind SpanKind, name string, parent int) *Span {
 	t.nextID++
 	sp.id = t.nextID
 	t.spans = append(t.spans, sp)
+	// Amortised sliding window: let the slice run to twice the cap, then
+	// drop the oldest half in one copy, so the per-span cost stays O(1)
+	// instead of O(cap) on every append past the cap.
+	if t.spanCap > 0 && len(t.spans) > 2*t.spanCap {
+		t.spans = append([]*Span(nil), t.spans[len(t.spans)-t.spanCap:]...)
+	}
 	t.mu.Unlock()
 	return sp
+}
+
+// Emit appends one already-finished span in a single lock acquisition:
+// the span is created fully formed (attributes, modelled cost, wall
+// duration), so hot paths that emit tens of thousands of leaf spans per
+// operation — the SM's one-smp-span-per-block-run — skip the lock and
+// map churn of Start/SetAttrs/SetModelled/End. The kv pairs follow the
+// SetAttrs contract; the span parents to the current scope exactly as
+// Start does. Returns the allocated span ID.
+func (t *Tracer) Emit(kind SpanKind, name string, wall, modelled time.Duration, kv ...any) int {
+	if t == nil {
+		return 0
+	}
+	sp := &Span{tr: t, kind: kind, name: name, wall: wall, modelled: modelled, ended: true}
+	if len(kv) > 0 {
+		attrs := make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			key, ok := kv[i].(string)
+			if !ok {
+				continue
+			}
+			value := kv[i+1]
+			switch v := value.(type) {
+			case int:
+				value = int64(v)
+			case time.Duration:
+				value = int64(v)
+			case fmt.Stringer:
+				value = v.String()
+			}
+			attrs[key] = value
+		}
+		sp.attrs = attrs
+	}
+	t.mu.Lock()
+	if len(t.scope) > 0 {
+		sp.parent = t.scope[len(t.scope)-1]
+	}
+	t.nextID++
+	sp.id = t.nextID
+	t.spans = append(t.spans, sp)
+	if t.spanCap > 0 && len(t.spans) > 2*t.spanCap {
+		t.spans = append([]*Span(nil), t.spans[len(t.spans)-t.spanCap:]...)
+	}
+	t.mu.Unlock()
+	return sp.id
 }
 
 // PushScope makes sp the implicit parent of spans started until the
