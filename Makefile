@@ -53,7 +53,7 @@ bench-incremental-short:
 # doubles single-shard throughput; every point must also finish with zero
 # failed requests and a clean post-run full audit.
 bench-shards:
-	$(GO) run ./cmd/ibsimload -nodes 11664 -c 256 -duration 8s -create 4 -migrate 1 -destroy 4 -sweep 1,2,4,8 -bench-out BENCH_controlplane.json
+	$(GO) run ./cmd/ibsimload -nodes 11664 -c 256 -duration 8s -create 4 -migrate 1 -destroy 4 -sweep 1,2,4,8 -prov-overhead -bench-out BENCH_controlplane.json
 
 # Every benchmark in the repo, including reconfiguration and fabric-sim ones.
 bench-all:

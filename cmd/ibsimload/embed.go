@@ -19,6 +19,7 @@ import (
 
 	"ibvsim/internal/api"
 	"ibvsim/internal/cloud"
+	"ibvsim/internal/ib"
 	"ibvsim/internal/routing"
 	"ibvsim/internal/sriov"
 	"ibvsim/internal/topology"
@@ -127,6 +128,18 @@ type shardGate struct {
 	Pass    bool    `json:"pass"`
 }
 
+// provBench reports the cost of provenance stamping: the gated sweep point
+// re-run with stamping disabled, and the on-vs-off throughput delta. The
+// gate holds the stamping overhead to <= 5% of ops/s.
+type provBench struct {
+	Shards       int     `json:"shards"`
+	OpsPerSecOn  float64 `json:"ops_per_sec_on"`
+	OpsPerSecOff float64 `json:"ops_per_sec_off"`
+	OverheadPct  float64 `json:"overhead_pct"`
+	Gate         string  `json:"gate"`
+	Pass         bool    `json:"pass"`
+}
+
 // shardBench is the BENCH_controlplane.json document.
 type shardBench struct {
 	Benchmark  string            `json:"benchmark"`
@@ -135,12 +148,14 @@ type shardBench struct {
 	DurationMS int64             `json:"duration_ms"`
 	Results    []shardBenchEntry `json:"results"`
 	Gate       *shardGate        `json:"gate,omitempty"`
+	Provenance *provBench        `json:"provenance,omitempty"`
 }
 
 // runSweep runs the workload once per shard count, each on a freshly booted
-// fabric, audits after every run, and applies the scaling gate. Returns the
-// process exit code.
-func runSweep(nodes int, sweep string, queue int, timeout time.Duration, cfg runCfg, out string, human io.Writer, jsonOut bool) int {
+// fabric, audits after every run, and applies the scaling gate. With
+// provOverhead it re-runs the gated point with provenance stamping disabled
+// and gates the on-vs-off regression. Returns the process exit code.
+func runSweep(nodes int, sweep string, queue int, timeout time.Duration, cfg runCfg, out string, provOverhead bool, human io.Writer, jsonOut bool) int {
 	var counts []int
 	for _, f := range strings.Split(sweep, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(f))
@@ -157,8 +172,7 @@ func runSweep(nodes int, sweep string, queue int, timeout time.Duration, cfg run
 	}
 	opsAt := map[int]float64{}
 	exit := 0
-	for _, n := range counts {
-		fmt.Fprintf(human, "\n=== shards=%d ===\n", n)
+	runPoint := func(n int) shardBenchEntry {
 		srv, client, err := bootEmbedded(nodes, strconv.Itoa(n), queue, timeout, human)
 		if err != nil {
 			fatal(err)
@@ -179,7 +193,7 @@ func runSweep(nodes int, sweep string, queue int, timeout time.Duration, cfg run
 				fmt.Fprintln(os.Stderr, "failure:", msg)
 			}
 		}
-		bench.Results = append(bench.Results, shardBenchEntry{
+		return shardBenchEntry{
 			Shards:          n,
 			OpsTotal:        rep.OpsTotal,
 			OpsPerSec:       rep.OpsPerSec,
@@ -187,8 +201,13 @@ func runSweep(nodes int, sweep string, queue int, timeout time.Duration, cfg run
 			Retries:         rep.Retries,
 			AuditViolations: viol,
 			PerShard:        rep.PerShard,
-		})
-		opsAt[n] = rep.OpsPerSec
+		}
+	}
+	for _, n := range counts {
+		fmt.Fprintf(human, "\n=== shards=%d ===\n", n)
+		entry := runPoint(n)
+		bench.Results = append(bench.Results, entry)
+		opsAt[n] = entry.OpsPerSec
 	}
 	if o1, ok1 := opsAt[1]; ok1 && o1 > 0 {
 		if o4, ok4 := opsAt[4]; ok4 {
@@ -205,6 +224,36 @@ func runSweep(nodes int, sweep string, queue int, timeout time.Duration, cfg run
 			fmt.Fprintf(human, "\ngate: shards=4 vs shards=1 speedup %.2fx (want >= 2.00x): %s\n",
 				g.Speedup, verdict)
 		}
+	}
+	if provOverhead && len(counts) > 0 {
+		// Re-run the gated point (shards=4 when swept, else the last point)
+		// with stamping off. The overhead is relative to the off run; noise
+		// can make it negative, which passes.
+		n := counts[len(counts)-1]
+		if _, ok := opsAt[4]; ok {
+			n = 4
+		}
+		fmt.Fprintf(human, "\n=== shards=%d, provenance off ===\n", n)
+		ib.SetProvenanceEnabled(false)
+		off := runPoint(n)
+		ib.SetProvenanceEnabled(true)
+		pb := &provBench{
+			Shards:       n,
+			OpsPerSecOn:  opsAt[n],
+			OpsPerSecOff: off.OpsPerSec,
+			Gate:         "ops_per_sec_on >= 0.95 * ops_per_sec_off",
+		}
+		if off.OpsPerSec > 0 {
+			pb.OverheadPct = 100 * (off.OpsPerSec - pb.OpsPerSecOn) / off.OpsPerSec
+		}
+		pb.Pass = pb.OpsPerSecOn >= 0.95*off.OpsPerSec
+		bench.Provenance = pb
+		verdict := "pass"
+		if !pb.Pass {
+			verdict, exit = "FAIL", 1
+		}
+		fmt.Fprintf(human, "\nprovenance overhead at shards=%d: on %.1f ops/s vs off %.1f ops/s (%.1f%%, want <= 5%%): %s\n",
+			n, pb.OpsPerSecOn, pb.OpsPerSecOff, pb.OverheadPct, verdict)
 	}
 	if out != "" {
 		f, err := os.Create(out)

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"ibvsim/internal/api"
+	"ibvsim/internal/ib"
 	"ibvsim/internal/topology"
 )
 
@@ -65,8 +66,12 @@ func main() {
 	sweep := flag.String("sweep", "", "comma-separated shard counts (e.g. 1,2,4,8): run the workload once per count on a fresh in-process fabric and gate shards=4 >= 2x shards=1")
 	benchOut := flag.String("bench-out", "", "sweep mode: write the scaling results to this JSON artifact (e.g. BENCH_controlplane.json)")
 	cross := flag.Int("cross", 8, "sharded mode: force one in N migrations cross-zone (0 = no zone preference)")
+	prov := flag.Bool("prov", true, "stamp LFT writes with routing provenance (false = disable stamping process-wide)")
+	provOverhead := flag.Bool("prov-overhead", false, "sweep mode: re-run the gated point with provenance off and gate the on-vs-off ops/s regression at <= 5%")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	flag.Parse()
+
+	ib.SetProvenanceEnabled(*prov)
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -96,7 +101,7 @@ func main() {
 		if *nodes == 0 {
 			*nodes = 11664
 		}
-		code := runSweep(*nodes, *sweep, *queue, *timeout, cfg, *benchOut, human, *jsonOut)
+		code := runSweep(*nodes, *sweep, *queue, *timeout, cfg, *benchOut, *provOverhead, human, *jsonOut)
 		pprof.StopCPUProfile() // flush before the explicit exit (no-op when off)
 		os.Exit(code)
 	}

@@ -216,6 +216,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/vms", "vms_list", s.handleListVMs)
 	s.handle("GET /v1/vms/{name}", "vms_get", s.handleGetVM)
 	s.handle("GET /v1/paths/{src}/{dst}", "paths", s.handlePath)
+	s.handle("GET /v1/explain", "explain", s.handleExplain)
 	s.handle("GET /v1/events", "events", s.handleEvents)
 	s.handle("GET /v1/audit", "audit", s.handleAudit)
 	s.handle("GET /v1/flightrecorder", "flightrecorder", s.handleFlightRecorder)

@@ -2,8 +2,10 @@ package api
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 
+	"ibvsim/internal/ib"
 	"ibvsim/internal/reconcile"
 	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
@@ -153,9 +155,20 @@ func (s *Server) execReconcile(cmd *command) cmdReply {
 	}
 
 	var total CostReport
-	for _, wave := range plan.Waves {
+	for wi, wave := range plan.Waves {
 		before := s.tr.LastSpanID()
-		wr, werr := s.c.MigrateWave(wave)
+		// Each wave's merged distribution gets its own provenance epoch, so
+		// /v1/explain attributes a hop to "which wave of which goal" rather
+		// than a generic migration.
+		prov := &ib.Provenance{
+			Mutation: ib.NextMutationID(),
+			Span:     span.ID(),
+			Engine:   "reconcile",
+			Reason: fmt.Sprintf("reconcile %s wave %d/%d (%d moves)",
+				plan.Goal, wi+1, len(plan.Waves), len(wave)),
+			Shard: ib.ShardCoordinator,
+		}
+		wr, werr := s.c.MigrateWaveProv(wave, prov)
 		// Publish what the wave did (even a failed wave may have moved VMs
 		// before erroring) and gate on the fast audit before continuing.
 		gen, viol := s.snapAudit()

@@ -94,6 +94,12 @@ func (s *Server) compose() *Snapshot {
 	if sn := s.snap.Load(); sn != nil && sn.Gen == gen {
 		return sn
 	}
+	start := time.Now()
+	defer func() {
+		s.c.SM.Telemetry().Registry().
+			WallHistogram("api.compose_wall_us", nil).
+			ObserveDuration(time.Since(start))
+	}()
 	topo := s.c.SM.Topo
 	sn := &Snapshot{
 		Gen:       gen,

@@ -1,12 +1,16 @@
 package api
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -209,4 +213,82 @@ func doRaw(t *testing.T, client *http.Client, method, url string, body any) *htt
 	io.Copy(io.Discard, resp.Body) //nolint:errcheck
 	resp.Body.Close()
 	return resp
+}
+
+// TestShardedEventsSSEResume checks SSE reconnect semantics under a sharded
+// control plane: a client that disconnects and resumes with Last-Event-ID
+// receives every event it missed exactly once — no gaps (the tracer's event
+// seqs are contiguous, so the first resumed id must directly follow the last
+// one seen) and no duplicates.
+func TestShardedEventsSSEResume(t *testing.T) {
+	_, ts := newShardedServer(t, Config{Shards: 2})
+	cl := ts.Client()
+
+	create := func(name string) {
+		t.Helper()
+		if st := doJSON(t, cl, "POST", ts.URL+"/v1/vms", CreateVMRequest{Name: name}, nil); st != http.StatusCreated {
+			t.Fatalf("create %s: status %d", name, st)
+		}
+	}
+
+	// tail opens /v1/events (resuming after lastID when > 0) and reads
+	// until an event's data mentions marker, returning the ids seen in order.
+	tail := func(lastID int, marker string) []int {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lastID > 0 {
+			req.Header.Set("Last-Event-ID", strconv.Itoa(lastID))
+		}
+		resp, err := cl.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var ids []int
+		id := -1
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			line := sc.Text()
+			if v, ok := strings.CutPrefix(line, "id: "); ok {
+				if id, err = strconv.Atoi(v); err != nil {
+					t.Fatalf("bad SSE id line %q: %v", line, err)
+				}
+				ids = append(ids, id)
+			}
+			if data, ok := strings.CutPrefix(line, "data: "); ok && strings.Contains(data, marker) {
+				return ids
+			}
+		}
+		t.Fatalf("stream ended before %q (scan err: %v, ctx err: %v)", marker, sc.Err(), ctx.Err())
+		return nil
+	}
+
+	for i := 0; i < 3; i++ {
+		create(fmt.Sprintf("sse-a%d", i))
+	}
+	first := tail(0, `created VM "sse-a2"`)
+	last := first[len(first)-1]
+
+	// Events produced while disconnected must all arrive on resume.
+	for i := 0; i < 3; i++ {
+		create(fmt.Sprintf("sse-b%d", i))
+	}
+	resumed := tail(last, `created VM "sse-b2"`)
+
+	if resumed[0] != last+1 {
+		t.Fatalf("resume gap: stream restarted at id %d, want %d", resumed[0], last+1)
+	}
+	for i, id := range resumed {
+		if id <= last {
+			t.Fatalf("duplicate event %d (already seen before Last-Event-ID %d)", id, last)
+		}
+		if i > 0 && id != resumed[i-1]+1 {
+			t.Fatalf("gap in resumed stream: %d follows %d", id, resumed[i-1])
+		}
+	}
 }

@@ -55,6 +55,11 @@ type Violation struct {
 	LID    uint16 `json:"lid,omitempty"`
 	Node   string `json:"node,omitempty"` // description of the node at fault
 	Detail string `json:"detail"`
+	// Provenance is the write stamp of the offending LFT block when the
+	// violation pins a concrete forwarding entry: the mutation, span and
+	// phase that installed the bad route. Flight-recorder dumps carry it, so
+	// a post-mortem names the culprit operation instead of just the symptom.
+	Provenance *ib.Provenance `json:"provenance,omitempty"`
 }
 
 // Scope selects how much one audit pass checks.

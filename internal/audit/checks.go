@@ -41,6 +41,16 @@ func (v *View) lft(sw topology.NodeID) *ib.LFT {
 	return v.LFTs[sw]
 }
 
+// provenanceOf returns the write stamp of the LFT block holding (sw, dlid),
+// or nil when the switch has no table or the block was never stamped.
+func (v *View) provenanceOf(sw topology.NodeID, dlid ib.LID) *ib.Provenance {
+	lft := v.lft(sw)
+	if lft == nil {
+		return nil
+	}
+	return lft.ProvenanceOf(dlid)
+}
+
 // NodeOf implements cdg.LFTRoutes for the view's LID map.
 func (v *View) NodeOf(l ib.LID) topology.NodeID {
 	if n, ok := v.NodeOfLID[l]; ok {
@@ -125,10 +135,11 @@ func checkReachability(v *View, c *collector) {
 			}
 			reported[st.origin] = true
 			c.add(Violation{
-				Kind:   st.kind,
-				LID:    uint16(dlid),
-				Node:   describe(v.Topo, st.origin),
-				Detail: fmt.Sprintf("LID %d (dst %s): %s", dlid, describe(v.Topo, dst), st.msg),
+				Kind:       st.kind,
+				LID:        uint16(dlid),
+				Node:       describe(v.Topo, st.origin),
+				Detail:     fmt.Sprintf("LID %d (dst %s): %s", dlid, describe(v.Topo, dst), st.msg),
+				Provenance: v.provenanceOf(st.origin, dlid),
 			})
 		}
 	}
@@ -201,8 +212,14 @@ func checkStaleEntries(v *View, c *collector) {
 				continue
 			}
 			if _, ok := v.NodeOfLID[l]; !ok {
-				c.addf(KindStaleEntry, l, describe(v.Topo, sw),
-					"switch %s forwards LID %d, which no node owns", describe(v.Topo, sw), l)
+				c.add(Violation{
+					Kind: KindStaleEntry,
+					LID:  uint16(l),
+					Node: describe(v.Topo, sw),
+					Detail: fmt.Sprintf("switch %s forwards LID %d, which no node owns",
+						describe(v.Topo, sw), l),
+					Provenance: lft.ProvenanceOf(l),
+				})
 			}
 		}
 	}

@@ -234,6 +234,13 @@ func (c *Cloud) CreateVMOn(name string, hyp topology.NodeID) (*VM, error) {
 // dynamic LID assignment). Sharded control planes pass an explicit VF so
 // the shard's reservation ledger — not FreeVF — decides placement.
 func (c *Cloud) CreateVMOnVF(name string, hyp topology.NodeID, vf int) (*VM, core.BootStats, error) {
+	return c.CreateVMOnVFShard(name, hyp, vf, ib.ShardNone)
+}
+
+// CreateVMOnVFShard is CreateVMOnVF with the calling shard recorded in the
+// provenance stamp of every LFT write the boot performs (ib.ShardNone for
+// the single-actor control plane).
+func (c *Cloud) CreateVMOnVFShard(name string, hyp topology.NodeID, vf int, shard int) (*VM, core.BootStats, error) {
 	var boot core.BootStats
 	c.mu.RLock()
 	_, exists := c.vms[name]
@@ -253,7 +260,13 @@ func (c *Cloud) CreateVMOnVF(name string, hyp topology.NodeID, vf int) (*VM, cor
 	}
 	if c.Model == sriov.VSwitchDynamic {
 		var err error
-		if boot, err = c.RC.BootVMLID(hyp); err != nil {
+		prov := &ib.Provenance{
+			Mutation: ib.NextMutationID(),
+			Engine:   "boot",
+			Reason:   "create_vm " + name,
+			Shard:    shard,
+		}
+		if boot, err = c.RC.BootVMLIDProv(hyp, prov); err != nil {
 			return nil, boot, err
 		}
 		if err := h.HCA.SetVFLID(vf, boot.LID); err != nil {
@@ -289,6 +302,12 @@ func (c *Cloud) DestroyVM(name string) error {
 // DestroyVMStats is DestroyVM returning the LFT-invalidation cost (non-zero
 // only under dynamic LID assignment).
 func (c *Cloud) DestroyVMStats(name string) (core.BootStats, error) {
+	return c.DestroyVMStatsShard(name, ib.ShardNone)
+}
+
+// DestroyVMStatsShard is DestroyVMStats with the calling shard recorded in
+// the provenance stamp of every invalidated LFT block.
+func (c *Cloud) DestroyVMStatsShard(name string, shard int) (core.BootStats, error) {
 	var boot core.BootStats
 	vm := c.VM(name)
 	if vm == nil {
@@ -300,7 +319,13 @@ func (c *Cloud) DestroyVMStats(name string) (core.BootStats, error) {
 	}
 	if c.Model == sriov.VSwitchDynamic {
 		var err error
-		if boot, err = c.RC.DestroyVMLID(vm.Addr.LID); err != nil {
+		prov := &ib.Provenance{
+			Mutation: ib.NextMutationID(),
+			Engine:   "boot",
+			Reason:   "destroy_vm " + name,
+			Shard:    shard,
+		}
+		if boot, err = c.RC.DestroyVMLIDProv(vm.Addr.LID, prov); err != nil {
 			return boot, err
 		}
 		if err := h.HCA.SetVFLID(vm.VF, ib.LIDUnassigned); err != nil {
@@ -341,6 +366,12 @@ func (c *Cloud) MigrateVM(name string, dst topology.NodeID) (MigrationReport, er
 // the first free one). Shard actors choose the VF themselves so in-flight
 // cross-shard reservations on the destination HCA are respected.
 func (c *Cloud) MigrateVMVF(name string, dst topology.NodeID, dstVF int) (MigrationReport, error) {
+	return c.MigrateVMVFShard(name, dst, dstVF, ib.ShardNone)
+}
+
+// MigrateVMVFShard is MigrateVMVF with the calling shard recorded in the
+// provenance stamp of every LFT write the reconfiguration performs.
+func (c *Cloud) MigrateVMVFShard(name string, dst topology.NodeID, dstVF int, shard int) (MigrationReport, error) {
 	var rep MigrationReport
 	vm := c.VM(name)
 	if vm == nil {
@@ -389,6 +420,13 @@ func (c *Cloud) MigrateVMVF(name string, dst topology.NodeID, dstVF int) (Migrat
 	c.SM.Log().Addf(sm.EvMigration, "signal: migrate %q from %d to %d", name, vm.Hyp, dst)
 
 	// Step 3: reconfigure the fabric.
+	prov := &ib.Provenance{
+		Mutation: ib.NextMutationID(),
+		Span:     span.ID(),
+		Engine:   "migrate",
+		Reason:   fmt.Sprintf("migrate_vm %s %d->%d", name, vm.Hyp, dst),
+		Shard:    shard,
+	}
 	switch c.Model {
 	case sriov.VSwitchPrepopulated:
 		destLID := dstH.HCA.VFs[dstVF].LID
@@ -396,6 +434,7 @@ func (c *Cloud) MigrateVMVF(name string, dst topology.NodeID, dstVF int) (Migrat
 		if err != nil {
 			return rep, err
 		}
+		plan.Prov = prov
 		if rep.Plan, err = c.RC.Apply(plan); err != nil {
 			return rep, err
 		}
@@ -411,6 +450,7 @@ func (c *Cloud) MigrateVMVF(name string, dst topology.NodeID, dstVF int) (Migrat
 		if err != nil {
 			return rep, err
 		}
+		plan.Prov = prov
 		if rep.Plan, err = c.RC.Apply(plan); err != nil {
 			return rep, err
 		}

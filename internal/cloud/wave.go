@@ -103,9 +103,25 @@ func (c *Cloud) planWave(moves []Move) ([]wavePlanned, error) {
 // wire — are in WaveReport.Plan. Every report's Downtime is the wave's
 // distribution time: the wave completes as a unit.
 func (c *Cloud) MigrateWave(moves []Move) (WaveReport, error) {
+	return c.MigrateWaveProv(moves, nil)
+}
+
+// MigrateWaveProv is MigrateWave with an explicit provenance epoch for the
+// wave's merged LFT distribution (the reconciler passes one naming the wave
+// index and goal). nil builds a generic wave stamp, so wave writes are never
+// unattributed.
+func (c *Cloud) MigrateWaveProv(moves []Move, prov *ib.Provenance) (WaveReport, error) {
 	var rep WaveReport
 	if len(moves) == 0 {
 		return rep, nil
+	}
+	if prov == nil {
+		prov = &ib.Provenance{
+			Mutation: ib.NextMutationID(),
+			Engine:   "migrate",
+			Reason:   fmt.Sprintf("wave (%d moves)", len(moves)),
+			Shard:    ib.ShardNone,
+		}
 	}
 	if c.RC.Mitigation == core.MitigationInvalidate && len(moves) > 1 {
 		// The invalidation pre-pass points each plan's VM LID at port 255
@@ -145,6 +161,7 @@ func (c *Cloud) MigrateWave(moves []Move) (WaveReport, error) {
 		if err != nil {
 			return rep, err
 		}
+		merged.Prov = prov
 		st, err := c.RC.ApplyEdits(merged)
 		if err != nil {
 			return rep, err

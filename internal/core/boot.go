@@ -26,6 +26,12 @@ type BootStats struct {
 // physical switches ... copy the forwarding port from the LID entry that
 // belongs to the PF ... and send a single SMP").
 func (r *Reconfigurator) BootVMLID(hypervisor topology.NodeID) (BootStats, error) {
+	return r.BootVMLIDProv(hypervisor, nil)
+}
+
+// BootVMLIDProv is BootVMLID with a provenance stamp attributed to every
+// LFT block the boot writes.
+func (r *Reconfigurator) BootVMLIDProv(hypervisor topology.NodeID, prov *ib.Provenance) (BootStats, error) {
 	var st BootStats
 	pfLID := r.SM.LIDOf(hypervisor)
 	if pfLID == ib.LIDUnassigned {
@@ -52,7 +58,7 @@ func (r *Reconfigurator) BootVMLID(hypervisor topology.NodeID) (BootStats, error
 		if egress == ib.DropPort {
 			continue // switch cannot reach the hypervisor; keep dropping
 		}
-		n, err := r.SM.SetLFTEntries(sw, map[ib.LID]ib.PortNum{lid: egress}, r.Mode)
+		n, err := r.SM.SetLFTEntriesProv(sw, map[ib.LID]ib.PortNum{lid: egress}, r.Mode, prov)
 		if err != nil {
 			return st, err
 		}
@@ -70,6 +76,12 @@ func (r *Reconfigurator) BootVMLID(hypervisor topology.NodeID) (BootStats, error
 // still forwards it gets the entry invalidated (port 255) and the LID
 // returns to the pool.
 func (r *Reconfigurator) DestroyVMLID(lid ib.LID) (BootStats, error) {
+	return r.DestroyVMLIDProv(lid, nil)
+}
+
+// DestroyVMLIDProv is DestroyVMLID with a provenance stamp attributed to
+// every invalidated LFT block.
+func (r *Reconfigurator) DestroyVMLIDProv(lid ib.LID, prov *ib.Provenance) (BootStats, error) {
 	var st BootStats
 	st.LID = lid
 	if r.SM.NodeOfLID(lid) == topology.NoNode {
@@ -80,7 +92,7 @@ func (r *Reconfigurator) DestroyVMLID(lid ib.LID) (BootStats, error) {
 		if lft == nil || lft.Get(lid) == ib.DropPort {
 			continue
 		}
-		n, err := r.SM.SetLFTEntries(sw, map[ib.LID]ib.PortNum{lid: ib.DropPort}, r.Mode)
+		n, err := r.SM.SetLFTEntriesProv(sw, map[ib.LID]ib.PortNum{lid: ib.DropPort}, r.Mode, prov)
 		if err != nil {
 			return st, err
 		}

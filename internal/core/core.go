@@ -158,6 +158,12 @@ type MigrationPlan struct {
 	// numbers from the wire.
 	SwitchesTouched int
 	SMPs            int
+
+	// Prov, when set, is the provenance epoch Apply/ApplyEdits stamps onto
+	// every LFT block the plan rewrites. The invalidation pre-pass stamps a
+	// derived epoch with Phase="invalidate" so a flight dump can tell a
+	// deliberately dropped entry from the final routes.
+	Prov *ib.Provenance
 }
 
 // planEntries builds a plan from a per-switch editing rule, reading fabric
@@ -403,8 +409,9 @@ func (r *Reconfigurator) ApplyEdits(plan *MigrationPlan) (PlanStats, error) {
 	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
 
 	if r.Mitigation == MitigationInvalidate {
+		invProv := plan.Prov.WithPhase("invalidate")
 		for _, sw := range switches {
-			n, err := r.SM.SetLFTEntries(sw, map[ib.LID]ib.PortNum{plan.VMLID: ib.DropPort}, r.Mode)
+			n, err := r.SM.SetLFTEntriesProv(sw, map[ib.LID]ib.PortNum{plan.VMLID: ib.DropPort}, r.Mode, invProv)
 			if err != nil {
 				return st, fmt.Errorf("core: invalidation pre-pass on %q: %w",
 					r.SM.Topo.Node(sw).Desc, err)
@@ -417,7 +424,7 @@ func (r *Reconfigurator) ApplyEdits(plan *MigrationPlan) (PlanStats, error) {
 	}
 
 	for _, sw := range switches {
-		n, err := r.SM.SetLFTEntries(sw, plan.Updates[sw], r.Mode)
+		n, err := r.SM.SetLFTEntriesProv(sw, plan.Updates[sw], r.Mode, plan.Prov)
 		if err != nil {
 			return st, fmt.Errorf("core: applying plan on %q: %w", r.SM.Topo.Node(sw).Desc, err)
 		}
@@ -475,6 +482,7 @@ func MergePlans(plans ...*MigrationPlan) (*MigrationPlan, error) {
 		Kind:    plans[0].Kind,
 		VMLID:   plans[0].VMLID,
 		PeerLID: plans[0].PeerLID,
+		Prov:    plans[0].Prov,
 		Updates: map[topology.NodeID]map[ib.LID]ib.PortNum{},
 	}
 	for _, p := range plans {

@@ -22,8 +22,15 @@ const lftFanout = 64
 // that may mutate it in place. A block whose generation differs from its
 // table's is shared with at least one clone and is copied before the first
 // write (see mutableBlock). A nil block reads as all-DropPort.
+//
+// prov is the provenance stamp of the write epoch that last touched the
+// block: one shared pointer per epoch, carried verbatim through COW copies
+// so clones and snapshots keep the attribution of the writer that produced
+// their entries. nil means the block predates the provenance plane (or
+// stamping was disabled when it was written).
 type lftBlock struct {
 	gen   uint64
+	prov  *Provenance
 	ports [LFTBlockSize]PortNum
 }
 
@@ -64,6 +71,12 @@ type LFT struct {
 	dirty   []uint64 // bitmap over block indices, set by Set since last ClearDirty
 	rev     uint64   // bumped on every effective Set; never reset (unlike dirty)
 	gen     atomic.Uint64
+	// prov is the table's current write epoch: every Set that changes an
+	// entry stamps the touched block with this pointer. Writers open an
+	// epoch with SetProvenance before their Sets; Clone carries the epoch
+	// so follow-up writes on the clone stay attributed until the next
+	// writer opens its own.
+	prov *Provenance
 }
 
 // NewLFT returns an LFT able to hold entries for LIDs 0..topLID (rounded up
@@ -99,6 +112,7 @@ func (t *LFT) Clone() *LFT {
 		nblocks: t.nblocks,
 		dirty:   make([]uint64, len(t.dirty)),
 		rev:     t.rev,
+		prov:    t.prov,
 	}
 	copy(c.supers, t.supers)
 	copy(c.dirty, t.dirty)
@@ -218,22 +232,53 @@ func (t *LFT) mutableBlock(b int) *lftBlock {
 		}
 		sp.blocks[bi] = blk
 	case blk.gen != g:
-		cp := &lftBlock{gen: g, ports: blk.ports}
+		cp := &lftBlock{gen: g, prov: blk.prov, ports: blk.ports}
 		blk = cp
 		sp.blocks[bi] = cp
 	}
 	return blk
 }
 
+// SetProvenance opens a write epoch: every subsequent Set that changes an
+// entry stamps its block with p, until the next SetProvenance. Passing nil
+// closes the epoch (subsequent writes carry no stamp). When stamping is
+// disabled process-wide the call stores nil regardless, so disabled-mode
+// writes never inherit a stale epoch from a cloned ancestor.
+func (t *LFT) SetProvenance(p *Provenance) {
+	if !provEnabled.Load() {
+		t.prov = nil
+		return
+	}
+	t.prov = p
+}
+
+// Provenance returns the table's current write epoch (nil when none open).
+func (t *LFT) Provenance() *Provenance { return t.prov }
+
+// ProvenanceOf returns the stamp of the write epoch that last touched the
+// block containing LID l, or nil when the block was never stamped (never
+// written, written before the provenance plane, or written with stamping
+// disabled).
+func (t *LFT) ProvenanceOf(l LID) *Provenance {
+	blk := t.blockAt(BlockOf(l))
+	if blk == nil {
+		return nil
+	}
+	return blk.prov
+}
+
 // Set programs the egress port for a LID, growing the table if needed, and
-// marks the containing block dirty if the value changed.
+// marks the containing block dirty if the value changed. A changed entry
+// also stamps the block with the table's current provenance epoch.
 func (t *LFT) Set(l LID, p PortNum) {
 	t.ensure(l)
 	b := BlockOf(l)
 	if blockEntry(t.blockAt(b), int(l)%LFTBlockSize) == p {
 		return
 	}
-	t.mutableBlock(b).ports[int(l)%LFTBlockSize] = p
+	blk := t.mutableBlock(b)
+	blk.ports[int(l)%LFTBlockSize] = p
+	blk.prov = t.prov
 	t.rev++
 	t.dirty[b/64] |= 1 << (uint(b) % 64)
 }
@@ -267,12 +312,20 @@ func (t *LFT) ensure(l LID) {
 // CopyBlockFrom overwrites one 64-entry block of t with the corresponding
 // block of other, growing t as needed. The distribution engine uses it to
 // commit exactly the blocks a switch acknowledged when a distribution ends
-// partially delivered.
+// partially delivered. A block whose contents actually change adopts the
+// source block's provenance stamp — the entries now ARE the source writer's
+// work, so attribution follows them.
 func (t *LFT) CopyBlockFrom(other *LFT, block int) {
 	base := block * LFTBlockSize
+	before := t.rev
 	for i := 0; i < LFTBlockSize; i++ {
 		l := LID(base + i)
 		t.Set(l, other.Get(l))
+	}
+	if t.rev != before && provEnabled.Load() {
+		// Set materialised the block under t's generation; re-stamp it with
+		// the source epoch without another copy.
+		t.mutableBlock(block).prov = other.ProvenanceOf(LID(base))
 	}
 }
 

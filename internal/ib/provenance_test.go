@@ -1,0 +1,115 @@
+package ib
+
+import "testing"
+
+func TestProvenanceStampOnSet(t *testing.T) {
+	lft := NewLFT(200)
+	if got := lft.ProvenanceOf(5); got != nil {
+		t.Fatalf("fresh table has provenance %+v, want nil", got)
+	}
+	p := &Provenance{Mutation: NextMutationID(), Engine: "test", Reason: "initial", Shard: ShardNone}
+	lft.SetProvenance(p)
+	lft.Set(5, 3)
+	if got := lft.ProvenanceOf(5); got != p {
+		t.Fatalf("ProvenanceOf(5) = %+v, want the stamped epoch", got)
+	}
+	// LID 6 shares LID 5's block, so it carries the same stamp even though
+	// its own entry was never written — stamps are per block by design.
+	if got := lft.ProvenanceOf(6); got != p {
+		t.Fatalf("ProvenanceOf(6) = %+v, want block-shared epoch", got)
+	}
+	// A different block stays unstamped.
+	if got := lft.ProvenanceOf(150); got != nil {
+		t.Fatalf("ProvenanceOf(150) = %+v, want nil", got)
+	}
+	// A no-op Set (same value) must not restamp.
+	p2 := &Provenance{Mutation: NextMutationID(), Reason: "noop"}
+	lft.SetProvenance(p2)
+	lft.Set(5, 3)
+	if got := lft.ProvenanceOf(5); got != p {
+		t.Fatalf("no-op Set restamped block: got %+v, want original epoch", got)
+	}
+}
+
+func TestProvenanceSurvivesCOW(t *testing.T) {
+	base := NewLFT(200)
+	pOld := &Provenance{Mutation: NextMutationID(), Reason: "old"}
+	base.SetProvenance(pOld)
+	base.Set(5, 3)
+	base.Set(150, 7)
+
+	clone := base.Clone()
+	// Clone shares storage: both sides still see the old stamps.
+	if got := clone.ProvenanceOf(5); got != pOld {
+		t.Fatalf("clone lost stamp: %+v", got)
+	}
+
+	// Write one block on the clone under a new epoch: only that block
+	// restamps, and only on the clone.
+	pNew := &Provenance{Mutation: NextMutationID(), Reason: "new"}
+	clone.SetProvenance(pNew)
+	clone.Set(4, 9)
+	if got := clone.ProvenanceOf(5); got != pNew {
+		t.Fatalf("clone touched block stamp = %+v, want new epoch", got)
+	}
+	if got := clone.ProvenanceOf(150); got != pOld {
+		t.Fatalf("clone untouched block stamp = %+v, want old epoch", got)
+	}
+	if got := base.ProvenanceOf(5); got != pOld {
+		t.Fatalf("base stamp mutated by clone write: %+v", got)
+	}
+
+	// COW block copy (same-table write after clone) carries the old stamp
+	// until the write lands, then restamps.
+	base.Set(150, 7) // no-op: value unchanged, stamp stays
+	if got := base.ProvenanceOf(150); got != pOld {
+		t.Fatalf("no-op base write restamped: %+v", got)
+	}
+}
+
+func TestProvenanceCopyBlockFrom(t *testing.T) {
+	src := NewLFT(200)
+	pSrc := &Provenance{Mutation: NextMutationID(), Reason: "target"}
+	src.SetProvenance(pSrc)
+	src.Set(10, 4)
+
+	dst := NewLFT(200)
+	pDst := &Provenance{Mutation: NextMutationID(), Reason: "partial-commit"}
+	dst.SetProvenance(pDst)
+	dst.CopyBlockFrom(src, 0)
+	if got := dst.ProvenanceOf(10); got != pSrc {
+		t.Fatalf("CopyBlockFrom stamp = %+v, want source epoch", got)
+	}
+	// Copying an identical block is a no-op and must not restamp.
+	dst2 := dst.Clone()
+	dst2.SetProvenance(&Provenance{Reason: "again"})
+	dst2.CopyBlockFrom(src, 0)
+	if got := dst2.ProvenanceOf(10); got != pSrc {
+		t.Fatalf("no-op CopyBlockFrom restamped: %+v", got)
+	}
+}
+
+func TestProvenanceDisabled(t *testing.T) {
+	SetProvenanceEnabled(false)
+	defer SetProvenanceEnabled(true)
+	lft := NewLFT(100)
+	lft.SetProvenance(&Provenance{Mutation: NextMutationID(), Reason: "ignored"})
+	lft.Set(5, 3)
+	if got := lft.ProvenanceOf(5); got != nil {
+		t.Fatalf("stamping disabled but block carries %+v", got)
+	}
+}
+
+func TestProvenanceWithPhase(t *testing.T) {
+	p := &Provenance{Mutation: 7, Engine: "migrate", Reason: "vm-1", Shard: 2}
+	q := p.WithPhase("invalidate")
+	if q == p || q.Phase != "invalidate" || q.Mutation != 7 || q.Shard != 2 {
+		t.Fatalf("WithPhase wrong: %+v", q)
+	}
+	if p.Phase != "" {
+		t.Fatalf("WithPhase mutated receiver: %+v", p)
+	}
+	if (*Provenance)(nil).WithPhase("x") != nil {
+		t.Fatalf("nil WithPhase should stay nil")
+	}
+}

@@ -132,7 +132,7 @@ func (e *DFSSSP) Compute(req *Request) (*Result, error) {
 		}
 	}
 
-	lfts := fv.newLFTs(req.Targets)
+	lfts := fv.newLFTs(req)
 	workers := req.workerCount()
 	pool := newWorkerPool(workers, func() *dijkstraState { return newDijkstraState(nsw) })
 

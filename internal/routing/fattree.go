@@ -169,7 +169,7 @@ func (*FatTree) Compute(req *Request) (*Result, error) {
 		return nil, err
 	}
 
-	lfts := fv.newLFTs(req.Targets)
+	lfts := fv.newLFTs(req)
 	workers := req.workerCount()
 	pool := newWorkerPool(workers, func() *ftreeScratch {
 		return &ftreeScratch{

@@ -608,6 +608,11 @@ func (x *Incremental) deltaFold(req *Request, fv *fabricView, start time.Time, c
 				replay = append(replay, i)
 			}
 		}
+		if req.Prov != nil {
+			// Stamp only what this delta actually rewrites: replayed blocks
+			// get the new epoch, carried-over blocks keep their old stamps.
+			lfts[id].SetProvenance(req.Prov)
+		}
 	}
 	clock.lap("clone")
 

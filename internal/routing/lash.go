@@ -50,7 +50,7 @@ func (e *LASH) Compute(req *Request) (*Result, error) {
 	}
 
 	nsw := len(fv.switches)
-	lfts := fv.newLFTs(req.Targets)
+	lfts := fv.newLFTs(req)
 	groups, keys := fv.groupTargetsBySwitch(req.Targets)
 	workers := req.workerCount()
 	pool := newWorkerPool(workers, func() *bfsScratch { return newBFSScratch(nsw) })

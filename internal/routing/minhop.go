@@ -82,7 +82,7 @@ func (*MinHop) Compute(req *Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	lfts := fv.newLFTs(req.Targets)
+	lfts := fv.newLFTs(req)
 	nsw := len(fv.switches)
 
 	// load[i][p] counts LIDs already routed out of port p of switch i.

@@ -37,6 +37,13 @@ type Request struct {
 	// bit-identical for every worker count.
 	Workers int
 
+	// Prov, when non-nil, is the provenance epoch stamped onto every LFT
+	// block the computation writes: all five engines allocate their output
+	// tables through one helper, so one field attributes every entry of a
+	// full computation (and the incremental patcher stamps only the blocks
+	// it actually replays).
+	Prov *ib.Provenance
+
 	// capture, when non-nil, records each destination's BFS distances and
 	// candidate-port structure as the per-destination fan-out computes them.
 	// Set only by the Incremental wrapper; every capture slot is written by
@@ -273,17 +280,22 @@ func newFabricView(req *Request) (*fabricView, error) {
 }
 
 // newLFTs allocates one forwarding table per switch sized for the topmost
-// target LID.
-func (fv *fabricView) newLFTs(targets []Target) map[topology.NodeID]*ib.LFT {
+// target LID, with the request's provenance epoch opened on each table so
+// every entry the engine folds in is attributed to this computation.
+func (fv *fabricView) newLFTs(req *Request) map[topology.NodeID]*ib.LFT {
 	var top ib.LID
-	for _, t := range targets {
+	for _, t := range req.Targets {
 		if t.LID > top {
 			top = t.LID
 		}
 	}
 	out := make(map[topology.NodeID]*ib.LFT, len(fv.switches))
 	for _, id := range fv.switches {
-		out[id] = ib.NewLFT(top)
+		lft := ib.NewLFT(top)
+		if req.Prov != nil {
+			lft.SetProvenance(req.Prov)
+		}
+		out[id] = lft
 	}
 	return out
 }

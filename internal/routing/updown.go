@@ -199,7 +199,7 @@ func (e *UpDown) Compute(req *Request) (*Result, error) {
 		req.capture.setRank(root, rank)
 	}
 
-	lfts := fv.newLFTs(req.Targets)
+	lfts := fv.newLFTs(req)
 	load := make([][]uint32, nsw)
 	for i, id := range fv.switches {
 		load[i] = make([]uint32, len(fv.topo.Node(id).Ports))

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ibvsim/internal/cloud"
 	"ibvsim/internal/core"
@@ -332,6 +333,14 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 	co.xmu.RLock()
 	defer co.xmu.RUnlock()
 
+	// Each two-phase stage reports its wall latency as one labelled series:
+	// shard.xphase_wall_us{phase="reserve"|"stage"|"commit"|"abort"}.
+	reg := co.C.SM.Telemetry().Registry()
+	phaseDone := func(phase string, start time.Time) {
+		reg.WallHistogram(telemetry.Labeled("shard.xphase_wall_us", "phase", phase), nil).
+			ObserveDuration(time.Since(start))
+	}
+
 	fail := func(err error) (MigrateResult, error) {
 		if f := co.cfg.AfterMutation; f != nil {
 			f(Mutation{Op: "migrate_vm", Name: name, ReqID: reqID, Shard: srcZone,
@@ -346,6 +355,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 		lid ib.LID
 		err error
 	}
+	reserveStart := time.Now()
 	ch1 := make(chan p1a, 1)
 	if err := dstSh.trySubmit(func() {
 		h := co.C.Hypervisor(dst)
@@ -360,6 +370,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 		return res, err // backpressure before anything was staged: plain 429
 	}
 	r1 := <-ch1
+	phaseDone("reserve", reserveStart)
 	if r1.err != nil {
 		return fail(r1.err)
 	}
@@ -373,6 +384,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 		plan *core.MigrationPlan
 		err  error
 	}
+	stageStart := time.Now()
 	ch2 := make(chan p1b, 1)
 	if err := src.submit(func() {
 		vm := co.C.VM(name)
@@ -412,6 +424,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 		return fail(err)
 	}
 	r2 := <-ch2
+	phaseDone("stage", stageStart)
 	if r2.err != nil {
 		release()
 		return fail(r2.err)
@@ -421,6 +434,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 	guid, gid := vm.Addr.GUID, vm.Addr.GID
 
 	abort := func() {
+		abortStart := time.Now()
 		done := make(chan struct{}, 1)
 		if err := src.submit(func() {
 			co.C.Hypervisor(oldHyp).HCA.Attach(oldVF) //nolint:errcheck // VF state untouched since detach
@@ -430,6 +444,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 			<-done
 		}
 		release()
+		phaseDone("abort", abortStart)
 	}
 
 	// Commit gate (chaos/test seam): fires before any fabric edit, so an
@@ -443,7 +458,6 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 		}
 	}
 
-	reg := co.C.SM.Telemetry().Registry()
 	tr := co.C.SM.Telemetry().Tracer()
 	span := tr.Start(telemetry.SpanMigration, name)
 	reg.Counter("cloud.migrations").Inc()
@@ -452,9 +466,21 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 	// Commit: apply the staged edits (Apply also rebinds the moved LIDs in
 	// the SM's address map) and transfer the vGUID. Failures here are
 	// transport-level: like the single actor, we surface them without
-	// attempting a rollback of partially applied edits.
+	// attempting a rollback of partially applied edits. The staged plan is
+	// stamped here, at the commit point: every LFT block this migration
+	// rewrites attributes to the coordinator's commit phase and this span.
+	commitStart := time.Now()
 	var st core.PlanStats
 	if plan != nil {
+		plan.Prov = &ib.Provenance{
+			Mutation: ib.NextMutationID(),
+			Span:     span.ID(),
+			Engine:   "migrate",
+			Reason: fmt.Sprintf("cross_shard %s %d->%d (shard %d->%d)",
+				name, oldHyp, dst, srcZone, dstZone),
+			Phase: "commit",
+			Shard: ib.ShardCoordinator,
+		}
 		var err error
 		if st, err = co.C.RC.Apply(plan); err != nil {
 			release()
@@ -542,6 +568,7 @@ func (co *Coordinator) migrateCross(reqID, name string, srcZone, dstZone int, ds
 			return fail(err)
 		}
 	}
+	phaseDone("commit", commitStart)
 
 	span.SetAttr("vm", name)
 	span.SetAttr("from", int64(oldHyp))
@@ -618,6 +645,12 @@ func (co *Coordinator) Resync() error {
 // admitted during the freeze wait in their shard queues, exactly like
 // commands queued behind a slow command in single-actor mode.
 func (co *Coordinator) Freeze(fn func()) error {
+	start := time.Now()
+	defer func() {
+		co.C.SM.Telemetry().Registry().
+			WallHistogram("shard.freeze_wall_us", nil).
+			ObserveDuration(time.Since(start))
+	}()
 	co.xmu.Lock()
 	defer co.xmu.Unlock()
 	arrived := make(chan struct{}, len(co.shards))

@@ -4,12 +4,15 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync/atomic"
+	"time"
 
 	"ibvsim/internal/cloud"
 	"ibvsim/internal/core"
 	"ibvsim/internal/ib"
 	"ibvsim/internal/sriov"
+	"ibvsim/internal/telemetry"
 	"ibvsim/internal/topology"
 )
 
@@ -44,6 +47,12 @@ type Shard struct {
 	reserved map[topology.NodeID]map[int]bool
 
 	snap atomic.Pointer[Snap]
+
+	// Per-shard instruments, labelled shard="<id>" in the registry so
+	// /metrics exposes one series per actor. Nil-safe when telemetry is off.
+	mQueueDepth *telemetry.Gauge
+	mAdmitUS    *telemetry.Histogram
+	mOps        *telemetry.Counter
 }
 
 // VMState is one VM in a shard snapshot.
@@ -87,6 +96,8 @@ type Stats struct {
 }
 
 func newShard(id int, zone *Zone, co *Coordinator, depth int) *Shard {
+	reg := co.C.SM.Telemetry().Registry()
+	lbl := strconv.Itoa(id)
 	return &Shard{
 		id:       id,
 		zone:     zone,
@@ -95,6 +106,21 @@ func newShard(id int, zone *Zone, co *Coordinator, depth int) *Shard {
 		done:     make(chan struct{}),
 		names:    map[string]struct{}{},
 		reserved: map[topology.NodeID]map[int]bool{},
+
+		mQueueDepth: reg.Gauge(telemetry.Labeled("shard.queue_depth", "shard", lbl)),
+		mAdmitUS:    reg.WallHistogram(telemetry.Labeled("shard.admit_wall_us", "shard", lbl), nil),
+		mOps:        reg.Counter(telemetry.Labeled("shard.ops", "shard", lbl)),
+	}
+}
+
+// instrument wraps a task to record admission latency (enqueue to the moment
+// the actor picks it up) and keep the queue-depth gauge current on dequeue.
+func (s *Shard) instrument(t task) task {
+	enq := time.Now()
+	return func() {
+		s.mAdmitUS.ObserveDuration(time.Since(enq))
+		s.mQueueDepth.Set(int64(len(s.cmds)))
+		t()
 	}
 }
 
@@ -116,7 +142,8 @@ func (s *Shard) trySubmit(t task) error {
 		return ErrShutdown
 	}
 	select {
-	case s.cmds <- t:
+	case s.cmds <- s.instrument(t):
+		s.mQueueDepth.Set(int64(len(s.cmds)))
 		return nil
 	default:
 		return ErrBackpressure
@@ -132,7 +159,8 @@ func (s *Shard) submit(t task) error {
 	if s.co.closed {
 		return ErrShutdown
 	}
-	s.cmds <- t
+	s.cmds <- s.instrument(t)
+	s.mQueueDepth.Set(int64(len(s.cmds)))
 	return nil
 }
 
@@ -210,6 +238,7 @@ func (s *Shard) publish(gen uint64) {
 // after-mutation hook (flight recorder + op-scoped audit in the API layer).
 func (s *Shard) finish(op, name, reqID string, err error, lids []ib.LID, b *Binding) {
 	s.ops.Add(1)
+	s.mOps.Inc()
 	gen := s.co.gen.Load()
 	if err == nil {
 		gen = s.co.gen.Add(1)
@@ -246,7 +275,7 @@ func (s *Shard) execCreate(reqID, name string, hyp topology.NodeID) (CreateResul
 			return res, err
 		}
 	}
-	vm, boot, err := s.co.C.CreateVMOnVF(name, hyp, vf)
+	vm, boot, err := s.co.C.CreateVMOnVFShard(name, hyp, vf, s.id)
 	if err != nil {
 		s.finish("create_vm", name, reqID, err, nil, nil)
 		return res, err
@@ -268,7 +297,7 @@ func (s *Shard) execDestroy(reqID, name string) (DestroyResult, error) {
 		return res, err
 	}
 	vfLID := vm.Addr.LID
-	boot, err := s.co.C.DestroyVMStats(name)
+	boot, err := s.co.C.DestroyVMStatsShard(name, s.id)
 	if err != nil {
 		s.finish("destroy_vm", name, reqID, err, nil, nil)
 		return res, err
@@ -310,7 +339,7 @@ func (s *Shard) execMigrate(reqID, name string, dst topology.NodeID) (MigrateRes
 		return fail(fmt.Errorf("cloud: destination %d has no free VF", dst))
 	}
 	vmLID, destLID := vm.Addr.LID, h.HCA.VFs[dstVF].LID
-	rep, err := s.co.C.MigrateVMVF(name, dst, dstVF)
+	rep, err := s.co.C.MigrateVMVFShard(name, dst, dstVF, s.id)
 	if err != nil {
 		return fail(err)
 	}

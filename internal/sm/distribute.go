@@ -543,6 +543,16 @@ func (s *SubnetManager) sendLFTRun(sw topology.NodeID, run blockRun, mode smp.Mo
 // different LID columns of the same switch merge rather than lose entries,
 // and each switch's SMPs stay strictly ordered.
 func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.PortNum, mode smp.Mode) (int, error) {
+	return s.SetLFTEntriesProv(sw, entries, mode, nil)
+}
+
+// SetLFTEntriesProv is SetLFTEntries with a provenance stamp: every LFT
+// block the edit touches (shadow and target view alike) is attributed to
+// prov, and the per-SMP trace spans carry the writing shard so the Chrome
+// export can lane them per actor. The stamp is a per-call argument — not SM
+// state — because concurrent shard actors drive this path in parallel and
+// each write epoch must carry its own attribution.
+func (s *SubnetManager) SetLFTEntriesProv(sw topology.NodeID, entries map[ib.LID]ib.PortNum, mode smp.Mode, prov *ib.Provenance) (int, error) {
 	mu := s.lftLock(sw)
 	mu.Lock()
 	defer mu.Unlock()
@@ -551,6 +561,7 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 		return 0, fmt.Errorf("sm: switch %q not yet programmed", s.Topo.Node(sw).Desc)
 	}
 	next := cur.Clone()
+	next.SetProvenance(prov)
 	next.ClearDirty()
 	for l, p := range entries {
 		next.Set(l, p)
@@ -566,10 +577,17 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 		// emitted fully formed in one tracer call — no Start/End lock
 		// churn, no name assembly (the block lives in the attrs).
 		attempts, err := s.sendRunReliably(sw, run, mode, s.Dist.Retry)
+		attrs := []any{"switch", desc, "block", run.start, "blocks", run.n,
+			"mode", mode.String(), "attempts", attempts}
+		if prov != nil {
+			// The shard attr is what the Chrome export lanes SMP spans by.
+			// The mutation ID deliberately stays out: it is a process-global
+			// counter, and stamping it into spans would make trace goldens
+			// depend on test execution order.
+			attrs = append(attrs, "shard", prov.Shard)
+		}
 		s.tel.Tracer().Emit(telemetry.SpanSMP, desc, 0,
-			s.attemptCost(mode, run.n, attempts, err),
-			"switch", desc, "block", run.start, "blocks", run.n,
-			"mode", mode.String(), "attempts", attempts)
+			s.attemptCost(mode, run.n, attempts, err), attrs...)
 		if err != nil {
 			return 0, err
 		}
@@ -577,6 +595,7 @@ func (s *SubnetManager) SetLFTEntries(sw topology.NodeID, entries map[ib.LID]ib.
 	// Keep the target view coherent so a later full distribution does not
 	// undo the reconfiguration.
 	if tgt := s.target[sw]; tgt != nil {
+		tgt.SetProvenance(prov)
 		for l, p := range entries {
 			tgt.Set(l, p)
 		}

@@ -528,9 +528,18 @@ func (s *SubnetManager) ComputeRoutes() (routing.Stats, error) {
 	if !s.swept {
 		return routing.Stats{}, fmt.Errorf("sm: ComputeRoutes before Sweep")
 	}
-	req := &routing.Request{Topo: s.Topo, Targets: s.Targets(), Workers: s.RouteWorkers}
 	eng := s.routingEngine()
 	span := s.tel.Tracer().Start(telemetry.SpanPathCompute, s.Engine.Name())
+	req := &routing.Request{
+		Topo: s.Topo, Targets: s.Targets(), Workers: s.RouteWorkers,
+		Prov: &ib.Provenance{
+			Mutation: ib.NextMutationID(),
+			Span:     span.ID(),
+			Engine:   s.Engine.Name(),
+			Reason:   "compute_routes",
+			Shard:    ib.ShardNone,
+		},
+	}
 	res, err := eng.Compute(req)
 	if err != nil {
 		span.SetAttr("error", err.Error())

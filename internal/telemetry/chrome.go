@@ -2,7 +2,9 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
@@ -124,17 +126,76 @@ func (t *Tracer) WriteChromeTrace(w io.Writer, opts Options) error {
 		}
 	}
 
-	// tid groups each root's tree onto one track.
+	// tid assignment. Spans attributed to a shard actor (a "shard" attr >= 0,
+	// stamped by provenance-carrying distributions) or to the coordinator's
+	// cross-shard commit path each get one stable lane, named via thread_name
+	// metadata — so a sharded run renders as one swimlane per actor instead
+	// of interleaving every operation's SMPs across per-root tracks. Spans
+	// with no shard attribution keep the old layout (one track per root
+	// tree), offset past the shard lanes. shard == -1 (ShardNone) marks a
+	// single-actor operation and is deliberately not a lane.
+	const coordinatorShard = -2 // mirrors ib.ShardCoordinator (no import: telemetry is dependency-free)
+	shardAttr := func(attrs map[string]any) (int, bool) {
+		if v, ok := attrs["shard"]; ok {
+			switch n := v.(type) {
+			case int:
+				return n, true
+			case int64:
+				return int(n), true
+			case float64:
+				return int(n), true
+			}
+		}
+		if _, ok := attrs["cross_shard"]; ok {
+			return coordinatorShard, true
+		}
+		return 0, false
+	}
+	laneTID := func(shard int) int {
+		if shard == coordinatorShard {
+			return 1
+		}
+		return 2 + shard
+	}
+	lanes := map[int]string{} // lane tid -> thread name
+	for _, r := range recs {
+		if s, ok := shardAttr(r.attrs); ok && (s >= 0 || s == coordinatorShard) {
+			if s == coordinatorShard {
+				lanes[laneTID(s)] = "coordinator"
+			} else {
+				lanes[laneTID(s)] = fmt.Sprintf("shard %d", s)
+			}
+		}
+	}
+	offset := 0 // with no shard lanes the layout is unchanged
+	for tid := range lanes {
+		if tid > offset {
+			offset = tid
+		}
+	}
 	track := make(map[int]int, len(recs))
 	for _, r := range recs {
-		if r.parent == 0 {
-			track[r.id] = r.id
+		if s, ok := shardAttr(r.attrs); ok && (s >= 0 || s == coordinatorShard) {
+			track[r.id] = laneTID(s)
+		} else if r.parent == 0 {
+			track[r.id] = offset + r.id
 		} else {
 			track[r.id] = track[r.parent] // snapshot is ID-ordered: parent first
 		}
 	}
 
 	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	laneTIDs := make([]int, 0, len(lanes))
+	for tid := range lanes {
+		laneTIDs = append(laneTIDs, tid)
+	}
+	sort.Ints(laneTIDs)
+	for _, tid := range laneTIDs {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 1, TID: tid,
+			Args: map[string]any{"name": lanes[tid]},
+		})
+	}
 	for _, r := range recs {
 		name := r.name
 		if name == "" {

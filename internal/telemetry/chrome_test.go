@@ -125,3 +125,73 @@ func TestChromeTraceWallMode(t *testing.T) {
 		t.Fatalf("wall export: %d spans, %d instants", spans, instants)
 	}
 }
+
+// TestChromeTraceShardLanes checks the sharded-lane mapping: spans carrying
+// a "shard" attr land on one stable tid per shard, cross_shard spans on the
+// coordinator lane, each lane named by a thread_name metadata event, and
+// shard-free trees keep the per-root layout offset past the lanes. shard=-1
+// (single-actor ShardNone) must NOT claim a lane.
+func TestChromeTraceShardLanes(t *testing.T) {
+	tr := NewTracer()
+	for _, shard := range []int{2, 0} {
+		id := tr.Emit(SpanSMP, "sw", 0, time.Microsecond, "shard", shard)
+		if id == 0 {
+			t.Fatal("emit failed")
+		}
+	}
+	x := tr.Start(SpanMigration, "vm-x")
+	x.SetAttr("cross_shard", "0->2")
+	x.SetModelled(time.Microsecond)
+	x.End()
+	tr.Emit(SpanSMP, "sw", 0, time.Microsecond, "shard", -1) // single-actor: no lane
+	plain := tr.Start(SpanSweep, "")
+	plain.SetModelled(time.Microsecond)
+	plain.End()
+
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	evs := decodeChrome(t, b.Bytes())
+
+	names := map[int]string{} // tid -> thread name from metadata
+	for _, e := range evs {
+		if e.Ph == "M" && e.Name == "thread_name" {
+			names[e.TID] = e.Args["name"].(string)
+		}
+	}
+	if len(names) != 3 {
+		t.Fatalf("want 3 named lanes (coordinator, shard 0, shard 2), got %v", names)
+	}
+
+	laneOf := map[string]int{}
+	var unlaned []int
+	for _, e := range evs {
+		if e.Ph != "X" {
+			continue
+		}
+		switch {
+		case e.Args["shard"] == float64(2):
+			laneOf["shard 2"] = e.TID
+		case e.Args["shard"] == float64(0):
+			laneOf["shard 0"] = e.TID
+		case e.Args["cross_shard"] != nil:
+			laneOf["coordinator"] = e.TID
+		default:
+			unlaned = append(unlaned, e.TID)
+		}
+	}
+	for want, tid := range laneOf {
+		if names[tid] != want {
+			t.Errorf("lane %q got tid %d named %q", want, tid, names[tid])
+		}
+	}
+	if laneOf["coordinator"] != 1 || laneOf["shard 0"] != 2 || laneOf["shard 2"] != 4 {
+		t.Errorf("lane tids drifted: %v", laneOf)
+	}
+	for _, tid := range unlaned {
+		if tid <= 4 {
+			t.Errorf("shard-free span landed on tid %d, inside the lane range", tid)
+		}
+	}
+}

@@ -29,63 +29,140 @@ func promName(name string) string {
 	return sb.String()
 }
 
+// promLabelValue escapes a label value per the text exposition format.
+func promLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// promLabels re-renders a canonical Labeled inner list ("shard=\"2\"") with
+// sanitised keys and escaped values, returning the sorted inner string.
+// Labels arrive already key-sorted from Labeled; sanitisation preserves the
+// order because it never changes relative ordering of distinct keys in
+// practice (keys are identifier-like by convention).
+func promLabels(inner string) string {
+	if inner == "" {
+		return ""
+	}
+	parts := strings.Split(inner, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			continue
+		}
+		k := promName(p[:eq])
+		v := strings.Trim(p[eq+1:], `"`)
+		out = append(out, k+`="`+promLabelValue(v)+`"`)
+	}
+	return strings.Join(out, ",")
+}
+
+// promSeries is one rendered series of a family: its sort key (the label
+// string) and its exposition lines.
+type promSeries struct {
+	key   string
+	lines []string
+}
+
+// promFamily groups every series sharing one base metric name under a single
+// # TYPE line, as the exposition format requires.
+type promFamily struct {
+	name   string
+	typ    string
+	series []promSeries
+}
+
 // WritePrometheus exports the registry in the Prometheus text exposition
 // format (version 0.0.4): counters and gauges as single samples, histograms
 // as cumulative _bucket/_sum/_count series with microsecond "le" bounds.
-// Families are emitted in sorted (sanitised) name order, each preceded by
-// its # TYPE line, so the output is deterministic for a given registry
-// state. Wall-marked histograms are included: a /metrics scrape is live
-// monitoring, not a golden file.
+// Instruments named via Labeled render as native labelled series: all series
+// of one base name share a single # TYPE line and appear in sorted label
+// order, so per-shard series ({shard="0"}, {shard="1"}, ...) are one family.
+// Families are emitted in sorted (sanitised) name order, deterministic for a
+// given registry state. Wall-marked histograms are included: a /metrics
+// scrape is live monitoring, not a golden file.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
-	type family struct {
-		name  string
-		lines []string
+	fams := map[string]*promFamily{}
+	family := func(name, typ string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
 	}
-	var fams []family
+	// brace wraps a rendered label list for a sample line ("" stays "").
+	brace := func(labels string) string {
+		if labels == "" {
+			return ""
+		}
+		return "{" + labels + "}"
+	}
 
 	r.mu.Lock()
 	for name, c := range r.counters {
-		n := promName(name)
-		fams = append(fams, family{n, []string{
-			fmt.Sprintf("# TYPE %s counter", n),
-			fmt.Sprintf("%s %d", n, c.Value()),
+		base, inner := splitLabels(name)
+		n, labels := promName(base), promLabels(inner)
+		f := family(n, "counter")
+		f.series = append(f.series, promSeries{labels, []string{
+			fmt.Sprintf("%s%s %d", n, brace(labels), c.Value()),
 		}})
 	}
 	for name, g := range r.gauges {
-		n := promName(name)
-		fams = append(fams, family{n, []string{
-			fmt.Sprintf("# TYPE %s gauge", n),
-			fmt.Sprintf("%s %d", n, g.Value()),
+		base, inner := splitLabels(name)
+		n, labels := promName(base), promLabels(inner)
+		f := family(n, "gauge")
+		f.series = append(f.series, promSeries{labels, []string{
+			fmt.Sprintf("%s%s %d", n, brace(labels), g.Value()),
 		}})
 	}
 	for name, h := range r.hists {
-		n := promName(name)
+		base, inner := splitLabels(name)
+		n, labels := promName(base), promLabels(inner)
+		prefix := ""
+		if labels != "" {
+			prefix = labels + ","
+		}
 		h.mu.Lock()
-		lines := make([]string, 0, len(h.bounds)+4)
-		lines = append(lines, fmt.Sprintf("# TYPE %s histogram", n))
+		lines := make([]string, 0, len(h.bounds)+3)
 		cum := int64(0)
 		for i, b := range h.bounds {
 			cum += h.counts[i]
-			lines = append(lines, fmt.Sprintf("%s_bucket{le=\"%d\"} %d", n, b, cum))
+			lines = append(lines, fmt.Sprintf("%s_bucket{%sle=\"%d\"} %d", n, prefix, b, cum))
 		}
 		lines = append(lines,
-			fmt.Sprintf("%s_bucket{le=\"+Inf\"} %d", n, h.count),
-			fmt.Sprintf("%s_sum %d", n, h.sum),
-			fmt.Sprintf("%s_count %d", n, h.count),
+			fmt.Sprintf("%s_bucket{%sle=\"+Inf\"} %d", n, prefix, h.count),
+			fmt.Sprintf("%s_sum%s %d", n, brace(labels), h.sum),
+			fmt.Sprintf("%s_count%s %d", n, brace(labels), h.count),
 		)
 		h.mu.Unlock()
-		fams = append(fams, family{n, lines})
+		f := family(n, "histogram")
+		f.series = append(f.series, promSeries{labels, lines})
 	}
 	r.mu.Unlock()
 
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
-	for _, f := range fams {
-		for _, l := range f.lines {
-			if _, err := io.WriteString(w, l+"\n"); err != nil {
-				return err
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.series, func(i, j int) bool { return f.series[i].key < f.series[j].key })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			for _, l := range s.lines {
+				if _, err := io.WriteString(w, l+"\n"); err != nil {
+					return err
+				}
 			}
 		}
 	}

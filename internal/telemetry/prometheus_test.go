@@ -52,6 +52,72 @@ func TestWritePrometheusGolden(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusLabeledGolden pins labelled-series rendering: every
+// series of one base name (labelled and unlabelled alike) shares a single
+// # TYPE line, series sort by label string, histogram buckets merge the user
+// labels with le, and label values are escaped.
+func TestWritePrometheusLabeledGolden(t *testing.T) {
+	r := NewRegistry()
+	// Deliberately register shards out of order: output must still sort.
+	r.Counter(Labeled("shard.ops", "shard", "2")).Add(20)
+	r.Counter(Labeled("shard.ops", "shard", "0")).Add(5)
+	r.Counter(Labeled("shard.ops", "shard", "1")).Add(11)
+	r.Gauge(Labeled("shard.queue_depth", "shard", "0")).Set(4)
+	r.Gauge(Labeled("shard.queue_depth", "shard", "1")).Set(7)
+	// A base with both an unlabelled and a labelled series: one family.
+	r.Counter("api.requests").Add(3)
+	r.Counter(Labeled("api.requests", "route", "explain")).Add(2)
+	// Multi-label name built in unsorted key order; Labeled canonicalises.
+	r.Counter(Labeled("shard.phase_total", "phase", "commit", "shard", "2")).Inc()
+	h := r.Histogram(Labeled("shard.admit_us", "shard", "1"), []int64{10, 100})
+	h.Observe(7)
+	h.Observe(70)
+	// Escaping: quotes and backslashes in a label value must survive.
+	r.Counter(Labeled("odd.values", "reason", `say "hi"\now`)).Inc()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	path := filepath.Join("testdata", "metrics_labeled.prom.golden")
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden: %v (regenerate with -update-golden)", err)
+	}
+	if got != string(want) {
+		t.Errorf("labelled Prometheus exposition drifted from golden file.\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabeled(t *testing.T) {
+	if got := Labeled("x.y"); got != "x.y" {
+		t.Errorf("no labels: got %q", got)
+	}
+	a := Labeled("x.y", "shard", "2", "phase", "commit")
+	b := Labeled("x.y", "phase", "commit", "shard", "2")
+	if a != b {
+		t.Errorf("label order changed the key: %q vs %q", a, b)
+	}
+	if a != `x.y{phase="commit",shard="2"}` {
+		t.Errorf("canonical form: got %q", a)
+	}
+	base, inner := splitLabels(a)
+	if base != "x.y" || inner != `phase="commit",shard="2"` {
+		t.Errorf("splitLabels(%q) = %q, %q", a, base, inner)
+	}
+	if base, inner := splitLabels("plain"); base != "plain" || inner != "" {
+		t.Errorf("splitLabels(plain) = %q, %q", base, inner)
+	}
+}
+
 func TestWritePrometheusNilAndEmpty(t *testing.T) {
 	var nilReg *Registry
 	var sb strings.Builder

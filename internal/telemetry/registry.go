@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -130,10 +131,55 @@ func (h *Histogram) Sum() int64 {
 	return h.sum
 }
 
+// Labeled builds the canonical name of a labelled instrument:
+// base{k1="v1",k2="v2"} with label keys sorted, so the same label set always
+// produces the same registry key regardless of argument order. kv is
+// alternating key, value pairs; an empty kv returns base unchanged. The
+// registry itself stays flat-name — labels are a naming convention the
+// Prometheus exporter understands, not a second instrument dimension.
+func Labeled(base string, kv ...string) string {
+	if len(kv) < 2 {
+		return base
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i+1 < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sb strings.Builder
+	sb.WriteString(base)
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(p.k)
+		sb.WriteString(`="`)
+		sb.WriteString(p.v)
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// splitLabels splits a canonical Labeled name into its base and the inner
+// label list ("" when the name is unlabelled).
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
 // Registry holds named instruments. The zero value is not usable; call
 // NewRegistry. All methods are safe for concurrent use, and every accessor
 // is nil-safe (a nil *Registry hands out nil instruments, which swallow
 // writes), so telemetry can be disabled by simply not wiring a registry.
+// Instrument names may carry labels via Labeled; the JSON export treats the
+// canonical labelled name as an opaque flat name, while the Prometheus
+// export renders the labels natively.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
